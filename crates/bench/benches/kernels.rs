@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks of the per-block kernels — the raw
+//! numbers behind Table 3's "time per task" column and §4.2's matrix-
+//! optimisation claims, measured on this machine's real Rust kernels.
+//!
+//! Groups:
+//! * `fft`: 2048-point FFT (the per-antenna task).
+//! * `zf`: pseudo-inverse per subcarrier group — direct vs SVD (§4.2:
+//!   "roughly an order of magnitude slower").
+//! * `gemm`: specialised ("JIT"-analogue) vs generic equalization GEMM.
+//! * `demod`: fused equalize+demod per 8-subcarrier block.
+//! * `ldpc`: decode per code block — the dominant block.
+//! * `queue`: MPMC push/pop — the 64-byte message hot path.
+
+use agora_fft::{Direction, FftPlan};
+use agora_ldpc::{BaseGraphId, DecodeConfig, Decoder, Encoder};
+use agora_math::{pinv_direct, pinv_svd, CMat, Cf32, Gemm};
+use agora_phy::demod::demod_soft;
+use agora_phy::modulation::ModScheme;
+use agora_queue::{Msg, MpmcQueue, TaskType};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn rand_mat(rows: usize, cols: usize, seed: u64) -> CMat {
+    let mut state = seed | 1;
+    CMat::from_fn(rows, cols, |_, _| {
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f32 / (1u64 << 53) as f32) - 0.25
+        };
+        Cf32::new(next(), next())
+    })
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let plan = FftPlan::new(2048);
+    let data: Vec<Cf32> = (0..2048).map(|i| Cf32::cis(0.1 * i as f32)).collect();
+    c.bench_function("fft/2048_forward", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut d| {
+                plan.execute(&mut d, Direction::Forward);
+                black_box(d)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_zf(c: &mut Criterion) {
+    let h = rand_mat(64, 16, 42);
+    c.bench_function("zf/pinv_direct_64x16", |b| {
+        b.iter(|| black_box(pinv_direct(black_box(&h)).unwrap()))
+    });
+    c.bench_function("zf/pinv_svd_64x16", |b| {
+        b.iter(|| black_box(pinv_svd(black_box(&h), 1e-6)))
+    });
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let det = rand_mat(16, 64, 7);
+    let block = rand_mat(64, 8, 8);
+    let spec = Gemm::plan(16, 64, 8);
+    let generic = Gemm::plan_generic(16, 64, 8);
+    let mut out = vec![Cf32::ZERO; 16 * 8];
+    c.bench_function("gemm/specialized_16x64x8", |b| {
+        b.iter(|| {
+            spec.run(det.as_slice(), block.as_slice(), &mut out);
+            black_box(&out);
+        })
+    });
+    c.bench_function("gemm/generic_16x64x8", |b| {
+        b.iter(|| {
+            generic.run(det.as_slice(), block.as_slice(), &mut out);
+            black_box(&out);
+        })
+    });
+}
+
+fn bench_demod(c: &mut Criterion) {
+    let syms: Vec<Cf32> = (0..8).map(|i| Cf32::cis(0.7 * i as f32).scale(0.9)).collect();
+    let mut llrs = Vec::new();
+    c.bench_function("demod/qam64_8sc_soft", |b| {
+        b.iter(|| {
+            demod_soft(ModScheme::Qam64, black_box(&syms), 0.05, &mut llrs);
+            black_box(&llrs);
+        })
+    });
+}
+
+fn bench_ldpc(c: &mut Criterion) {
+    let z = 104;
+    let enc = Encoder::new(BaseGraphId::Bg1, z);
+    let info: Vec<u8> = (0..enc.info_len()).map(|i| (i % 2) as u8).collect();
+    let cw = enc.encode(&info);
+    let llr: Vec<f32> = cw
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| if i < 2 * z { 0.0 } else if b == 0 { 4.0 } else { -4.0 })
+        .collect();
+    let mut dec = Decoder::new(BaseGraphId::Bg1, z);
+    let cfg = DecodeConfig { max_iters: 5, early_termination: false, ..Default::default() };
+    c.bench_function("ldpc/encode_bg1_z104", |b| b.iter(|| black_box(enc.encode(&info))));
+    c.bench_function("ldpc/decode_bg1_z104_5it", |b| {
+        b.iter(|| black_box(dec.decode(&llr, &cfg)))
+    });
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let q: MpmcQueue<Msg> = MpmcQueue::new(1024);
+    let msg = Msg::task(TaskType::Demod, 1, 2, 3, 64);
+    c.bench_function("queue/push_pop_64B", |b| {
+        b.iter(|| {
+            q.push(black_box(msg)).unwrap();
+            black_box(q.pop().unwrap());
+        })
+    });
+}
+
+fn bench_full_frame(c: &mut Criterion) {
+    // End-to-end inline processing of one tiny-cell uplink frame: the
+    // number a downstream user cares about first ("how fast is a frame
+    // on one core?").
+    use agora_core::{EngineConfig, InlineProcessor};
+    use agora_fronthaul::{RruConfig, RruEmulator};
+    use agora_phy::CellConfig;
+    let cell = CellConfig::tiny_test(2);
+    let mut rru =
+        RruEmulator::new(cell.clone(), RruConfig { snr_db: 28.0, ..Default::default() });
+    let mut cfg = EngineConfig::new(cell.clone(), 1);
+    cfg.noise_power = rru.noise_power();
+    let mut proc = InlineProcessor::new(cfg);
+    let (packets, _gt) = rru.generate_frame(0);
+    c.bench_function("frame/tiny_uplink_inline", |b| {
+        b.iter(|| black_box(proc.process_frame(0, &packets)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fft, bench_zf, bench_gemm, bench_demod, bench_ldpc, bench_queue, bench_full_frame
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figure 6: median (and p99.9) processing latency and minimum core
+//! count vs frame length (1–5 ms), uplink and downlink, Agora vs the
+//! pipeline-parallel variant. 64x16 MIMO, paper-calibrated costs on the
+//! schedule simulator.
+
+use agora_bench::csv::write_csv;
+use agora_core::sim::{min_workers, pipeline_allocation, simulate, SimConfig, SimPolicy};
+use agora_phy::frame::FrameSchedule;
+use agora_phy::CellConfig;
+
+fn main() {
+    let frames = 32;
+    println!("Figure 6 — processing latency and #cores vs frame length (64x16 MIMO)");
+    println!("direction frame_ms cores  agora_med_ms agora_p999_ms  pp_cores pp_med_ms pp_p999_ms");
+    let mut rows = Vec::new();
+
+    for (dir, is_ul) in [("uplink", true), ("downlink", false)] {
+        for data_symbols in [13usize, 27, 41, 55, 69] {
+            let mut cell = CellConfig::emulated_rru(64, 16, data_symbols);
+            if !is_ul {
+                cell.schedule = FrameSchedule::downlink(1, data_symbols);
+            }
+            let frame_ms = cell.frame_duration_ns() as f64 / 1e6;
+            // Minimum cores that keep up with the IQ rate within the
+            // paper's observed latency envelope (~frame + 1 ms).
+            let target = cell.frame_duration_ns() as f64 + 0.6e6;
+            let cores = min_workers(&cell, 24, target, |_| {}).unwrap_or(64);
+
+            let dp_cfg = SimConfig::new(cell.clone(), cores, frames);
+            let dp = simulate(&dp_cfg);
+
+            let pp_alloc = pipeline_allocation(&dp_cfg);
+            let pp_cores: usize = pp_alloc.iter().sum();
+            let mut pp_cfg = SimConfig::new(cell.clone(), pp_cores, frames);
+            pp_cfg.policy = SimPolicy::PipelineParallel { cores: pp_alloc };
+            let pp = simulate(&pp_cfg);
+
+            println!(
+                "{dir:<9} {frame_ms:<8.0} {cores:<6} {:<12.2} {:<13.2}  {pp_cores:<3} {:<9.2} {:<9.2}",
+                dp.median_latency_ms(),
+                dp.percentile_latency_ms(99.9),
+                pp.median_latency_ms(),
+                pp.percentile_latency_ms(99.9),
+            );
+            rows.push(format!(
+                "{dir},{frame_ms},{cores},{},{},{pp_cores},{},{}",
+                dp.median_latency_ms(),
+                dp.percentile_latency_ms(99.9),
+                pp.median_latency_ms(),
+                pp.percentile_latency_ms(99.9),
+            ));
+        }
+    }
+    let p = write_csv(
+        "fig6_latency",
+        "direction,frame_ms,cores,agora_med_ms,agora_p999_ms,pp_cores,pp_med_ms,pp_p999_ms",
+        &rows,
+    );
+    println!("\nwrote {}", p.display());
+    println!("expected shape: Agora tracks the frame length closely (UL ~ frame+0.2ms),");
+    println!("pipeline-parallel sits noticeably higher (paper: ~30% worse).");
+}

@@ -1,0 +1,43 @@
+//! Figure 7: complementary CDF of Agora's uplink processing time for
+//! four MIMO configurations (1 ms frame, 26 worker cores). The paper
+//! measures 8000 frames; the simulator replays the same count.
+
+use agora_bench::csv::write_csv;
+use agora_core::sim::{simulate, JitterModel, SimConfig};
+use agora_phy::CellConfig;
+
+fn main() {
+    let frames = 8000;
+    let configs = [(64usize, 16usize), (32, 16), (64, 8), (16, 4)];
+    println!("Figure 7 — uplink latency CCDF, 1 ms frames, 26 cores, {frames} frames");
+    println!("config   p50_ms  p90_ms  p99_ms  p99.9_ms  max_ms");
+    let mut rows = Vec::new();
+    for (m, k) in configs {
+        let cell = CellConfig::emulated_rru(m, k, 13);
+        let mut cfg = SimConfig::new(cell, 26, frames);
+        // Small residual jitter so the distribution has a realistic tail
+        // (the real system sees cache/TLB noise even as an RT process).
+        cfg.jitter = Some(JitterModel { preempt_prob: 0.02, mean_ns: 2.0e4 });
+        let rep = simulate(&cfg);
+        let p = |q: f64| rep.percentile_latency_ms(q);
+        println!(
+            "{m}x{k:<5} {:>6.2}  {:>6.2}  {:>6.2}  {:>8.2}  {:>6.2}",
+            p(50.0),
+            p(90.0),
+            p(99.0),
+            p(99.9),
+            rep.max_latency_ms()
+        );
+        // CCDF series for plotting.
+        let mut lats: Vec<f64> = rep.latencies_ns.iter().map(|l| l / 1e6).collect();
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, l) in lats.iter().enumerate().step_by((frames / 200).max(1)) {
+            let ccdf = 1.0 - i as f64 / lats.len() as f64;
+            rows.push(format!("{m}x{k},{l},{ccdf}"));
+        }
+    }
+    let p = write_csv("fig7_ccdf", "config,latency_ms,ccdf", &rows);
+    println!("\nwrote {}", p.display());
+    println!("expected shape: 64x16 worst (p99.9 ~ 1.3 ms vs 1 ms frame),");
+    println!("smaller configs shift left; all well under the 4 ms eMBB bound.");
+}

@@ -1,0 +1,32 @@
+//! Figure 8: uplink processing time and speedup vs number of worker
+//! cores (1 ms frame, 64x16 MIMO). Latency falls until it is bound by
+//! the frame length (~26 cores in the paper).
+
+use agora_bench::csv::write_csv;
+use agora_core::sim::{simulate, SimConfig};
+use agora_phy::CellConfig;
+
+fn main() {
+    let cell = CellConfig::emulated_rru(64, 16, 13);
+    println!("Figure 8 — uplink processing time & speedup vs #cores (64x16, 1 ms frame)");
+    println!("cores  time_ms  speedup  ideal");
+    let mut rows = Vec::new();
+    let mut t1 = 0.0f64;
+    for cores in [1usize, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30] {
+        // Single-frame processing time (no back-to-back pressure), as in
+        // the figure: how fast can N cores chew one frame.
+        let cfg = SimConfig::new(cell.clone(), cores, 3);
+        let rep = simulate(&cfg);
+        let t = rep.median_latency_ms();
+        if cores == 1 {
+            t1 = t;
+        }
+        let speedup = t1 / t;
+        println!("{cores:>5}  {t:>7.2}  {speedup:>7.2}  {cores:>5}");
+        rows.push(format!("{cores},{t},{speedup}"));
+    }
+    let p = write_csv("fig8_scalability", "cores,time_ms,speedup", &rows);
+    println!("\nwrote {}", p.display());
+    println!("expected shape: near-linear speedup at low counts, flattening as the");
+    println!("latency becomes bound by the 1 ms frame arrival (paper: ~26 cores).");
+}

@@ -1,0 +1,113 @@
+//! Kernel calibration: measures the real Rust kernels on the local
+//! machine and converts them into a [`agora_core::sim::CostModel`].
+//!
+//! The paper's Table 3 reports per-task costs measured on a Xeon Gold
+//! 6130 with MKL/FlexRAN/AVX-512. Our kernels are portable Rust, so
+//! absolute numbers differ; calibrating the simulator with *our*
+//! measured costs keeps the schedule realistic for this machine, while
+//! `CostModel::paper` reproduces the paper's absolute scale. Benches
+//! report both.
+
+use agora_core::sim::CostModel;
+use agora_core::{EngineConfig, InlineProcessor};
+use agora_fronthaul::{RruConfig, RruEmulator};
+use agora_phy::CellConfig;
+use std::time::Instant;
+
+/// Measured per-task kernel costs (ns).
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// One 2048-point FFT + demap (+CSI on pilots).
+    pub fft_ns: f64,
+    /// One ZF group (pinv of M x K + precoder).
+    pub zf_ns: f64,
+    /// Equalize + demod of one subcarrier.
+    pub demod_sc_ns: f64,
+    /// One LDPC decode (code block at the cell's Z/iters).
+    pub decode_ns: f64,
+}
+
+impl Calibration {
+    /// Converts to the simulator's cost model.
+    pub fn cost_model(&self) -> CostModel {
+        CostModel::measured(self.fft_ns, self.zf_ns, self.demod_sc_ns, self.decode_ns)
+    }
+}
+
+/// Measures kernel costs for a cell by timing the inline engine's phases
+/// over `reps` frames. The breakdown leans on the inline processor
+/// executing blocks in distinct phases, timed separately.
+pub fn calibrate(cell: &CellConfig, reps: usize) -> Calibration {
+    let mut rru = RruEmulator::new(cell.clone(), RruConfig { snr_db: 25.0, ..Default::default() });
+    let mut cfg = EngineConfig::new(cell.clone(), 1);
+    cfg.noise_power = rru.noise_power();
+    let kernels = agora_core::Kernels::new(cfg.clone());
+    let mut scratch = kernels.scratch();
+    let mut proc = InlineProcessor::new(cfg);
+    let g = kernels.geom;
+
+    // Generate one frame and ingest it so buffers hold real data.
+    let (packets, _gt) = rru.generate_frame(0);
+    // Prime all buffers (CSI, detectors, LLRs) by a full pass.
+    let _ = proc.process_frame(0, &packets);
+    let fb = proc.buffers(0);
+
+    // FFT: time data-symbol FFT tasks.
+    let symbol = cell.schedule.uplink_indices()[0];
+    let t0 = Instant::now();
+    let mut n = 0u64;
+    for _ in 0..reps {
+        for ant in 0..g.m {
+            kernels.fft_task(fb, &mut scratch, symbol, ant);
+            n += 1;
+        }
+    }
+    let fft_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+
+    // ZF: per group.
+    let t0 = Instant::now();
+    let mut n = 0u64;
+    for _ in 0..reps {
+        for group in 0..cell.num_zf_groups() {
+            kernels.zf_task(fb, group);
+            n += 1;
+        }
+    }
+    let zf_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+
+    // Demod: per subcarrier.
+    let t0 = Instant::now();
+    let mut n = 0u64;
+    for _ in 0..reps {
+        kernels.demod_task(fb, &mut scratch, 0, symbol, 0, g.q);
+        n += g.q as u64;
+    }
+    let demod_sc_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+
+    // Decode: per (symbol, user) block.
+    let t0 = Instant::now();
+    let mut n = 0u64;
+    for _ in 0..reps {
+        for user in 0..g.k {
+            kernels.decode_task(fb, &mut scratch, symbol, user);
+            n += 1;
+        }
+    }
+    let decode_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+
+    Calibration { fft_ns, zf_ns, demod_sc_ns, decode_ns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_produces_positive_costs() {
+        let cell = CellConfig::tiny_test(1);
+        let c = calibrate(&cell, 1);
+        assert!(c.fft_ns > 0.0 && c.zf_ns > 0.0 && c.demod_sc_ns > 0.0 && c.decode_ns > 0.0);
+        // Decode is the heavyweight block even at tiny scale.
+        assert!(c.decode_ns > c.demod_sc_ns);
+    }
+}

@@ -1,0 +1,30 @@
+//! # agora-bench — experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§6), plus
+//! Criterion micro-benches for the kernels. Each binary prints the
+//! paper's rows/series to stdout and writes CSV under `results/`.
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig6_latency` | Fig 6: latency & min cores vs frame length, UL+DL |
+//! | `fig7_ccdf` | Fig 7: uplink latency CCDF, four MIMO configs |
+//! | `fig8_scalability` | Fig 8: processing time & speedup vs cores |
+//! | `fig9_bler` | Fig 9: worst-user BLER vs number of users |
+//! | `table3_blocks` | Table 3: per-block cost breakdown |
+//! | `fig10_datamove` | Fig 10: data movement vs cores / antennas |
+//! | `fig11_sync` | Fig 11: synchronisation overhead vs antennas |
+//! | `fig12_ldpc` | Fig 12: LDPC BER & decode time |
+//! | `fig13_breakdown` | Fig 13: block latency + milestones, DP vs PP |
+//! | `table4_ablation` | Table 4: optimisation ablations |
+//! | `table5_simd` | Table 5: SIMD-tier sensitivity |
+//!
+//! The multi-core latency figures run on the calibrated discrete-event
+//! simulator (`agora_core::sim`) because this machine exposes a single
+//! core — see DESIGN.md §3 substitution 4. Kernel calibration
+//! ([`calibrate`]) measures the real Rust kernels and feeds their costs
+//! into the simulator.
+
+pub mod calibrate;
+pub mod csv;
+
+pub use calibrate::{calibrate, Calibration};

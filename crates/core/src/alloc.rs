@@ -1,0 +1,188 @@
+//! Core allocation for the pipeline-parallel variant (§5.4).
+//!
+//! In the BigStation-style design every block owns a fixed, dedicated
+//! group of cores, so someone must decide the group sizes. The paper
+//! uses "a combination of empirical data and mathematical analysis to
+//! find the allocation of cores to blocks that minimizes the frame
+//! latency", constrained by "each block must get enough cores to finish
+//! within a frame's time budget". That is exactly what [`allocate`]
+//! does: start from the per-block minimum `ceil(work / frame_time)`,
+//! then hand out the remaining cores to whichever block currently has
+//! the longest per-core completion time.
+
+use agora_queue::TaskType;
+
+/// Measured (or simulated) per-frame work for one block.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockWork {
+    /// The block's task type.
+    pub task: TaskType,
+    /// Total compute time for all of the block's tasks in one frame, in
+    /// nanoseconds (cumulated over tasks, not wall clock).
+    pub total_ns: u64,
+    /// Number of parallel tasks in the block per frame — an upper bound
+    /// on how many cores the block can use at once.
+    pub max_parallelism: usize,
+}
+
+/// Allocation failure reasons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// Even one core per block doesn't fit: need at least `needed`
+    /// workers to sustain the frame rate.
+    NotEnoughCores {
+        /// Minimum worker count that satisfies the rate constraint.
+        needed: usize,
+    },
+}
+
+impl core::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AllocError::NotEnoughCores { needed } => {
+                write!(f, "pipeline allocation needs at least {needed} cores")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Computes a static cores-per-block allocation.
+///
+/// Returns `cores[i]` aligned with `blocks[i]`. Every block gets at least
+/// `ceil(total_ns / frame_ns)` cores (the keep-up constraint); remaining
+/// cores go to the block with the largest `total_ns / cores` (the
+/// latency-minimising greedy step), capped by the block's parallelism.
+pub fn allocate_cores(
+    blocks: &[BlockWork],
+    num_workers: usize,
+    frame_ns: u64,
+) -> Result<Vec<usize>, AllocError> {
+    assert!(frame_ns > 0);
+    let mut cores: Vec<usize> = blocks
+        .iter()
+        .map(|b| ((b.total_ns + frame_ns - 1) / frame_ns).max(1) as usize)
+        .collect();
+    let needed: usize = cores.iter().sum();
+    if needed > num_workers {
+        return Err(AllocError::NotEnoughCores { needed });
+    }
+    let mut spare = num_workers - needed;
+    while spare > 0 {
+        // Give the next core to the block with the worst per-core time
+        // that can still use another core.
+        let candidate = (0..blocks.len())
+            .filter(|&i| cores[i] < blocks[i].max_parallelism)
+            .max_by(|&a, &b| {
+                let ta = blocks[a].total_ns as f64 / cores[a] as f64;
+                let tb = blocks[b].total_ns as f64 / cores[b] as f64;
+                ta.partial_cmp(&tb).unwrap()
+            });
+        match candidate {
+            Some(i) => cores[i] += 1,
+            None => break, // every block saturated its parallelism
+        }
+        spare -= 1;
+    }
+    Ok(cores)
+}
+
+/// Expands a cores-per-block allocation into per-worker task-type lists
+/// for [`crate::engine::WorkerPolicy::PipelineParallel`]. Workers beyond
+/// the allocated total (if any) poll every type as overflow helpers.
+pub fn worker_assignments(
+    blocks: &[BlockWork],
+    cores: &[usize],
+    num_workers: usize,
+) -> Vec<Vec<TaskType>> {
+    assert_eq!(blocks.len(), cores.len());
+    let mut out = Vec::with_capacity(num_workers);
+    for (b, &c) in blocks.iter().zip(cores.iter()) {
+        for _ in 0..c {
+            out.push(vec![b.task]);
+        }
+    }
+    while out.len() < num_workers {
+        out.push(blocks.iter().map(|b| b.task).collect());
+    }
+    out.truncate(num_workers);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks() -> Vec<BlockWork> {
+        vec![
+            BlockWork { task: TaskType::Fft, total_ns: 2_450_000, max_parallelism: 896 },
+            BlockWork { task: TaskType::Zf, total_ns: 1_590_000, max_parallelism: 75 },
+            BlockWork { task: TaskType::Demod, total_ns: 2_920_000, max_parallelism: 15_600 },
+            BlockWork { task: TaskType::Decode, total_ns: 9_670_000, max_parallelism: 208 },
+        ]
+    }
+
+    #[test]
+    fn paper_uplink_minimum_cores() {
+        // With the paper's Table 3 totals and a 1 ms frame, the rate
+        // constraint alone needs 3 + 2 + 3 + 10 = 18 cores.
+        let cores = allocate_cores(&blocks(), 26, 1_000_000).unwrap();
+        assert_eq!(cores.len(), 4);
+        assert!(cores[0] >= 3 && cores[1] >= 2 && cores[2] >= 3 && cores[3] >= 10);
+        assert_eq!(cores.iter().sum::<usize>(), 26);
+        // Decode, the heaviest block, receives the most cores.
+        assert!(cores[3] >= *cores.iter().max().unwrap() - 1);
+    }
+
+    #[test]
+    fn fails_when_rate_unsustainable() {
+        let err = allocate_cores(&blocks(), 10, 1_000_000).unwrap_err();
+        match err {
+            AllocError::NotEnoughCores { needed } => assert!(needed > 10),
+        }
+    }
+
+    #[test]
+    fn spare_cores_go_to_slowest_block() {
+        let b = vec![
+            BlockWork { task: TaskType::Fft, total_ns: 100, max_parallelism: 100 },
+            BlockWork { task: TaskType::Decode, total_ns: 10_000, max_parallelism: 100 },
+        ];
+        let cores = allocate_cores(&b, 10, 1_000_000).unwrap();
+        assert_eq!(cores.iter().sum::<usize>(), 10);
+        assert!(cores[1] > cores[0], "decode must dominate: {cores:?}");
+    }
+
+    #[test]
+    fn parallelism_caps_respected() {
+        let b = vec![
+            BlockWork { task: TaskType::Zf, total_ns: 10_000, max_parallelism: 2 },
+            BlockWork { task: TaskType::Decode, total_ns: 10_000, max_parallelism: 3 },
+        ];
+        let cores = allocate_cores(&b, 16, 1_000_000).unwrap();
+        assert!(cores[0] <= 2 && cores[1] <= 3, "{cores:?}");
+    }
+
+    #[test]
+    fn assignments_cover_all_workers() {
+        let b = blocks();
+        let cores = allocate_cores(&b, 26, 1_000_000).unwrap();
+        let assign = worker_assignments(&b, &cores, 26);
+        assert_eq!(assign.len(), 26);
+        // First worker does FFT only; some worker does Decode only.
+        assert_eq!(assign[0], vec![TaskType::Fft]);
+        assert!(assign.iter().any(|a| a == &vec![TaskType::Decode]));
+    }
+
+    #[test]
+    fn overflow_workers_poll_everything() {
+        let b = vec![BlockWork { task: TaskType::Fft, total_ns: 100, max_parallelism: 1 }];
+        let cores = allocate_cores(&b, 3, 1_000).unwrap();
+        let assign = worker_assignments(&b, &cores, 3);
+        assert_eq!(assign.len(), 3);
+        assert_eq!(assign[0], vec![TaskType::Fft]);
+        // Helpers poll the full list (here just Fft again).
+        assert_eq!(assign[2], vec![TaskType::Fft]);
+    }
+}

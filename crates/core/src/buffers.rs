@@ -1,0 +1,393 @@
+//! Global shared-memory buffers.
+//!
+//! "Worker threads exchange intermediate results using a set of shared
+//! memory buffers. Workers access these buffers without locking" (§3.2).
+//! Safety comes from the scheduler, not from locks: the manager only
+//! dispatches a task once its inputs are fully written, and tasks within
+//! a block write disjoint regions. [`SharedVec`] encodes that contract:
+//! an unsafe, lock-free grid whose mutable views the caller promises are
+//! disjoint.
+
+use agora_math::Cf32;
+use core::cell::UnsafeCell;
+
+/// A heap buffer shared across threads without locking.
+///
+/// # Safety contract
+/// `slice_mut` hands out `&mut` views without synchronisation. Callers
+/// (the engine's task bodies) must guarantee that concurrently-outstanding
+/// mutable views are disjoint, and that no read of a region races a write
+/// — exactly the guarantee Agora's dependency-respecting scheduler
+/// provides. All bookkeeping that *establishes* those guarantees lives in
+/// the manager thread; queue send/receive edges provide the necessary
+/// happens-before ordering (release on task enqueue, acquire on dequeue).
+pub struct SharedVec<T> {
+    data: UnsafeCell<Box<[T]>>,
+}
+
+unsafe impl<T: Send> Send for SharedVec<T> {}
+unsafe impl<T: Send> Sync for SharedVec<T> {}
+
+impl<T: Clone> SharedVec<T> {
+    /// Allocates `len` elements initialised to `init`.
+    pub fn new(len: usize, init: T) -> Self {
+        Self { data: UnsafeCell::new(vec![init; len].into_boxed_slice()) }
+    }
+}
+
+impl<T> SharedVec<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        unsafe { (&raw const *self.data.get()).as_ref().unwrap().len() }
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Immutable view of a range.
+    ///
+    /// # Safety
+    /// No concurrent mutable view may overlap `range` (scheduler-enforced).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice(&self, range: core::ops::Range<usize>) -> &[T] {
+        let b: &Box<[T]> = &*self.data.get();
+        &b[range]
+    }
+
+    /// Mutable view of a range.
+    ///
+    /// # Safety
+    /// No concurrent view (mutable or immutable) may overlap `range`.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, range: core::ops::Range<usize>) -> &mut [T] {
+        let b: &mut Box<[T]> = &mut *self.data.get();
+        &mut b[range]
+    }
+
+    /// Writes a single element through a raw pointer. Unlike
+    /// [`Self::slice_mut`] this never materialises a wide `&mut`, so
+    /// concurrent writers to *different* indices within the same logical
+    /// region are sound.
+    ///
+    /// # Safety
+    /// No concurrent access (read or write) to index `idx`.
+    pub unsafe fn write(&self, idx: usize, value: T) {
+        let b: &mut Box<[T]> = &mut *self.data.get();
+        let p = b.as_mut_ptr().add(idx);
+        core::ptr::write(p, value);
+    }
+
+    /// Reads a single element through a raw pointer.
+    ///
+    /// # Safety
+    /// No concurrent write to index `idx`.
+    pub unsafe fn read(&self, idx: usize) -> T
+    where
+        T: Copy,
+    {
+        let b: &Box<[T]> = &*self.data.get();
+        let p = b.as_ptr().add(idx);
+        core::ptr::read(p)
+    }
+}
+
+/// All shared buffers for one in-flight frame.
+///
+/// Layouts (all row-major, sizes derived from the cell config):
+/// * `rx_payload[symbol][antenna]` — raw 3-byte IQ payloads as received.
+/// * `freq[symbol]` — post-FFT active subcarriers of data symbols. With
+///   the cache-friendly layout: `[block][antenna][8 sc]`; with the
+///   ablation layout: `[antenna][sc]`.
+/// * `csi[sc][antenna][user]` — estimated channel (pilot symbols).
+/// * `det[group][user][antenna]`, `pre[group][antenna][user]` — ZF
+///   outputs.
+/// * `llr[symbol][user][bit]` — demodulated soft bits.
+/// * `decoded[symbol][user][bit]` + `decode_ok[symbol][user]`.
+/// * downlink mirrors: `dl_bits`, `dl_freq`, `dl_time`.
+pub struct FrameBuffers {
+    /// Raw received payload bytes per (symbol, antenna).
+    pub rx_payload: SharedVec<u8>,
+    /// Frequency-domain samples per data/pilot symbol.
+    pub freq: SharedVec<Cf32>,
+    /// Channel estimates.
+    pub csi: SharedVec<Cf32>,
+    /// Uplink detectors.
+    pub det: SharedVec<Cf32>,
+    /// Downlink precoders.
+    pub pre: SharedVec<Cf32>,
+    /// Soft demodulator output.
+    pub llr: SharedVec<f32>,
+    /// Decoded information bits.
+    pub decoded: SharedVec<u8>,
+    /// Per-(symbol, user) decode success flags (1 = CRC/syndrome pass).
+    pub decode_ok: SharedVec<u8>,
+    /// Downlink coded bits per (symbol, user).
+    pub dl_bits: SharedVec<u8>,
+    /// Downlink frequency-domain antenna samples per symbol.
+    pub dl_freq: SharedVec<Cf32>,
+    /// Downlink time-domain samples per (symbol, antenna).
+    pub dl_time: SharedVec<Cf32>,
+    // --- derived strides ---
+    payload_per_ant: usize,
+    freq_per_symbol: usize,
+    mk: usize,
+    llr_per_user: usize,
+    info_bits: usize,
+    dl_bits_per_user: usize,
+}
+
+/// Index helpers for the frame buffers; all geometry in one place.
+#[derive(Debug, Clone, Copy)]
+pub struct BufferGeometry {
+    /// Antennas.
+    pub m: usize,
+    /// Users.
+    pub k: usize,
+    /// Active subcarriers.
+    pub q: usize,
+    /// Symbols per frame.
+    pub symbols: usize,
+    /// Time-domain samples per symbol.
+    pub samples: usize,
+    /// Demod kernel block (8 subcarriers).
+    pub block: usize,
+    /// ZF group size.
+    pub zf_group: usize,
+    /// Coded-bit capacity per (symbol, user).
+    pub cap_bits: usize,
+    /// Information bits per code block.
+    pub info_bits: usize,
+}
+
+impl FrameBuffers {
+    /// Allocates zeroed buffers for one frame slot.
+    pub fn new(g: &BufferGeometry) -> Self {
+        let payload_per_ant = g.samples * 3;
+        let freq_per_symbol = g.q * g.m;
+        let groups = g.q.div_ceil(g.zf_group);
+        Self {
+            rx_payload: SharedVec::new(g.symbols * g.m * payload_per_ant, 0u8),
+            freq: SharedVec::new(g.symbols * freq_per_symbol, Cf32::ZERO),
+            csi: SharedVec::new(g.q * g.m * g.k, Cf32::ZERO),
+            det: SharedVec::new(groups * g.k * g.m, Cf32::ZERO),
+            pre: SharedVec::new(groups * g.m * g.k, Cf32::ZERO),
+            llr: SharedVec::new(g.symbols * g.k * g.cap_bits, 0.0f32),
+            decoded: SharedVec::new(g.symbols * g.k * g.info_bits, 0u8),
+            decode_ok: SharedVec::new(g.symbols * g.k, 0u8),
+            dl_bits: SharedVec::new(g.symbols * g.k * g.cap_bits, 0u8),
+            dl_freq: SharedVec::new(g.symbols * freq_per_symbol, Cf32::ZERO),
+            dl_time: SharedVec::new(g.symbols * g.m * g.samples, Cf32::ZERO),
+            payload_per_ant,
+            freq_per_symbol,
+            mk: g.m * g.k,
+            llr_per_user: g.cap_bits,
+            info_bits: g.info_bits,
+            dl_bits_per_user: g.cap_bits,
+        }
+    }
+
+    /// Byte range of one (symbol, antenna) payload.
+    pub fn payload_range(&self, g: &BufferGeometry, symbol: usize, ant: usize) -> core::ops::Range<usize> {
+        let base = (symbol * g.m + ant) * self.payload_per_ant;
+        base..base + self.payload_per_ant
+    }
+
+    /// Range of one symbol's frequency-domain data (all antennas).
+    pub fn freq_symbol_range(&self, symbol: usize) -> core::ops::Range<usize> {
+        let base = symbol * self.freq_per_symbol;
+        base..base + self.freq_per_symbol
+    }
+
+    /// Offset of `(block, antenna)` within a symbol's frequency data
+    /// (cache-friendly layout): `block * M * B + ant * B`.
+    pub fn freq_block_offset(&self, g: &BufferGeometry, block: usize, ant: usize) -> usize {
+        block * g.m * g.block + ant * g.block
+    }
+
+    /// Offset of `(antenna, sc)` within a symbol's frequency data
+    /// (ablation layout): `ant * Q + sc`.
+    pub fn freq_strided_offset(&self, g: &BufferGeometry, ant: usize, sc: usize) -> usize {
+        ant * g.q + sc
+    }
+
+    /// Range of one subcarrier's CSI (`M x K` row-major).
+    pub fn csi_range(&self, sc: usize) -> core::ops::Range<usize> {
+        let base = sc * self.mk;
+        base..base + self.mk
+    }
+
+    /// Range of one ZF group's detector.
+    pub fn det_range(&self, group: usize) -> core::ops::Range<usize> {
+        let base = group * self.mk;
+        base..base + self.mk
+    }
+
+    /// Range of one ZF group's precoder.
+    pub fn pre_range(&self, group: usize) -> core::ops::Range<usize> {
+        let base = group * self.mk;
+        base..base + self.mk
+    }
+
+    /// Range of one (symbol, user) LLR block.
+    pub fn llr_range(&self, g: &BufferGeometry, symbol: usize, user: usize) -> core::ops::Range<usize> {
+        let base = (symbol * g.k + user) * self.llr_per_user;
+        base..base + self.llr_per_user
+    }
+
+    /// Range of one (symbol, user) decoded block.
+    pub fn decoded_range(&self, g: &BufferGeometry, symbol: usize, user: usize) -> core::ops::Range<usize> {
+        let base = (symbol * g.k + user) * self.info_bits;
+        base..base + self.info_bits
+    }
+
+    /// Range of one (symbol, user) downlink coded-bit block.
+    pub fn dl_bits_range(&self, g: &BufferGeometry, symbol: usize, user: usize) -> core::ops::Range<usize> {
+        let base = (symbol * g.k + user) * self.dl_bits_per_user;
+        base..base + self.dl_bits_per_user
+    }
+
+    /// Range of one (symbol, antenna) downlink time-domain block.
+    pub fn dl_time_range(&self, g: &BufferGeometry, symbol: usize, ant: usize) -> core::ops::Range<usize> {
+        let base = (symbol * g.m + ant) * g.samples;
+        base..base + g.samples
+    }
+}
+
+/// The window of in-flight frame buffers, indexed by `frame % window`.
+pub struct FrameWindow {
+    slots: Vec<FrameBuffers>,
+    geometry: BufferGeometry,
+}
+
+impl FrameWindow {
+    /// Allocates `window` frame slots.
+    pub fn new(geometry: BufferGeometry, window: usize) -> Self {
+        assert!(window >= 2);
+        Self { slots: (0..window).map(|_| FrameBuffers::new(&geometry)).collect(), geometry }
+    }
+
+    /// The buffer geometry.
+    pub fn geometry(&self) -> &BufferGeometry {
+        &self.geometry
+    }
+
+    /// Number of slots.
+    pub fn window(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The slot a frame id maps to. The engine must retire frame
+    /// `f - window` before frame `f` arrives (enforced by the manager's
+    /// flow control).
+    pub fn slot(&self, frame: u32) -> &FrameBuffers {
+        &self.slots[frame as usize % self.slots.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> BufferGeometry {
+        BufferGeometry {
+            m: 4,
+            k: 2,
+            q: 32,
+            symbols: 3,
+            samples: 64,
+            block: 8,
+            zf_group: 16,
+            cap_bits: 64,
+            info_bits: 20,
+        }
+    }
+
+    #[test]
+    fn shared_vec_basic_access() {
+        let v = SharedVec::new(10, 7u32);
+        assert_eq!(v.len(), 10);
+        unsafe {
+            let s = v.slice_mut(2..5);
+            s[0] = 42;
+            assert_eq!(v.slice(0..10)[2], 42);
+            assert_eq!(v.slice(0..10)[0], 7);
+        }
+    }
+
+    #[test]
+    fn shared_vec_disjoint_writes_from_threads() {
+        let v = std::sync::Arc::new(SharedVec::new(1000, 0u64));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let v = v.clone();
+                s.spawn(move || {
+                    let r = unsafe { v.slice_mut(t * 250..(t + 1) * 250) };
+                    for (i, x) in r.iter_mut().enumerate() {
+                        *x = (t * 250 + i) as u64;
+                    }
+                });
+            }
+        });
+        let all = unsafe { v.slice(0..1000) };
+        for (i, &x) in all.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+
+    #[test]
+    fn ranges_are_disjoint_across_coordinates() {
+        let g = geom();
+        let fb = FrameBuffers::new(&g);
+        // Payload ranges for different (symbol, antenna) never overlap.
+        let mut seen: Vec<core::ops::Range<usize>> = Vec::new();
+        for sym in 0..g.symbols {
+            for ant in 0..g.m {
+                let r = fb.payload_range(&g, sym, ant);
+                for s in &seen {
+                    assert!(r.end <= s.start || s.end <= r.start, "overlap {r:?} vs {s:?}");
+                }
+                seen.push(r);
+            }
+        }
+        assert_eq!(seen.last().unwrap().end, fb.rx_payload.len());
+    }
+
+    #[test]
+    fn llr_ranges_tile_buffer() {
+        let g = geom();
+        let fb = FrameBuffers::new(&g);
+        let mut total = 0;
+        for sym in 0..g.symbols {
+            for u in 0..g.k {
+                total += fb.llr_range(&g, sym, u).len();
+            }
+        }
+        assert_eq!(total, fb.llr.len());
+    }
+
+    #[test]
+    fn block_and_strided_offsets_stay_in_symbol() {
+        let g = geom();
+        let fb = FrameBuffers::new(&g);
+        let per_symbol = fb.freq_symbol_range(0).len();
+        assert_eq!(per_symbol, g.q * g.m);
+        // Last block, last antenna stays in range.
+        let blocks = g.q / g.block;
+        let off = fb.freq_block_offset(&g, blocks - 1, g.m - 1);
+        assert!(off + g.block <= per_symbol);
+        let off = fb.freq_strided_offset(&g, g.m - 1, g.q - 1);
+        assert!(off < per_symbol);
+    }
+
+    #[test]
+    fn window_wraps_slots() {
+        let w = FrameWindow::new(geom(), 3);
+        assert_eq!(w.window(), 3);
+        let a = w.slot(0) as *const _;
+        let b = w.slot(3) as *const _;
+        assert_eq!(a, b, "frame 3 reuses frame 0's slot");
+        assert_ne!(w.slot(1) as *const _, a);
+    }
+}

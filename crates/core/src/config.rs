@@ -1,0 +1,246 @@
+//! Engine configuration: worker counts, batching, and the ablation
+//! switches behind Table 4.
+
+use agora_math::PinvMethod;
+use agora_phy::CellConfig;
+
+/// Which linear detector family the ZF block computes (the paper uses
+/// zero-forcing; §4.2 cites conjugate beamforming as the low-overhead
+/// fallback for ill-conditioned channels, and MMSE is the standard
+/// regularised middle ground).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DetectorKind {
+    /// Zero-forcing (the paper's choice).
+    #[default]
+    ZeroForcing,
+    /// Linear MMSE, regularised with the engine's configured noise power.
+    Mmse,
+    /// Conjugate (matched-filter) beamforming — no matrix inversion.
+    Conjugate,
+}
+
+/// Optimisation toggles. Each field corresponds to a row of Table 4;
+/// disabling one reproduces that ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct Ablation {
+    /// §3.4 "Batching": multiple tasks per queue message. Disabled, every
+    /// message carries exactly one task.
+    pub batching: bool,
+    /// §4.1 "Improving memory access efficiency": lay FFT output out in
+    /// antenna-blocks of 8 consecutive subcarriers so demodulation
+    /// consumes whole cache lines. Disabled, the layout is subcarrier-
+    /// strided and demodulation works one subcarrier at a time.
+    pub cache_layout: bool,
+    /// §4.1 "Non-temporal stores": use streaming stores when writing
+    /// block outputs consumed by other cores.
+    pub streaming_stores: bool,
+    /// §4.2 "Pseudo-inverse": direct Gram inversion vs full SVD.
+    pub pinv_method: PinvMethod,
+    /// §4.2 "Matrix multiplication": shape-specialised GEMM kernels
+    /// (the MKL-JIT analogue) vs the generic loop kernel.
+    pub jit_gemm: bool,
+    /// Detector family computed by the ZF block.
+    pub detector: DetectorKind,
+    /// §4.3 "Real-time process": when *disabled*, the simulator injects
+    /// OS-scheduler preemption jitter into task times (tail blow-up).
+    pub realtime_process: bool,
+}
+
+impl Default for Ablation {
+    fn default() -> Self {
+        Self {
+            batching: true,
+            cache_layout: true,
+            streaming_stores: true,
+            pinv_method: PinvMethod::Direct,
+            jit_gemm: true,
+            detector: DetectorKind::ZeroForcing,
+            realtime_process: true,
+        }
+    }
+}
+
+/// Per-block batch sizes (tasks per queue message), Table 3's "Batching
+/// size" row.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSizes {
+    /// FFT tasks (antennas) per message. Paper: 2.
+    pub fft: usize,
+    /// ZF groups per message. Paper: 3.
+    pub zf: usize,
+    /// Demodulation subcarriers per message. Paper: 64.
+    pub demod: usize,
+    /// Decode tasks (users) per message. Paper: 1.
+    pub decode: usize,
+    /// Encode tasks per message (downlink).
+    pub encode: usize,
+    /// Precoding subcarriers per message (downlink).
+    pub precode: usize,
+    /// IFFT tasks per message (downlink).
+    pub ifft: usize,
+}
+
+impl Default for BatchSizes {
+    fn default() -> Self {
+        Self { fft: 2, zf: 3, demod: 64, decode: 1, encode: 1, precode: 64, ifft: 2 }
+    }
+}
+
+impl BatchSizes {
+    /// All batch sizes forced to one (the Table 4 "batching disabled"
+    /// configuration).
+    pub fn ones() -> Self {
+        Self { fft: 1, zf: 1, demod: 1, decode: 1, encode: 1, precode: 1, ifft: 1 }
+    }
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The cell this engine serves.
+    pub cell: CellConfig,
+    /// Number of worker threads (excluding manager and network threads).
+    pub num_workers: usize,
+    /// Frames that may be in flight simultaneously (buffer window). The
+    /// paper provisions "sufficient shared memory buffer space for tens
+    /// of frames to handle performance jitter".
+    pub frame_window: usize,
+    /// Per-block batch sizes.
+    pub batch: BatchSizes,
+    /// Optimisation toggles.
+    pub ablation: Ablation,
+    /// Subcarriers per demodulation kernel call (cache-line unit). The
+    /// paper uses 8 (64 bytes / 8-byte sample).
+    pub demod_block: usize,
+    /// Channel noise power assumed by the soft demodulator (per active
+    /// subcarrier, post-channel). Receivers estimate this from pilots;
+    /// experiments set it from the generator's ground truth.
+    pub noise_power: f32,
+    /// §3.4.2: precode the first downlink symbols of frame `f` with frame
+    /// `f-1`'s precoder so the RRU's air time never idles waiting for the
+    /// new frame's ZF (slightly stale CSI, negligible at low mobility).
+    pub stale_precoder: bool,
+    /// Decision-directed common-phase-error correction between
+    /// equalization and demodulation (residual sync drift tracking).
+    pub cpe_correction: bool,
+}
+
+impl EngineConfig {
+    /// A sensible default for a cell: paper batch sizes, 4-frame window.
+    pub fn new(cell: CellConfig, num_workers: usize) -> Self {
+        let mut cfg = Self {
+            cell,
+            num_workers,
+            frame_window: 4,
+            batch: BatchSizes::default(),
+            ablation: Ablation::default(),
+            demod_block: 8,
+            noise_power: 0.05,
+            stale_precoder: false,
+            cpe_correction: false,
+        };
+        cfg.clamp_batches();
+        cfg
+    }
+
+    /// Applies the ablation's batching switch and clamps batch sizes to
+    /// the actual task counts.
+    pub fn clamp_batches(&mut self) {
+        if !self.ablation.batching {
+            self.batch = BatchSizes::ones();
+        }
+        let groups = self.cell.num_zf_groups().max(1);
+        self.batch.zf = self.batch.zf.clamp(1, groups);
+        self.batch.fft = self.batch.fft.clamp(1, self.cell.num_antennas);
+        self.batch.demod = self.batch.demod.clamp(1, self.cell.num_data_sc);
+        self.batch.decode = self.batch.decode.clamp(1, self.cell.num_users);
+        // Demod batches must stay multiples of the kernel block so a
+        // message never straddles a partially-owned cache line.
+        if self.batch.demod > self.demod_block {
+            self.batch.demod -= self.batch.demod % self.demod_block;
+        }
+    }
+
+    /// Sanity checks (in addition to `CellConfig::validate`).
+    pub fn validate(&self) -> Result<(), String> {
+        self.cell.validate()?;
+        if self.num_workers == 0 {
+            return Err("need at least one worker".into());
+        }
+        if self.frame_window < 2 {
+            return Err("frame window must be at least 2".into());
+        }
+        if !self.demod_block.is_power_of_two() {
+            return Err("demod block must be a power of two".into());
+        }
+        if self.cell.num_data_sc % self.demod_block != 0 {
+            return Err(format!(
+                "demod block {} must divide data subcarriers {}",
+                self.demod_block, self.cell.num_data_sc
+            ));
+        }
+        if self.cell.zf_group % self.demod_block != 0 {
+            return Err("ZF group must be a multiple of the demod block".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agora_phy::CellConfig;
+
+    #[test]
+    fn default_batches_match_paper() {
+        let b = BatchSizes::default();
+        assert_eq!((b.fft, b.zf, b.demod, b.decode), (2, 3, 64, 1));
+    }
+
+    #[test]
+    fn paper_config_validates() {
+        let cfg = EngineConfig::new(CellConfig::emulated_rru(64, 16, 13), 26);
+        cfg.validate().expect("paper engine config must validate");
+    }
+
+    #[test]
+    fn tiny_config_validates() {
+        let cfg = EngineConfig::new(CellConfig::tiny_test(2), 3);
+        cfg.validate().expect("tiny engine config must validate");
+    }
+
+    #[test]
+    fn batching_ablation_forces_unit_batches() {
+        let mut cfg = EngineConfig::new(CellConfig::tiny_test(2), 2);
+        cfg.ablation.batching = false;
+        cfg.clamp_batches();
+        assert_eq!(cfg.batch.fft, 1);
+        assert_eq!(cfg.batch.demod, 1);
+    }
+
+    #[test]
+    fn batches_clamped_to_task_counts() {
+        // Tiny cell: 8 antennas, 240 subcarriers, 15 ZF groups.
+        let mut cfg = EngineConfig::new(CellConfig::tiny_test(2), 2);
+        cfg.batch.fft = 100;
+        cfg.batch.zf = 100;
+        cfg.clamp_batches();
+        assert_eq!(cfg.batch.fft, 8);
+        assert_eq!(cfg.batch.zf, 15);
+    }
+
+    #[test]
+    fn invalid_worker_count_rejected() {
+        let mut cfg = EngineConfig::new(CellConfig::tiny_test(2), 1);
+        cfg.num_workers = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn demod_batch_stays_block_aligned() {
+        let mut cfg = EngineConfig::new(CellConfig::tiny_test(2), 2);
+        cfg.batch.demod = 63;
+        cfg.clamp_batches();
+        assert_eq!(cfg.batch.demod % cfg.demod_block, 0);
+    }
+}

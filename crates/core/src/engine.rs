@@ -1,0 +1,666 @@
+//! The Agora engine: manager-worker baseband processing (Figure 3).
+//!
+//! One manager thread tracks dependencies and dispatches 64-byte task
+//! messages into per-type lock-free queues; worker threads busy-poll the
+//! queues in a static priority order, execute kernels against the shared
+//! frame buffers, and post completions. A network thread ingests
+//! fronthaul packets into the buffers. The data-parallel policy lets any
+//! worker take any task type; the pipeline-parallel variant (§5.4)
+//! restricts each worker to one block, reproducing BigStation's design on
+//! the same machine.
+
+use crate::buffers::FrameWindow;
+use crate::config::EngineConfig;
+use crate::kernels::{Kernels, WorkerScratch};
+use crate::state::{FrameState, Milestones, Ready};
+use crate::stats::EngineStats;
+use agora_fronthaul::packet::decode as decode_packet;
+use agora_queue::{Msg, MpmcQueue, TaskType};
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Task-queue priority order for data-parallel workers: unblock the
+/// widest dependency fans first (ZF gates every data symbol), keep the
+/// per-symbol chain moving (demod), then drain the heavy sink (decode),
+/// and fill remaining cycles with FFTs of future symbols — the
+/// intra-frame pipeline parallelism of §3.4.1.
+pub const PRIORITY: [TaskType; 7] = [
+    TaskType::Zf,
+    TaskType::Demod,
+    TaskType::Decode,
+    TaskType::Fft,
+    TaskType::Precode,
+    TaskType::Ifft,
+    TaskType::Encode,
+];
+
+/// How workers pick tasks.
+#[derive(Debug, Clone)]
+pub enum WorkerPolicy {
+    /// Any worker executes any task type (Agora's design).
+    DataParallel,
+    /// Worker `i` only polls `assignment[i]` (BigStation-style static
+    /// core groups); see [`crate::alloc`] for computing assignments.
+    PipelineParallel(Vec<Vec<TaskType>>),
+}
+
+/// Everything produced for one completed frame.
+#[derive(Debug, Clone)]
+pub struct FrameResult {
+    /// Frame id.
+    pub frame: u32,
+    /// Timing milestones (ns since `Engine::process` start).
+    pub milestones: Milestones,
+    /// Decoded information bits per `[symbol][user]` (uplink symbols
+    /// only; other symbols have empty vecs).
+    pub decoded: Vec<Vec<Vec<u8>>>,
+    /// Per `[symbol][user]` decode success flags.
+    pub decode_ok: Vec<Vec<bool>>,
+    /// True if the frame was abandoned because packets never arrived
+    /// (fronthaul loss) — decoded bits are whatever completed before the
+    /// timeout.
+    pub dropped: bool,
+}
+
+impl FrameResult {
+    /// Frame processing latency: first packet to uplink completion.
+    pub fn uplink_latency_ns(&self) -> u64 {
+        self.milestones.decode_done_ns.saturating_sub(self.milestones.first_packet_ns)
+    }
+
+    /// Frame processing latency for downlink frames.
+    pub fn downlink_latency_ns(&self) -> u64 {
+        self.milestones.ifft_done_ns.saturating_sub(self.milestones.first_packet_ns)
+    }
+}
+
+struct TaskQueues {
+    tasks: Vec<MpmcQueue<Msg>>,
+    complete: MpmcQueue<Msg>,
+    rx: MpmcQueue<Msg>,
+}
+
+impl TaskQueues {
+    fn new(capacity: usize) -> Self {
+        Self {
+            tasks: (0..7).map(|_| MpmcQueue::new(capacity)).collect(),
+            complete: MpmcQueue::new(capacity),
+            rx: MpmcQueue::new(capacity),
+        }
+    }
+
+    fn queue(&self, t: TaskType) -> &MpmcQueue<Msg> {
+        &self.tasks[crate::stats::type_index(t)]
+    }
+}
+
+/// The running engine: spawned workers plus shared state.
+pub struct Engine {
+    kernels: Arc<Kernels>,
+    window: Arc<FrameWindow>,
+    queues: Arc<TaskQueues>,
+    stats: Arc<EngineStats>,
+    shutdown: Arc<AtomicBool>,
+    min_frame: Arc<AtomicU64>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Builds a data-parallel engine and spawns its workers.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Self::with_policy(cfg, WorkerPolicy::DataParallel)
+    }
+
+    /// Builds an engine with an explicit worker policy.
+    pub fn with_policy(mut cfg: EngineConfig, policy: WorkerPolicy) -> Self {
+        cfg.clamp_batches();
+        let num_workers = cfg.num_workers;
+        let frame_window = cfg.frame_window;
+        let kernels = Arc::new(Kernels::new(cfg));
+        let window = Arc::new(FrameWindow::new(kernels.geom, frame_window));
+        // Queue capacity: enough for every task message of all in-flight
+        // frames (demod dominates: q/8 messages per symbol).
+        let g = &kernels.geom;
+        let cap = (g.symbols * (g.m + g.q + g.k + 8) * frame_window).next_power_of_two();
+        let queues = Arc::new(TaskQueues::new(cap));
+        let stats = Arc::new(EngineStats::new(num_workers));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let min_frame = Arc::new(AtomicU64::new(0));
+
+        let workers = (0..num_workers)
+            .map(|wid| {
+                let kernels = kernels.clone();
+                let window = window.clone();
+                let queues = queues.clone();
+                let stats = stats.clone();
+                let shutdown = shutdown.clone();
+                let my_types: Vec<TaskType> = match &policy {
+                    WorkerPolicy::DataParallel => PRIORITY.to_vec(),
+                    WorkerPolicy::PipelineParallel(assign) => assign[wid].clone(),
+                };
+                std::thread::Builder::new()
+                    .name(format!("agora-worker-{wid}"))
+                    .spawn(move || {
+                        worker_loop(wid, &kernels, &window, &queues, &stats, &shutdown, &my_types)
+                    })
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+
+        Self { kernels, window, queues, stats, shutdown, min_frame, workers }
+    }
+
+    /// Statistics sink (live; read after `process` for Table 3 numbers).
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The engine's kernel set (geometry, plans).
+    pub fn kernels(&self) -> &Kernels {
+        &self.kernels
+    }
+
+    /// Processes `num_frames` frames worth of packets. A network thread
+    /// ingests `packets` (optionally paced to the cell's symbol
+    /// duration); the calling thread becomes the manager. Returns one
+    /// [`FrameResult`] per frame, in completion order.
+    pub fn process(&self, packets: Vec<Bytes>, num_frames: u32, paced: bool) -> Vec<FrameResult> {
+        let start = Instant::now();
+        let net_done = Arc::new(AtomicBool::new(false));
+        let symbol_ns = self.kernels.cfg.cell.symbol_duration_ns;
+
+        std::thread::scope(|scope| {
+            // --- network thread ---
+            {
+                let queues = self.queues.clone();
+                let window = self.window.clone();
+                let min_frame = self.min_frame.clone();
+                let net_done = net_done.clone();
+                let kernels = self.kernels.clone();
+                scope.spawn(move || {
+                    let g = &kernels.geom;
+                    let win = window.window() as u64;
+                    let mut pace = paced.then(|| {
+                        agora_fronthaul::Pacer::new(std::time::Duration::from_nanos(symbol_ns))
+                    });
+                    let mut last_symbol = u64::MAX;
+                    for pkt in packets {
+                        let Ok((hdr, payload)) = decode_packet(&pkt) else { continue };
+                        // Pace at symbol boundaries.
+                        if let Some(p) = pace.as_mut() {
+                            let sym_abs =
+                                hdr.frame as u64 * g.symbols as u64 + hdr.symbol as u64;
+                            if sym_abs != last_symbol {
+                                p.wait_next();
+                                last_symbol = sym_abs;
+                            }
+                        }
+                        // Flow control: wait until the frame's slot is free.
+                        while hdr.frame as u64 >= min_frame.load(Ordering::Acquire) + win {
+                            std::thread::yield_now();
+                        }
+                        let fb = window.slot(hdr.frame);
+                        let range =
+                            fb.payload_range(g, hdr.symbol as usize, hdr.antenna as usize);
+                        unsafe { fb.rx_payload.slice_mut(range) }.copy_from_slice(&payload);
+                        let msg = Msg::task(
+                            TaskType::PacketRx,
+                            hdr.frame,
+                            hdr.symbol as u32,
+                            hdr.antenna as u32,
+                            1,
+                        );
+                        let mut m = msg;
+                        while let Err(back) = queues.rx.push(m) {
+                            m = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                    net_done.store(true, Ordering::Release);
+                });
+            }
+
+            // --- manager loop (this thread) ---
+            self.manager_loop(start, num_frames, &net_done)
+        })
+    }
+
+    fn manager_loop(
+        &self,
+        start: Instant,
+        num_frames: u32,
+        net_done: &AtomicBool,
+    ) -> Vec<FrameResult> {
+        // Frame abandonment: if the network thread has delivered
+        // everything it will ever deliver and a frame is still waiting on
+        // packets with no tasks in flight, the fronthaul lost packets —
+        // emit the partial result instead of spinning forever.
+        let mut last_progress = Instant::now();
+        let kernels = &self.kernels;
+        let g = &kernels.geom;
+        let cell = &kernels.cfg.cell;
+        let batch = kernels.cfg.batch;
+        let mut states: HashMap<u32, FrameState> = HashMap::new();
+        let mut results: Vec<FrameResult> = Vec::with_capacity(num_frames as usize);
+        let mut completed: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        // Frames whose ZF (and thus precoder buffers) are complete — the
+        // stale-precoder early start reads the previous frame's entry.
+        let mut zf_complete: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let stale_dl_symbols: Vec<usize> = if kernels.cfg.stale_precoder {
+            cell.schedule.downlink_indices().into_iter().take(2).collect()
+        } else {
+            Vec::new()
+        };
+        // Pending FFT batch accumulator per (frame, symbol): consecutive
+        // antenna run awaiting flush (base, count).
+        let mut fft_runs: HashMap<(u32, usize), (u32, u32)> = HashMap::new();
+
+        let now_ns = |start: Instant| start.elapsed().as_nanos() as u64;
+
+        while results.len() < num_frames as usize {
+            let mut idle = true;
+
+            // 1. Ingest packet notifications.
+            while let Some(msg) = self.queues.rx.pop() {
+                idle = false;
+                last_progress = Instant::now();
+                let frame = msg.frame;
+                let symbol = msg.symbol as usize;
+                let ant = msg.base as usize;
+                let st = states.entry(frame).or_insert_with(|| {
+                    let mut st = FrameState::new(
+                        frame,
+                        cell.schedule.clone(),
+                        g.m,
+                        g.k,
+                        g.q,
+                        cell.num_zf_groups(),
+                    );
+                    st.milestones.first_packet_ns = now_ns(start);
+                    st.milestones.processing_start_ns = now_ns(start);
+                    for r in st.initial_work() {
+                        self.dispatch(frame, r, &batch);
+                    }
+                    st
+                });
+                let ready = st.on_packet(symbol, ant);
+                let rx_complete = st.packets_received(symbol) == g.m;
+                for r in ready {
+                    if let Ready::Fft { symbol, antenna } = r {
+                        // Batch consecutive antennas into one message
+                        // (§3.4 "Batching", N tasks per message).
+                        let key = (frame, symbol);
+                        let entry = fft_runs.entry(key).or_insert((antenna as u32, 0));
+                        if entry.0 + entry.1 == antenna as u32 {
+                            entry.1 += 1;
+                        } else {
+                            let (b, c) = *entry;
+                            self.push_task(Msg::task(TaskType::Fft, frame, symbol as u32, b, c));
+                            *entry = (antenna as u32, 1);
+                        }
+                        if entry.1 as usize >= batch.fft {
+                            let (b, c) = fft_runs.remove(&key).unwrap();
+                            self.push_task(Msg::task(TaskType::Fft, frame, symbol as u32, b, c));
+                        }
+                    }
+                }
+                // Flush any partial FFT run once the symbol's packets are
+                // all in — nothing more will extend it.
+                if rx_complete {
+                    if let Some((b, c)) = fft_runs.remove(&(frame, symbol)) {
+                        self.push_task(Msg::task(TaskType::Fft, frame, symbol as u32, b, c));
+                    }
+                }
+            }
+
+            // 2. Drain completions.
+            while let Some(msg) = self.queues.complete.pop() {
+                idle = false;
+                last_progress = Instant::now();
+                let frame = msg.frame;
+                let Some(st) = states.get_mut(&frame) else { continue };
+                let symbol = msg.symbol as usize;
+                let mut ready = Vec::new();
+                let mut ul_done = false;
+                let mut dl_done = false;
+                match msg.task {
+                    TaskType::Fft => {
+                        ready = st.on_fft_done(symbol, msg.count as usize);
+                        if st.pilots_complete() && st.milestones.pilot_done_ns == 0 {
+                            st.milestones.pilot_done_ns = now_ns(start);
+                        }
+                    }
+                    TaskType::Zf => {
+                        ready = st.on_zf_done(msg.count as usize);
+                        if st.zf_complete() && st.milestones.zf_done_ns == 0 {
+                            st.milestones.zf_done_ns = now_ns(start);
+                            zf_complete.insert(frame);
+                        }
+                    }
+                    TaskType::Demod => {
+                        ready = st.on_demod_done(symbol, msg.count as usize);
+                    }
+                    TaskType::Decode => {
+                        ul_done = st.on_decode_done(symbol, msg.count as usize);
+                    }
+                    TaskType::Encode => {
+                        ready = st.on_encode_done(symbol, msg.count as usize);
+                        // §3.4.2 early start: the first downlink symbols
+                        // may beam with the previous frame's precoder.
+                        // Safe only while frame-1's slot is unretired
+                        // (its buffers cannot be reused before then).
+                        if ready.is_empty()
+                            && kernels.cfg.stale_precoder
+                            && frame > 0
+                            && st.encode_complete(symbol)
+                            && !st.zf_complete()
+                            && zf_complete.contains(&(frame - 1))
+                            && (frame - 1) as u64 >= self.min_frame.load(Ordering::Relaxed)
+                            && stale_dl_symbols.contains(&symbol)
+                        {
+                            for r in st.precode_with_stale(symbol) {
+                                self.dispatch_stale(frame, r, &batch);
+                            }
+                        }
+                    }
+                    TaskType::Precode => {
+                        ready = st.on_precode_done(symbol, msg.count as usize);
+                    }
+                    TaskType::Ifft => {
+                        dl_done = st.on_ifft_done(symbol, msg.count as usize);
+                    }
+                    _ => {}
+                }
+                // CSI interpolation runs inline on the manager between
+                // pilot completion and ZF dispatch (cheap, single pass).
+                if ready.contains(&Ready::AllZf) {
+                    kernels.interpolate_csi(self.window.slot(frame));
+                }
+                for r in ready {
+                    self.dispatch(frame, r, &batch);
+                }
+                let has_ul = !cell.schedule.uplink_indices().is_empty();
+                let has_dl = !cell.schedule.downlink_indices().is_empty();
+                if ul_done && st.milestones.decode_done_ns == 0 {
+                    st.milestones.decode_done_ns = now_ns(start);
+                }
+                if dl_done && st.milestones.ifft_done_ns == 0 {
+                    st.milestones.ifft_done_ns = now_ns(start);
+                }
+                let complete = (!has_ul || st.uplink_complete())
+                    && (!has_dl || st.downlink_complete());
+                if complete {
+                    let st = states.remove(&frame).unwrap();
+                    results.push(self.collect_result(&st));
+                    completed.insert(frame as u64);
+                    // Retire contiguously from the bottom so the network
+                    // thread can reuse slots.
+                    let mut min = self.min_frame.load(Ordering::Relaxed);
+                    while completed.contains(&min) {
+                        min += 1;
+                    }
+                    self.min_frame.store(min, Ordering::Release);
+                }
+            }
+
+            if idle {
+                // Stall detection: network thread finished, every task
+                // queue is empty, and nothing has completed for a while
+                // -> the remaining frames are missing packets. Abandon
+                // them with partial results rather than spinning forever.
+                if net_done.load(Ordering::Acquire)
+                    && last_progress.elapsed() > std::time::Duration::from_millis(200)
+                    && self.queues.tasks.iter().all(|q| q.is_empty())
+                {
+                    let stalled: Vec<u32> = states.keys().copied().collect();
+                    for frame in stalled {
+                        let st = states.remove(&frame).unwrap();
+                        let mut r = self.collect_result(&st);
+                        r.dropped = true;
+                        results.push(r);
+                        completed.insert(frame as u64);
+                    }
+                    let mut min = self.min_frame.load(Ordering::Relaxed);
+                    while completed.contains(&min) {
+                        min += 1;
+                    }
+                    self.min_frame.store(min, Ordering::Release);
+                    if results.len() < num_frames as usize {
+                        // Frames whose packets never arrived at all: emit
+                        // empty dropped results so callers see them.
+                        let symbols = self.kernels.cfg.cell.symbols_per_frame();
+                        for f in 0..num_frames {
+                            if !completed.contains(&(f as u64)) {
+                                results.push(FrameResult {
+                                    frame: f,
+                                    milestones: crate::state::Milestones::default(),
+                                    decoded: vec![Vec::new(); symbols],
+                                    decode_ok: vec![Vec::new(); symbols],
+                                    dropped: true,
+                                });
+                                completed.insert(f as u64);
+                            }
+                        }
+                    }
+                    continue;
+                }
+                std::thread::yield_now();
+            }
+        }
+        results.sort_by_key(|r| r.frame);
+        results
+    }
+
+    /// Converts a ready-item into queue messages (applying batching).
+    fn dispatch(&self, frame: u32, ready: Ready, batch: &crate::config::BatchSizes) {
+        let g = &self.kernels.geom;
+        match ready {
+            Ready::Fft { .. } => unreachable!("FFT dispatch handled by the run accumulator"),
+            Ready::AllZf => {
+                let groups = self.kernels.cfg.cell.num_zf_groups();
+                let mut base = 0u32;
+                while (base as usize) < groups {
+                    let count = batch.zf.min(groups - base as usize) as u32;
+                    self.push_task(Msg::task(TaskType::Zf, frame, 0, base, count));
+                    base += count;
+                }
+            }
+            Ready::DemodSymbol { symbol } => {
+                let mut base = 0u32;
+                while (base as usize) < g.q {
+                    let count = batch.demod.min(g.q - base as usize) as u32;
+                    self.push_task(Msg::task(TaskType::Demod, frame, symbol as u32, base, count));
+                    base += count;
+                }
+            }
+            Ready::DecodeSymbol { symbol } => {
+                let mut base = 0u32;
+                while (base as usize) < g.k {
+                    let count = batch.decode.min(g.k - base as usize) as u32;
+                    self.push_task(Msg::task(TaskType::Decode, frame, symbol as u32, base, count));
+                    base += count;
+                }
+            }
+            Ready::EncodeSymbol { symbol } => {
+                let mut base = 0u32;
+                while (base as usize) < g.k {
+                    let count = batch.encode.min(g.k - base as usize) as u32;
+                    self.push_task(Msg::task(TaskType::Encode, frame, symbol as u32, base, count));
+                    base += count;
+                }
+            }
+            Ready::PrecodeSymbol { symbol } => {
+                let mut base = 0u32;
+                while (base as usize) < g.q {
+                    let count = batch.precode.min(g.q - base as usize) as u32;
+                    self.push_task(Msg::task(
+                        TaskType::Precode,
+                        frame,
+                        symbol as u32,
+                        base,
+                        count,
+                    ));
+                    base += count;
+                }
+            }
+            Ready::IfftSymbol { symbol } => {
+                let mut base = 0u32;
+                while (base as usize) < g.m {
+                    let count = batch.ifft.min(g.m - base as usize) as u32;
+                    self.push_task(Msg::task(TaskType::Ifft, frame, symbol as u32, base, count));
+                    base += count;
+                }
+            }
+        }
+    }
+
+    /// Dispatches a stale-precoder precode ready-item: identical to
+    /// [`Self::dispatch`] but messages carry `aux = 1`, telling workers
+    /// to read the precoder from the previous frame's buffers.
+    fn dispatch_stale(&self, frame: u32, ready: Ready, batch: &crate::config::BatchSizes) {
+        let g = &self.kernels.geom;
+        if let Ready::PrecodeSymbol { symbol } = ready {
+            let mut base = 0u32;
+            while (base as usize) < g.q {
+                let count = batch.precode.min(g.q - base as usize) as u32;
+                let mut msg = Msg::task(TaskType::Precode, frame, symbol as u32, base, count);
+                msg.aux = 1;
+                self.push_task(msg);
+                base += count;
+            }
+        } else {
+            self.dispatch(frame, ready, batch);
+        }
+    }
+
+    fn push_task(&self, msg: Msg) {
+        if msg.count == 0 {
+            return;
+        }
+        let q = self.queues.queue(msg.task);
+        let mut m = msg;
+        while let Err(back) = q.push(m) {
+            m = back;
+            std::thread::yield_now();
+        }
+    }
+
+    fn collect_result(&self, st: &FrameState) -> FrameResult {
+        let g = &self.kernels.geom;
+        let fb = self.window.slot(st.frame);
+        let symbols = self.kernels.cfg.cell.symbols_per_frame();
+        let ul: std::collections::HashSet<usize> =
+            self.kernels.cfg.cell.schedule.uplink_indices().into_iter().collect();
+        let mut decoded = vec![Vec::new(); symbols];
+        let mut ok = vec![Vec::new(); symbols];
+        for sym in 0..symbols {
+            if !ul.contains(&sym) {
+                continue;
+            }
+            for user in 0..g.k {
+                // Safe: the frame is complete; no writers remain.
+                let bits =
+                    unsafe { fb.decoded.slice(fb.decoded_range(g, sym, user)) }.to_vec();
+                let flag = unsafe { fb.decode_ok.read(sym * g.k + user) } != 0;
+                decoded[sym].push(bits);
+                ok[sym].push(flag);
+            }
+        }
+        FrameResult { frame: st.frame, milestones: st.milestones, decoded, decode_ok: ok, dropped: false }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(
+    wid: usize,
+    kernels: &Kernels,
+    window: &FrameWindow,
+    queues: &TaskQueues,
+    stats: &EngineStats,
+    shutdown: &AtomicBool,
+    my_types: &[TaskType],
+) {
+    let mut scratch = kernels.scratch();
+    'outer: while !shutdown.load(Ordering::Acquire) {
+        for &t in my_types {
+            if let Some(msg) = queues.queue(t).pop() {
+                let t0 = Instant::now();
+                execute(kernels, window, &mut scratch, &msg);
+                let ns = t0.elapsed().as_nanos() as u64;
+                stats.record(wid, msg.task, msg.count as u64, ns);
+                let done = Msg::complete(
+                    msg.task,
+                    msg.frame,
+                    msg.symbol,
+                    msg.base,
+                    msg.count,
+                    wid as u16,
+                );
+                let mut m = done;
+                while let Err(back) = queues.complete.push(m) {
+                    m = back;
+                    std::thread::yield_now();
+                }
+                continue 'outer;
+            }
+        }
+        std::thread::yield_now();
+    }
+}
+
+fn execute(kernels: &Kernels, window: &FrameWindow, scratch: &mut WorkerScratch, msg: &Msg) {
+    let fb = window.slot(msg.frame);
+    let symbol = msg.symbol as usize;
+    let base = msg.base as usize;
+    let count = msg.count as usize;
+    match msg.task {
+        TaskType::Fft => {
+            for i in 0..count {
+                kernels.fft_task(fb, scratch, symbol, base + i);
+            }
+        }
+        TaskType::Zf => {
+            for i in 0..count {
+                kernels.zf_task(fb, base + i);
+            }
+        }
+        TaskType::Demod => kernels.demod_task(fb, scratch, msg.frame, symbol, base, count),
+        TaskType::Decode => {
+            for i in 0..count {
+                kernels.decode_task(fb, scratch, symbol, base + i);
+            }
+        }
+        TaskType::Encode => {
+            for i in 0..count {
+                kernels.encode_task(fb, msg.frame, symbol, base + i);
+            }
+        }
+        TaskType::Precode => {
+            if msg.aux == 1 && msg.frame > 0 {
+                // Stale-precoder early start: precoder from frame-1.
+                let pre_src = window.slot(msg.frame - 1);
+                kernels.precode_task_with(fb, pre_src, scratch, symbol, base, count);
+            } else {
+                kernels.precode_task(fb, scratch, symbol, base, count);
+            }
+        }
+        TaskType::Ifft => {
+            for i in 0..count {
+                kernels.ifft_task(fb, scratch, symbol, base + i);
+            }
+        }
+        _ => {}
+    }
+}

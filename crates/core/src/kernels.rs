@@ -1,0 +1,548 @@
+//! Task bodies — what a worker actually executes for each task type.
+//!
+//! One [`Kernels`] instance per engine holds the immutable plans (FFT
+//! twiddles, GEMM dispatch, pilot references); each worker additionally
+//! owns a [`WorkerScratch`] with its decoder state and staging buffers so
+//! task execution never allocates. The same kernels serve the
+//! data-parallel engine, the pipeline-parallel variant, and the inline
+//! single-threaded mode — the schedulers differ, the math does not.
+
+use crate::buffers::{BufferGeometry, FrameBuffers};
+use crate::config::EngineConfig;
+use agora_fft::{Direction, FftPlan, SubcarrierMap};
+use agora_ldpc::{DecodeConfig, Decoder, Encoder, RateMatch};
+use agora_math::simd::{stream_copy, SimdTier};
+use agora_math::{pinv, CMat, Cf32, Gemm};
+use agora_phy::demod::{demod_soft, demod_soft_simd};
+use agora_phy::frame::SymbolType;
+use agora_phy::iq::unpack_samples;
+use agora_phy::modulation::{map_symbol, ModScheme};
+use agora_phy::pilots::PilotPlan;
+
+/// Immutable, shared kernel state.
+pub struct Kernels {
+    /// Engine configuration (cell + ablations).
+    pub cfg: EngineConfig,
+    /// Buffer geometry derived from the cell.
+    pub geom: BufferGeometry,
+    fft: FftPlan,
+    map: SubcarrierMap,
+    pilots: PilotPlan,
+    rate_match: RateMatch,
+    encoder: Encoder,
+    /// Planned GEMM for equalization (`K x M x block`).
+    eq_gemm: Gemm,
+    /// Planned GEMM for precoding (`M x K x block`).
+    pre_gemm: Gemm,
+    simd: SimdTier,
+    /// Coded bits actually carried per (symbol, user).
+    coded_bits: usize,
+}
+
+/// Per-worker mutable scratch: decoder state and staging buffers.
+pub struct WorkerScratch {
+    decoder: Decoder,
+    time: Vec<Cf32>,
+    grid: Vec<Cf32>,
+    active: Vec<Cf32>,
+    ant_block: Vec<Cf32>,
+    user_block: Vec<Cf32>,
+    llr_tmp: Vec<f32>,
+    full_llr: Vec<f32>,
+    /// Tracked common-phase-error estimate (radians), carried across
+    /// blocks/symbols processed by this worker.
+    cpe_seed: f32,
+    /// Frame the CPE seed belongs to (drift restarts at each frame's
+    /// pilot, so the tracker resets on frame changes).
+    cpe_frame: u32,
+}
+
+impl Kernels {
+    /// Builds kernels for a validated engine configuration.
+    pub fn new(cfg: EngineConfig) -> Self {
+        cfg.validate().expect("invalid engine configuration");
+        let cell = &cfg.cell;
+        let geom = BufferGeometry {
+            m: cell.num_antennas,
+            k: cell.num_users,
+            q: cell.num_data_sc,
+            symbols: cell.symbols_per_frame(),
+            samples: cell.samples_per_symbol(),
+            block: cfg.demod_block,
+            zf_group: cell.zf_group,
+            cap_bits: cell.bits_per_symbol_per_user(),
+            info_bits: cell.info_bits_per_symbol(),
+        };
+        let fft = FftPlan::new(cell.fft_size);
+        let map = SubcarrierMap::new(cell.fft_size, cell.num_data_sc);
+        let pilots = PilotPlan::new(cell.pilot_scheme, cell.num_users, cell.num_data_sc);
+        let rate_match = cell.ldpc.rate_match();
+        let encoder = Encoder::new(cell.ldpc.base_graph, cell.ldpc.z);
+        let (eq_gemm, pre_gemm) = if cfg.ablation.jit_gemm {
+            (
+                Gemm::plan(geom.k, geom.m, geom.block),
+                Gemm::plan(geom.m, geom.k, geom.block),
+            )
+        } else {
+            (
+                Gemm::plan_generic(geom.k, geom.m, geom.block),
+                Gemm::plan_generic(geom.m, geom.k, geom.block),
+            )
+        };
+        let coded_bits = cell.coded_bits_per_symbol();
+        Self {
+            cfg,
+            geom,
+            fft,
+            map,
+            pilots,
+            rate_match,
+            encoder,
+            eq_gemm,
+            pre_gemm,
+            simd: SimdTier::detect(),
+            coded_bits,
+        }
+    }
+
+    /// Creates a fresh per-worker scratch.
+    pub fn scratch(&self) -> WorkerScratch {
+        let g = &self.geom;
+        WorkerScratch {
+            decoder: Decoder::new(self.cfg.cell.ldpc.base_graph, self.cfg.cell.ldpc.z),
+            time: vec![Cf32::ZERO; g.samples],
+            grid: vec![Cf32::ZERO; self.cfg.cell.fft_size],
+            active: vec![Cf32::ZERO; g.q],
+            ant_block: vec![Cf32::ZERO; g.m * g.block],
+            user_block: vec![Cf32::ZERO; g.k * g.block],
+            llr_tmp: Vec::with_capacity(g.block * 8),
+            full_llr: vec![0.0; self.rate_match.codeword_len()],
+            cpe_seed: 0.0,
+            cpe_frame: u32::MAX,
+        }
+    }
+
+    /// The rate-matching plan.
+    pub fn rate_match(&self) -> &RateMatch {
+        &self.rate_match
+    }
+
+    /// The pilot plan.
+    pub fn pilots(&self) -> &PilotPlan {
+        &self.pilots
+    }
+
+    /// Coded bits carried per (symbol, user).
+    pub fn coded_bits(&self) -> usize {
+        self.coded_bits
+    }
+
+    /// Which pilot-symbol ordinal a frame symbol index is (0-based among
+    /// pilots); only valid for pilot symbols.
+    pub fn pilot_ordinal(&self, symbol: usize) -> usize {
+        self.cfg
+            .cell
+            .schedule
+            .pilot_indices()
+            .iter()
+            .position(|&s| s == symbol)
+            .expect("symbol is not a pilot")
+    }
+
+    /// FFT task (uplink): unpack one antenna's payload, FFT, then either
+    /// estimate CSI (pilot symbols — the FFT+CSI fusion of Table 2) or
+    /// store frequency-domain data for demodulation.
+    ///
+    /// # Safety contract
+    /// Requires exclusive ownership of this (symbol, antenna)'s output
+    /// regions, guaranteed by the scheduler.
+    pub fn fft_task(&self, fb: &FrameBuffers, s: &mut WorkerScratch, symbol: usize, ant: usize) {
+        let g = &self.geom;
+        let payload = unsafe { fb.rx_payload.slice(fb.payload_range(g, symbol, ant)) };
+        unpack_samples(payload, &mut s.time);
+        // CP removal would go here; the emulated RRU sends CP-less symbols.
+        s.grid.copy_from_slice(&s.time[s.time.len() - self.cfg.cell.fft_size..]);
+        self.fft.execute(&mut s.grid, Direction::Forward);
+        self.map.demap_symbols(&s.grid, &mut s.active);
+
+        match self.cfg.cell.schedule.symbol(symbol) {
+            SymbolType::Pilot => {
+                // Fused channel estimation: LS divide by the known pilot.
+                let ordinal = self.pilot_ordinal(symbol);
+                let k = g.k;
+                for (sc, &y) in s.active.iter().enumerate() {
+                    if let Some((user, p)) = self.pilots.owner(ordinal, sc) {
+                        let h = y * p.inv();
+                        // Element-precise write: concurrent FFT tasks for
+                        // other antennas target different indices of the
+                        // same subcarrier's CSI block.
+                        let idx = fb.csi_range(sc).start + ant * k + user;
+                        unsafe { fb.csi.write(idx, h) };
+                    }
+                }
+            }
+            SymbolType::Uplink => {
+                let sym_base = fb.freq_symbol_range(symbol).start;
+                if self.cfg.ablation.cache_layout {
+                    // Block layout: [block][antenna][8 sc]. Slice exactly
+                    // this antenna's 8-sample window of each block so
+                    // concurrent antennas never alias.
+                    let b = g.block;
+                    for (blk, chunk) in s.active.chunks_exact(b).enumerate() {
+                        let off = sym_base + fb.freq_block_offset(g, blk, ant);
+                        let out = unsafe { fb.freq.slice_mut(off..off + b) };
+                        if self.cfg.ablation.streaming_stores {
+                            stream_copy(chunk, out, self.simd);
+                        } else {
+                            out.copy_from_slice(chunk);
+                        }
+                    }
+                } else {
+                    // Strided layout: [antenna][sc]; one contiguous run
+                    // per antenna.
+                    let off = sym_base + fb.freq_strided_offset(g, ant, 0);
+                    let out = unsafe { fb.freq.slice_mut(off..off + g.q) };
+                    if self.cfg.ablation.streaming_stores {
+                        stream_copy(&s.active, out, self.simd);
+                    } else {
+                        out.copy_from_slice(&s.active);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Interpolates the CSI across subcarriers after all pilot FFTs are
+    /// done. Cheap; the manager runs it inline between pilot completion
+    /// and ZF dispatch. For frequency-orthogonal pilots each user is only
+    /// observed every K-th subcarrier; copy the nearest estimate (flat-
+    /// channel assumption, as the paper's emulation).
+    pub fn interpolate_csi(&self, fb: &FrameBuffers) {
+        if self.pilots.scheme() == agora_phy::PilotScheme::TimeOrthogonal {
+            return;
+        }
+        let g = &self.geom;
+        let k = g.k;
+        for sc in 0..g.q {
+            let anchor = (sc / k) * k; // first subcarrier of this K-group
+            for user in 0..k {
+                let src_sc = anchor + user;
+                if src_sc == sc || src_sc >= g.q {
+                    continue;
+                }
+                for ant in 0..g.m {
+                    let v = unsafe { fb.csi.slice(fb.csi_range(src_sc)) }[ant * k + user];
+                    let dst = unsafe { fb.csi.slice_mut(fb.csi_range(sc)) };
+                    dst[ant * k + user] = v;
+                }
+            }
+        }
+    }
+
+    /// ZF task: compute detector and precoder for one subcarrier group.
+    /// The detector family is configurable ([`crate::config::DetectorKind`]);
+    /// zero-forcing additionally honours the pseudo-inverse ablation
+    /// (direct Gram inversion vs SVD).
+    pub fn zf_task(&self, fb: &FrameBuffers, group: usize) {
+        use crate::config::DetectorKind;
+        let g = &self.geom;
+        let sc = group * g.zf_group;
+        let csi = unsafe { fb.csi.slice(fb.csi_range(sc)) };
+        let h = CMat::from_slice(g.m, g.k, csi);
+        let det = match self.cfg.ablation.detector {
+            DetectorKind::ZeroForcing => pinv(&h, self.cfg.ablation.pinv_method),
+            DetectorKind::Mmse => agora_phy::Detector::Mmse {
+                noise_power: self.cfg.noise_power,
+            }
+            .compute(&h),
+            DetectorKind::Conjugate => agora_phy::Detector::Conjugate.compute(&h),
+        };
+        let pre = agora_math::normalize_precoder(&det.transpose());
+        unsafe {
+            fb.det.slice_mut(fb.det_range(group)).copy_from_slice(det.as_slice());
+            fb.pre.slice_mut(fb.pre_range(group)).copy_from_slice(pre.as_slice());
+        }
+    }
+
+    /// Fused equalization + demodulation for `count` consecutive
+    /// subcarriers starting at `sc_base` of one uplink symbol. Writes
+    /// per-user LLRs.
+    pub fn demod_task(
+        &self,
+        fb: &FrameBuffers,
+        s: &mut WorkerScratch,
+        frame: u32,
+        symbol: usize,
+        sc_base: usize,
+        count: usize,
+    ) {
+        if s.cpe_frame != frame {
+            // New frame: the pilot re-anchors the phase reference.
+            s.cpe_frame = frame;
+            s.cpe_seed = 0.0;
+        }
+        let g = &self.geom;
+        let bps = self.cfg.cell.modulation.bits_per_symbol();
+        let freq = unsafe { fb.freq.slice(fb.freq_symbol_range(symbol)) };
+        let noise = self.cfg.noise_power.max(1e-9);
+
+        if self.cfg.ablation.cache_layout {
+            debug_assert_eq!(sc_base % g.block, 0);
+            debug_assert_eq!(count % g.block, 0);
+            for blk_off in (0..count).step_by(g.block) {
+                let sc = sc_base + blk_off;
+                let blk = sc / g.block;
+                let det_slice = unsafe { fb.det.slice(fb.det_range(sc / g.zf_group)) };
+                // Antenna block is contiguous per antenna in this layout.
+                let base = fb.freq_block_offset(g, blk, 0);
+                let ant_block = &freq[base..base + g.m * g.block];
+                self.eq_gemm.run(det_slice, ant_block, &mut s.user_block);
+                self.write_llrs(fb, s, symbol, sc, g.block, bps, noise, det_slice);
+            }
+        } else {
+            // Strided layout: equalize one subcarrier at a time with a
+            // GEMV gathering M strided samples (the wasted-cache-line
+            // pattern §4.1 describes).
+            for i in 0..count {
+                let sc = sc_base + i;
+                let det_slice = unsafe { fb.det.slice(fb.det_range(sc / g.zf_group)) };
+                for ant in 0..g.m {
+                    s.ant_block[ant] = freq[fb.freq_strided_offset(g, ant, sc)];
+                }
+                agora_math::gemv(
+                    g.k,
+                    g.m,
+                    det_slice,
+                    &s.ant_block[..g.m],
+                    &mut s.user_block[..g.k],
+                );
+                // user_block holds one symbol per user (width 1).
+                for user in 0..g.k {
+                    let y = s.user_block[user];
+                    let nv = noise * row_norm_sqr(det_slice, g.m, user);
+                    demod_soft(self.cfg.cell.modulation, &[y], nv, &mut s.llr_tmp);
+                    let base = fb.llr_range(g, symbol, user).start;
+                    let llr = unsafe {
+                        fb.llr.slice_mut(base + sc * bps..base + (sc + 1) * bps)
+                    };
+                    llr.copy_from_slice(&s.llr_tmp);
+                }
+            }
+        }
+    }
+
+    /// Writes LLRs for one equalized block (`K x block` in
+    /// `s.user_block`).
+    #[allow(clippy::too_many_arguments)]
+    fn write_llrs(
+        &self,
+        fb: &FrameBuffers,
+        s: &mut WorkerScratch,
+        symbol: usize,
+        sc: usize,
+        width: usize,
+        bps: usize,
+        noise: f32,
+        det_slice: &[Cf32],
+    ) {
+        let g = &self.geom;
+        if self.cfg.cpe_correction {
+            // Tracked CPE correction: derotate the whole block (all
+            // users x width — the rotation is common) by the running
+            // estimate, then estimate and remove the residual. Tracking
+            // keeps the per-step residual inside the constellation's
+            // decision-directed capture range even when the absolute
+            // drift has accumulated far beyond it.
+            let block = &mut s.user_block[..g.k * width];
+            agora_phy::cpe::correct_cpe(block, s.cpe_seed);
+            let residual =
+                agora_phy::cpe::estimate_and_correct(self.cfg.cell.modulation, block);
+            s.cpe_seed += residual;
+        }
+        for user in 0..g.k {
+            let row = &s.user_block[user * width..(user + 1) * width];
+            // Post-ZF noise on user u is amplified by ||w_u||^2.
+            let nv = noise * row_norm_sqr(det_slice, g.m, user);
+            // Width is the 8-subcarrier cache-line block: exactly one
+            // AVX2 vector per axis.
+            demod_soft_simd(self.cfg.cell.modulation, row, nv, &mut s.llr_tmp);
+            let base = fb.llr_range(g, symbol, user).start;
+            let llr =
+                unsafe { fb.llr.slice_mut(base + sc * bps..base + (sc + width) * bps) };
+            llr.copy_from_slice(&s.llr_tmp);
+        }
+    }
+
+    /// LDPC decode task for one (symbol, user).
+    pub fn decode_task(&self, fb: &FrameBuffers, s: &mut WorkerScratch, symbol: usize, user: usize) {
+        let g = &self.geom;
+        let llr = unsafe { fb.llr.slice(fb.llr_range(g, symbol, user)) };
+        let tx_len = self.rate_match.tx_len();
+        let full = self.rate_match.fill_llrs(&llr[..tx_len]);
+        s.full_llr.copy_from_slice(&full);
+        let res = s.decoder.decode(
+            &s.full_llr,
+            &DecodeConfig {
+                max_iters: self.cfg.cell.ldpc.max_iters,
+                active_rows: Some(self.rate_match.active_rows()),
+                ..Default::default()
+            },
+        );
+        unsafe {
+            fb.decoded
+                .slice_mut(fb.decoded_range(g, symbol, user))
+                .copy_from_slice(&res.info_bits);
+            fb.decode_ok.write(symbol * g.k + user, res.success as u8);
+        }
+    }
+
+    /// LDPC encode task (downlink): deterministic MAC payload for
+    /// `(frame, symbol, user)`, encoded and rate-matched into `dl_bits`.
+    pub fn encode_task(&self, fb: &FrameBuffers, frame: u32, symbol: usize, user: usize) {
+        let g = &self.geom;
+        let info = mac_payload(frame, symbol as u32, user as u32, self.encoder.info_len());
+        let cw = self.encoder.encode(&info);
+        let mut tx = self.rate_match.extract(&cw);
+        tx.resize(g.cap_bits, 0);
+        unsafe {
+            fb.dl_bits.slice_mut(fb.dl_bits_range(g, symbol, user)).copy_from_slice(&tx);
+        }
+    }
+
+    /// Fused modulation + precoding for `count` consecutive subcarriers of
+    /// one downlink symbol. Reads `dl_bits`, writes `dl_freq` blocks.
+    pub fn precode_task(
+        &self,
+        fb: &FrameBuffers,
+        s: &mut WorkerScratch,
+        symbol: usize,
+        sc_base: usize,
+        count: usize,
+    ) {
+        self.precode_task_with(fb, fb, s, symbol, sc_base, count)
+    }
+
+    /// Like [`Self::precode_task`] but takes the precoder from a separate
+    /// frame's buffers — the §3.4.2 stale-precoder early start, where the
+    /// first downlink symbols beam with the previous frame's ZF output.
+    pub fn precode_task_with(
+        &self,
+        fb: &FrameBuffers,
+        pre_src: &FrameBuffers,
+        s: &mut WorkerScratch,
+        symbol: usize,
+        sc_base: usize,
+        count: usize,
+    ) {
+        let g = &self.geom;
+        let bps = self.cfg.cell.modulation.bits_per_symbol();
+        let sym_base = fb.freq_symbol_range(symbol).start;
+        debug_assert_eq!(sc_base % g.block, 0);
+        for blk_off in (0..count).step_by(g.block) {
+            let sc = sc_base + blk_off;
+            let width = g.block.min(g.q - sc);
+            // Build the K x width user-symbol matrix (modulation fusion).
+            for user in 0..g.k {
+                let bits = unsafe { fb.dl_bits.slice(fb.dl_bits_range(g, symbol, user)) };
+                for w in 0..width {
+                    let mut v = 0u32;
+                    for b in 0..bps {
+                        v |= ((bits[(sc + w) * bps + b] & 1) as u32) << b;
+                    }
+                    s.user_block[user * width + w] = map_symbol(self.cfg.cell.modulation, v);
+                }
+            }
+            let pre_slice =
+                unsafe { pre_src.pre.slice(pre_src.pre_range(sc / g.zf_group)) };
+            self.pre_gemm
+                .run(pre_slice, &s.user_block[..g.k * width], &mut s.ant_block[..g.m * width]);
+            // Scatter to [block][antenna][width]; this task owns the
+            // whole block (all antennas) for its subcarriers.
+            let base = sym_base + fb.freq_block_offset(g, sc / g.block, 0);
+            let out = unsafe { fb.dl_freq.slice_mut(base..base + g.m * width) };
+            if self.cfg.ablation.streaming_stores {
+                stream_copy(&s.ant_block[..g.m * width], out, self.simd);
+            } else {
+                out.copy_from_slice(&s.ant_block[..g.m * width]);
+            }
+        }
+    }
+
+    /// IFFT task (downlink): gather one antenna's subcarriers, inverse
+    /// transform, write time-domain samples.
+    pub fn ifft_task(&self, fb: &FrameBuffers, s: &mut WorkerScratch, symbol: usize, ant: usize) {
+        let g = &self.geom;
+        let freq = unsafe { fb.dl_freq.slice(fb.freq_symbol_range(symbol)) };
+        for blk in 0..g.q / g.block {
+            let off = fb.freq_block_offset(g, blk, ant);
+            s.active[blk * g.block..(blk + 1) * g.block]
+                .copy_from_slice(&freq[off..off + g.block]);
+        }
+        self.map.map_symbols(&s.active, &mut s.grid);
+        self.fft.execute(&mut s.grid, Direction::Inverse);
+        let out = unsafe { fb.dl_time.slice_mut(fb.dl_time_range(g, symbol, ant)) };
+        // CP-less symbols, as in the uplink path.
+        out.copy_from_slice(&s.grid[..g.samples]);
+    }
+
+    /// Modulation scheme shortcut.
+    pub fn modulation(&self) -> ModScheme {
+        self.cfg.cell.modulation
+    }
+}
+
+/// Squared norm of detector row `user` (length `m`).
+fn row_norm_sqr(det: &[Cf32], m: usize, user: usize) -> f32 {
+    det[user * m..(user + 1) * m].iter().map(|z| z.norm_sqr()).sum()
+}
+
+/// Deterministic pseudo-random MAC payload for downlink experiments.
+pub fn mac_payload(frame: u32, symbol: u32, user: u32, len: usize) -> Vec<u8> {
+    let mut state = ((frame as u64) << 32) ^ ((symbol as u64) << 16) ^ (user as u64) ^ 0x9E37;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state & 1) as u8
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agora_phy::CellConfig;
+
+    #[test]
+    fn kernels_build_for_paper_and_tiny_configs() {
+        let _ = Kernels::new(EngineConfig::new(CellConfig::tiny_test(2), 2));
+        let _ = Kernels::new(EngineConfig::new(CellConfig::emulated_rru(16, 4, 2), 4));
+    }
+
+    #[test]
+    fn mac_payload_is_deterministic_and_binary() {
+        let a = mac_payload(1, 2, 3, 100);
+        let b = mac_payload(1, 2, 3, 100);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| x <= 1));
+        let c = mac_payload(1, 2, 4, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pilot_ordinal_maps_schedule() {
+        let k = Kernels::new(EngineConfig::new(CellConfig::tiny_test(2), 2));
+        assert_eq!(k.pilot_ordinal(0), 0);
+    }
+
+    #[test]
+    fn scratch_sizes_match_geometry() {
+        let k = Kernels::new(EngineConfig::new(CellConfig::tiny_test(2), 2));
+        let s = k.scratch();
+        assert_eq!(s.grid.len(), k.cfg.cell.fft_size);
+        assert_eq!(s.active.len(), k.geom.q);
+        assert_eq!(s.full_llr.len(), k.rate_match().codeword_len());
+    }
+}

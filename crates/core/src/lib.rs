@@ -1,0 +1,36 @@
+//! # agora-core — the Agora baseband processing engine
+//!
+//! Real-time massive MIMO baseband processing in software (CoNEXT 2020),
+//! reproduced in Rust:
+//!
+//! * [`config`]: engine configuration, batch sizes, Table 4 ablations.
+//! * [`buffers`]: lock-free shared frame buffers (§3.2).
+//! * [`state`]: the per-frame dependency state machine.
+//! * [`kernels`]: task bodies over the buffers (Figure 1b blocks, with
+//!   the Table 2 fusions).
+//! * [`engine`]: the threaded manager-worker engine, with data-parallel
+//!   and pipeline-parallel (BigStation-style) worker policies.
+//! * [`inline_engine`]: deterministic single-threaded processor for
+//!   BER/BLER experiments.
+//! * [`alloc`]: core allocation for the pipeline-parallel variant (§5.4).
+//! * [`stats`]: per-block busy-time accounting (Table 3).
+//! * [`sim`]: the calibrated discrete-event schedule simulator used for
+//!   the multi-core performance figures (see DESIGN.md §3, substitution
+//!   4).
+
+pub mod alloc;
+pub mod buffers;
+pub mod config;
+pub mod engine;
+pub mod inline_engine;
+pub mod kernels;
+pub mod sim;
+pub mod state;
+pub mod stats;
+
+pub use config::{Ablation, BatchSizes, DetectorKind, EngineConfig};
+pub use engine::{Engine, FrameResult, WorkerPolicy};
+pub use inline_engine::InlineProcessor;
+pub use kernels::Kernels;
+pub use state::{FrameState, Milestones, Ready};
+pub use stats::EngineStats;

@@ -1,0 +1,477 @@
+//! Per-frame dependency tracking — the manager's bookkeeping.
+//!
+//! This is the pure logic behind Agora's scheduling policy: which tasks
+//! become ready when a packet arrives or a completion message lands. It
+//! owns no buffers and spawns no threads, so every dependency rule
+//! (Figure 1b) is unit-testable:
+//!
+//! * FFT of (symbol, antenna) needs that antenna's packet.
+//! * ZF needs *all* pilot FFTs (the synchronisation barrier of §2).
+//! * Demodulation of a symbol needs that symbol's FFTs *and* all ZF.
+//! * Decoding of (symbol, user) needs the symbol fully demodulated.
+//! * Downlink: encode is free; precoding needs ZF + the symbol's encodes;
+//!   IFFT needs the symbol fully precoded.
+
+use agora_phy::frame::{FrameSchedule, SymbolType};
+
+/// Ready-to-dispatch work discovered by a state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ready {
+    /// FFT for (symbol, antenna).
+    Fft {
+        /// Symbol index.
+        symbol: usize,
+        /// Antenna index.
+        antenna: usize,
+    },
+    /// All ZF groups (dispatched together once pilots are done).
+    AllZf,
+    /// Demodulation for a whole symbol (manager batches subcarriers).
+    DemodSymbol {
+        /// Symbol index.
+        symbol: usize,
+    },
+    /// Decode for every user of a symbol.
+    DecodeSymbol {
+        /// Symbol index.
+        symbol: usize,
+    },
+    /// Encode for every user of a downlink symbol.
+    EncodeSymbol {
+        /// Symbol index.
+        symbol: usize,
+    },
+    /// Precoding for a whole downlink symbol.
+    PrecodeSymbol {
+        /// Symbol index.
+        symbol: usize,
+    },
+    /// IFFT for (symbol, antenna).
+    IfftSymbol {
+        /// Symbol index.
+        symbol: usize,
+    },
+}
+
+/// Milestones within a frame's processing (nanoseconds since engine
+/// start), mirroring Figure 13(b).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Milestones {
+    /// First packet of the frame entered the system.
+    pub first_packet_ns: u64,
+    /// Manager began scheduling the frame (queueing delay ends).
+    pub processing_start_ns: u64,
+    /// All pilot symbols FFT'd + CSI complete.
+    pub pilot_done_ns: u64,
+    /// All ZF groups computed.
+    pub zf_done_ns: u64,
+    /// Last uplink decode finished (uplink frame completion).
+    pub decode_done_ns: u64,
+    /// Last downlink IFFT finished (downlink frame completion).
+    pub ifft_done_ns: u64,
+}
+
+/// Dependency/state tracker for one in-flight frame.
+#[derive(Debug, Clone)]
+pub struct FrameState {
+    /// The frame id being tracked.
+    pub frame: u32,
+    /// Timing milestones.
+    pub milestones: Milestones,
+    schedule: FrameSchedule,
+    m: usize,
+    k: usize,
+    q: usize,
+    zf_groups: usize,
+    // --- uplink ---
+    pkts: Vec<usize>,
+    fft_done: Vec<usize>,
+    pilot_ffts_remaining: usize,
+    zf_dispatched: bool,
+    zf_done: usize,
+    demod_dispatched: Vec<bool>,
+    demod_done: Vec<usize>,
+    decode_dispatched: Vec<bool>,
+    decode_done: Vec<usize>,
+    ul_decodes_remaining: usize,
+    // --- downlink ---
+    encode_done: Vec<usize>,
+    precode_dispatched: Vec<bool>,
+    precode_done: Vec<usize>,
+    ifft_dispatched: Vec<bool>,
+    ifft_done: Vec<usize>,
+    dl_iffts_remaining: usize,
+}
+
+impl FrameState {
+    /// Creates the tracker for `frame` given cell geometry.
+    pub fn new(
+        frame: u32,
+        schedule: FrameSchedule,
+        m: usize,
+        k: usize,
+        q: usize,
+        zf_groups: usize,
+    ) -> Self {
+        let symbols = schedule.len();
+        let pilot_ffts = schedule.pilot_indices().len() * m;
+        let ul_symbols = schedule.uplink_indices().len();
+        let dl_symbols = schedule.downlink_indices().len();
+        Self {
+            frame,
+            milestones: Milestones::default(),
+            schedule,
+            m,
+            k,
+            q,
+            zf_groups,
+            pkts: vec![0; symbols],
+            fft_done: vec![0; symbols],
+            pilot_ffts_remaining: pilot_ffts,
+            zf_dispatched: false,
+            zf_done: 0,
+            demod_dispatched: vec![false; symbols],
+            demod_done: vec![0; symbols],
+            decode_dispatched: vec![false; symbols],
+            decode_done: vec![0; symbols],
+            ul_decodes_remaining: ul_symbols * k,
+            encode_done: vec![0; symbols],
+            precode_dispatched: vec![false; symbols],
+            precode_done: vec![0; symbols],
+            ifft_dispatched: vec![false; symbols],
+            ifft_done: vec![0; symbols],
+            dl_iffts_remaining: dl_symbols * m,
+        }
+    }
+
+    /// The frame schedule.
+    pub fn schedule(&self) -> &FrameSchedule {
+        &self.schedule
+    }
+
+    /// Downlink symbols that can start immediately (encode needs no RX
+    /// input — the data comes from the MAC).
+    pub fn initial_work(&self) -> Vec<Ready> {
+        self.schedule
+            .downlink_indices()
+            .into_iter()
+            .map(|symbol| Ready::EncodeSymbol { symbol })
+            .collect()
+    }
+
+    /// A packet for `(symbol, antenna)` arrived; its payload is already in
+    /// the frame buffer. Returns the FFT task this unlocks (uplink/pilot
+    /// symbols only; downlink symbols carry no uplink packets).
+    pub fn on_packet(&mut self, symbol: usize, antenna: usize) -> Vec<Ready> {
+        self.pkts[symbol] += 1;
+        debug_assert!(self.pkts[symbol] <= self.m, "duplicate packets for symbol {symbol}");
+        match self.schedule.symbol(symbol) {
+            SymbolType::Pilot | SymbolType::Uplink => {
+                vec![Ready::Fft { symbol, antenna }]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// An FFT task completed. May unlock ZF (pilots done) or
+    /// demodulation (data symbol done + ZF done).
+    pub fn on_fft_done(&mut self, symbol: usize, count: usize) -> Vec<Ready> {
+        self.fft_done[symbol] += count;
+        debug_assert!(self.fft_done[symbol] <= self.m);
+        let mut out = Vec::new();
+        match self.schedule.symbol(symbol) {
+            SymbolType::Pilot => {
+                self.pilot_ffts_remaining -= count;
+                if self.pilot_ffts_remaining == 0 && !self.zf_dispatched {
+                    self.zf_dispatched = true;
+                    out.push(Ready::AllZf);
+                }
+            }
+            SymbolType::Uplink => {
+                if self.fft_done[symbol] == self.m {
+                    out.extend(self.try_demod(symbol));
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// A batch of ZF groups completed. When all groups are done, every
+    /// fully-FFT'd data symbol becomes demodulation-ready and every
+    /// fully-encoded downlink symbol becomes precoding-ready.
+    pub fn on_zf_done(&mut self, count: usize) -> Vec<Ready> {
+        self.zf_done += count;
+        debug_assert!(self.zf_done <= self.zf_groups);
+        let mut out = Vec::new();
+        if self.zf_done == self.zf_groups {
+            for symbol in self.schedule.uplink_indices() {
+                if self.fft_done[symbol] == self.m {
+                    out.extend(self.try_demod(symbol));
+                }
+            }
+            for symbol in self.schedule.downlink_indices() {
+                if self.encode_done[symbol] == self.k {
+                    out.extend(self.try_precode(symbol));
+                }
+            }
+        }
+        out
+    }
+
+    /// Demodulation progress on a symbol (in subcarriers).
+    pub fn on_demod_done(&mut self, symbol: usize, subcarriers: usize) -> Vec<Ready> {
+        self.demod_done[symbol] += subcarriers;
+        debug_assert!(self.demod_done[symbol] <= self.q);
+        if self.demod_done[symbol] == self.q && !self.decode_dispatched[symbol] {
+            self.decode_dispatched[symbol] = true;
+            vec![Ready::DecodeSymbol { symbol }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Decode progress (in users). Returns `true` as second element when
+    /// the whole uplink frame is finished.
+    pub fn on_decode_done(&mut self, symbol: usize, users: usize) -> bool {
+        self.decode_done[symbol] += users;
+        debug_assert!(self.decode_done[symbol] <= self.k);
+        self.ul_decodes_remaining -= users;
+        self.ul_decodes_remaining == 0
+    }
+
+    /// Encode progress on a downlink symbol (in users).
+    pub fn on_encode_done(&mut self, symbol: usize, users: usize) -> Vec<Ready> {
+        self.encode_done[symbol] += users;
+        debug_assert!(self.encode_done[symbol] <= self.k);
+        if self.encode_done[symbol] == self.k && self.zf_done == self.zf_groups {
+            self.try_precode(symbol)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Precoding progress (in subcarriers). Unlocks the symbol's IFFTs.
+    pub fn on_precode_done(&mut self, symbol: usize, subcarriers: usize) -> Vec<Ready> {
+        self.precode_done[symbol] += subcarriers;
+        debug_assert!(self.precode_done[symbol] <= self.q);
+        if self.precode_done[symbol] == self.q && !self.ifft_dispatched[symbol] {
+            self.ifft_dispatched[symbol] = true;
+            vec![Ready::IfftSymbol { symbol }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// IFFT progress (in antennas). Returns `true` when the downlink
+    /// frame is complete.
+    pub fn on_ifft_done(&mut self, symbol: usize, antennas: usize) -> bool {
+        self.ifft_done[symbol] += antennas;
+        debug_assert!(self.ifft_done[symbol] <= self.m);
+        self.dl_iffts_remaining -= antennas;
+        self.dl_iffts_remaining == 0
+    }
+
+    /// True when every uplink decode has finished.
+    pub fn uplink_complete(&self) -> bool {
+        self.ul_decodes_remaining == 0
+    }
+
+    /// True when every downlink IFFT has finished.
+    pub fn downlink_complete(&self) -> bool {
+        self.dl_iffts_remaining == 0
+    }
+
+    /// True once all pilot FFT+CSI work is done.
+    pub fn pilots_complete(&self) -> bool {
+        self.pilot_ffts_remaining == 0
+    }
+
+    /// Packets received so far for one symbol.
+    pub fn packets_received(&self, symbol: usize) -> usize {
+        self.pkts[symbol]
+    }
+
+    /// True once every user of a downlink symbol has been encoded.
+    pub fn encode_complete(&self, symbol: usize) -> bool {
+        self.encode_done[symbol] == self.k
+    }
+
+    /// Forces precoding dispatch for a symbol *before* this frame's ZF is
+    /// ready — the §3.4.2 "stale precoder" optimisation, where the first
+    /// downlink symbols of frame `f` are precoded with frame `f-1`'s
+    /// precoder so the RRU's air time never idles. The caller is
+    /// responsible for checking that the previous frame's precoder exists
+    /// and that the symbol's encodes are complete.
+    pub fn precode_with_stale(&mut self, symbol: usize) -> Vec<Ready> {
+        debug_assert!(self.encode_complete(symbol));
+        self.try_precode(symbol)
+    }
+
+    /// True once all ZF groups are done.
+    pub fn zf_complete(&self) -> bool {
+        self.zf_done == self.zf_groups
+    }
+
+    fn try_demod(&mut self, symbol: usize) -> Vec<Ready> {
+        if self.zf_done == self.zf_groups && !self.demod_dispatched[symbol] {
+            self.demod_dispatched[symbol] = true;
+            vec![Ready::DemodSymbol { symbol }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn try_precode(&mut self, symbol: usize) -> Vec<Ready> {
+        if !self.precode_dispatched[symbol] {
+            self.precode_dispatched[symbol] = true;
+            vec![Ready::PrecodeSymbol { symbol }]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agora_phy::frame::FrameSchedule;
+
+    /// 1 pilot + 2 uplink symbols, 4 antennas, 2 users, 32 SCs, 2 groups.
+    fn ul_state() -> FrameState {
+        FrameState::new(0, FrameSchedule::uplink(1, 2), 4, 2, 32, 2)
+    }
+
+    /// 1 pilot + 2 downlink symbols.
+    fn dl_state() -> FrameState {
+        FrameState::new(0, FrameSchedule::downlink(1, 2), 4, 2, 32, 2)
+    }
+
+    #[test]
+    fn packets_unlock_ffts() {
+        let mut st = ul_state();
+        let r = st.on_packet(0, 3);
+        assert_eq!(r, vec![Ready::Fft { symbol: 0, antenna: 3 }]);
+    }
+
+    #[test]
+    fn zf_waits_for_all_pilot_ffts() {
+        let mut st = ul_state();
+        for ant in 0..3 {
+            st.on_packet(0, ant);
+            assert!(st.on_fft_done(0, 1).is_empty());
+        }
+        st.on_packet(0, 3);
+        let r = st.on_fft_done(0, 1);
+        assert_eq!(r, vec![Ready::AllZf]);
+        assert!(st.pilots_complete());
+    }
+
+    #[test]
+    fn demod_needs_both_fft_and_zf() {
+        let mut st = ul_state();
+        // Data symbol 1 fully FFT'd before ZF: no demod yet.
+        for ant in 0..4 {
+            st.on_packet(1, ant);
+            st.on_fft_done(1, 1);
+        }
+        assert!(!st.zf_complete());
+        // Finish pilots -> ZF dispatch.
+        for ant in 0..4 {
+            st.on_packet(0, ant);
+        }
+        let r = st.on_fft_done(0, 4);
+        assert_eq!(r, vec![Ready::AllZf]);
+        // ZF completion unlocks the already-FFT'd symbol 1.
+        let r = st.on_zf_done(2);
+        assert_eq!(r, vec![Ready::DemodSymbol { symbol: 1 }]);
+        // Symbol 2 FFT'd after ZF: unlocked by the FFT completion.
+        for ant in 0..4 {
+            st.on_packet(2, ant);
+        }
+        let r = st.on_fft_done(2, 4);
+        assert_eq!(r, vec![Ready::DemodSymbol { symbol: 2 }]);
+    }
+
+    #[test]
+    fn demod_completion_unlocks_decode_once() {
+        let mut st = ul_state();
+        complete_pilots_and_zf(&mut st);
+        for ant in 0..4 {
+            st.on_packet(1, ant);
+        }
+        st.on_fft_done(1, 4);
+        assert!(st.on_demod_done(1, 16).is_empty());
+        let r = st.on_demod_done(1, 16);
+        assert_eq!(r, vec![Ready::DecodeSymbol { symbol: 1 }]);
+        // No duplicate dispatch.
+        assert!(st.on_demod_done(1, 0).is_empty());
+    }
+
+    #[test]
+    fn frame_completes_after_all_decodes() {
+        let mut st = ul_state();
+        complete_pilots_and_zf(&mut st);
+        for sym in [1usize, 2] {
+            for ant in 0..4 {
+                st.on_packet(sym, ant);
+            }
+            st.on_fft_done(sym, 4);
+            st.on_demod_done(sym, 32);
+        }
+        assert!(!st.on_decode_done(1, 2));
+        assert!(!st.on_decode_done(2, 1));
+        assert!(st.on_decode_done(2, 1));
+        assert!(st.uplink_complete());
+    }
+
+    #[test]
+    fn downlink_flow() {
+        let mut st = dl_state();
+        // Encodes are available immediately.
+        let init = st.initial_work();
+        assert_eq!(
+            init,
+            vec![Ready::EncodeSymbol { symbol: 1 }, Ready::EncodeSymbol { symbol: 2 }]
+        );
+        // Encode done before ZF: nothing unlocked.
+        assert!(st.on_encode_done(1, 2).is_empty());
+        complete_pilots_and_zf_expect_precode(&mut st);
+        // Second symbol encoded after ZF: unlocked directly.
+        let r = st.on_encode_done(2, 2);
+        assert_eq!(r, vec![Ready::PrecodeSymbol { symbol: 2 }]);
+        // Precode -> IFFT -> frame completion.
+        assert!(st.on_precode_done(1, 16).is_empty());
+        let r = st.on_precode_done(1, 16);
+        assert_eq!(r, vec![Ready::IfftSymbol { symbol: 1 }]);
+        st.on_precode_done(2, 32);
+        assert!(!st.on_ifft_done(1, 4));
+        assert!(st.on_ifft_done(2, 4));
+        assert!(st.downlink_complete());
+    }
+
+    fn complete_pilots_and_zf(st: &mut FrameState) {
+        for ant in 0..4 {
+            st.on_packet(0, ant);
+        }
+        let r = st.on_fft_done(0, 4);
+        assert_eq!(r, vec![Ready::AllZf]);
+        st.on_zf_done(2);
+    }
+
+    fn complete_pilots_and_zf_expect_precode(st: &mut FrameState) {
+        for ant in 0..4 {
+            st.on_packet(0, ant);
+        }
+        let r = st.on_fft_done(0, 4);
+        assert_eq!(r, vec![Ready::AllZf]);
+        // ZF done unlocks precode for the already-encoded symbol 1.
+        let r = st.on_zf_done(2);
+        assert_eq!(r, vec![Ready::PrecodeSymbol { symbol: 1 }]);
+    }
+
+    #[test]
+    fn uplink_frame_has_no_initial_work() {
+        assert!(ul_state().initial_work().is_empty());
+    }
+}

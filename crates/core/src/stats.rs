@@ -1,0 +1,160 @@
+//! Runtime statistics: per-worker, per-task-type busy time and counts.
+//!
+//! Workers bump relaxed atomics around each task execution; the
+//! aggregates feed Table 3 ("time per task", "total time across cores")
+//! and the synchronisation-overhead analysis of Figure 11 (total budget
+//! minus busy time).
+
+use agora_queue::msg::TaskType;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of distinct task types tracked.
+pub const NUM_TASK_TYPES: usize = 7;
+
+/// Maps a compute task type to its stats slot.
+pub fn type_index(t: TaskType) -> usize {
+    match t {
+        TaskType::Fft => 0,
+        TaskType::Zf => 1,
+        TaskType::Demod => 2,
+        TaskType::Decode => 3,
+        TaskType::Encode => 4,
+        TaskType::Precode => 5,
+        TaskType::Ifft => 6,
+        _ => panic!("not a compute task type: {t:?}"),
+    }
+}
+
+/// Human-readable block names in slot order.
+pub const TYPE_NAMES: [&str; NUM_TASK_TYPES] =
+    ["FFT", "ZF", "Demod", "Decode", "Encode", "Precode", "IFFT"];
+
+/// Shared, lock-free statistics sink.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    busy_ns: [AtomicU64; NUM_TASK_TYPES],
+    tasks: [AtomicU64; NUM_TASK_TYPES],
+    messages: [AtomicU64; NUM_TASK_TYPES],
+    /// Total busy nanoseconds per worker id (sized at engine start).
+    worker_busy_ns: Vec<AtomicU64>,
+}
+
+impl EngineStats {
+    /// Creates a sink for `num_workers` workers.
+    pub fn new(num_workers: usize) -> Self {
+        Self {
+            worker_busy_ns: (0..num_workers).map(|_| AtomicU64::new(0)).collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Records one executed message: `count` tasks of type `t` taking
+    /// `ns` nanoseconds on worker `worker`.
+    pub fn record(&self, worker: usize, t: TaskType, count: u64, ns: u64) {
+        let i = type_index(t);
+        self.busy_ns[i].fetch_add(ns, Ordering::Relaxed);
+        self.tasks[i].fetch_add(count, Ordering::Relaxed);
+        self.messages[i].fetch_add(1, Ordering::Relaxed);
+        if let Some(w) = self.worker_busy_ns.get(worker) {
+            w.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Cumulative busy nanoseconds for one task type.
+    pub fn busy_ns(&self, t: TaskType) -> u64 {
+        self.busy_ns[type_index(t)].load(Ordering::Relaxed)
+    }
+
+    /// Number of tasks executed for one type.
+    pub fn tasks(&self, t: TaskType) -> u64 {
+        self.tasks[type_index(t)].load(Ordering::Relaxed)
+    }
+
+    /// Number of queue messages processed for one type.
+    pub fn messages(&self, t: TaskType) -> u64 {
+        self.messages[type_index(t)].load(Ordering::Relaxed)
+    }
+
+    /// Mean task duration in microseconds (None if no tasks ran).
+    pub fn mean_task_us(&self, t: TaskType) -> Option<f64> {
+        let n = self.tasks(t);
+        if n == 0 {
+            None
+        } else {
+            Some(self.busy_ns(t) as f64 / n as f64 / 1000.0)
+        }
+    }
+
+    /// Total busy nanoseconds across all workers and types.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.busy_ns.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Busy nanoseconds of one worker.
+    pub fn worker_busy_ns(&self, worker: usize) -> u64 {
+        self.worker_busy_ns.get(worker).map_or(0, |a| a.load(Ordering::Relaxed))
+    }
+
+    /// Formats a Table 3-style summary.
+    pub fn table(&self) -> String {
+        let mut out = String::from("block     tasks    msgs     time/task(us)  total(ms)\n");
+        for (i, name) in TYPE_NAMES.iter().enumerate() {
+            let tasks = self.tasks[i].load(Ordering::Relaxed);
+            if tasks == 0 {
+                continue;
+            }
+            let msgs = self.messages[i].load(Ordering::Relaxed);
+            let busy = self.busy_ns[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "{:<9} {:<8} {:<8} {:<14.2} {:.3}\n",
+                name,
+                tasks,
+                msgs,
+                busy as f64 / tasks as f64 / 1000.0,
+                busy as f64 / 1e6,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let s = EngineStats::new(2);
+        s.record(0, TaskType::Fft, 2, 5000);
+        s.record(1, TaskType::Fft, 2, 7000);
+        s.record(0, TaskType::Decode, 1, 40_000);
+        assert_eq!(s.tasks(TaskType::Fft), 4);
+        assert_eq!(s.messages(TaskType::Fft), 2);
+        assert_eq!(s.busy_ns(TaskType::Fft), 12_000);
+        assert_eq!(s.mean_task_us(TaskType::Fft), Some(3.0));
+        assert_eq!(s.total_busy_ns(), 52_000);
+        assert_eq!(s.worker_busy_ns(0), 45_000);
+        assert_eq!(s.worker_busy_ns(1), 7_000);
+    }
+
+    #[test]
+    fn empty_types_report_none() {
+        let s = EngineStats::new(1);
+        assert_eq!(s.mean_task_us(TaskType::Zf), None);
+    }
+
+    #[test]
+    fn table_lists_active_blocks_only() {
+        let s = EngineStats::new(1);
+        s.record(0, TaskType::Demod, 64, 12_000);
+        let t = s.table();
+        assert!(t.contains("Demod"));
+        assert!(!t.contains("IFFT"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a compute task")]
+    fn non_compute_type_panics() {
+        type_index(TaskType::Complete);
+    }
+}

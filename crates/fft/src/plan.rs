@@ -1,0 +1,305 @@
+//! Precomputed FFT plans.
+//!
+//! Like MKL/FFTW, the transform is split into a *plan* (twiddle factors and
+//! the bit-reversal permutation, computed once per size) and an *execute*
+//! step that does no allocation. Every FFT task in the engine executes
+//! against a shared, immutable [`FftPlan`], so plans are `Sync` and can be
+//! stored in an `Arc` next to the cell configuration.
+
+use agora_math::Cf32;
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Time domain -> frequency domain (negative exponent).
+    Forward,
+    /// Frequency domain -> time domain (positive exponent, `1/N` scaling).
+    Inverse,
+}
+
+/// A radix-2 decimation-in-time FFT plan for one power-of-two size.
+///
+/// Twiddles are stored per stage in natural access order so the butterfly
+/// inner loop streams them contiguously.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    log2n: u32,
+    /// Bit-reversal permutation of indices `0..n`.
+    bitrev: Vec<u32>,
+    /// Forward-direction twiddles, concatenated per stage: stage `s`
+    /// (butterfly half-width `w = 2^s`) contributes `w` twiddles
+    /// `e^{-i pi j / w}`, `j = 0..w`.
+    twiddles: Vec<Cf32>,
+}
+
+impl FftPlan {
+    /// Builds a plan for a power-of-two transform size.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two, got {n}");
+        let log2n = n.trailing_zeros();
+        // Bit-reversal table.
+        let mut bitrev = vec![0u32; n];
+        for (i, b) in bitrev.iter_mut().enumerate() {
+            *b = (i as u32).reverse_bits() >> (32 - log2n.max(1));
+        }
+        if n == 1 {
+            bitrev[0] = 0;
+        }
+        // Twiddles per stage, computed in f64 for accuracy.
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut w = 1usize;
+        while w < n {
+            for j in 0..w {
+                let ang = -core::f64::consts::PI * (j as f64) / (w as f64);
+                twiddles.push(Cf32::new(ang.cos() as f32, ang.sin() as f32));
+            }
+            w *= 2;
+        }
+        Self { n, log2n, bitrev, twiddles }
+    }
+
+    /// Transform size.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the degenerate size-1 plan... which still "is" a plan.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place transform of exactly `self.len()` samples.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn execute(&self, data: &mut [Cf32], dir: Direction) {
+        assert_eq!(data.len(), self.n, "buffer length must equal plan size");
+        if self.n == 1 {
+            return;
+        }
+        // Conjugate trick for the inverse: IFFT(x) = conj(FFT(conj(x)))/N.
+        if dir == Direction::Inverse {
+            for z in data.iter_mut() {
+                *z = z.conj();
+            }
+        }
+        self.forward_in_place(data);
+        if dir == Direction::Inverse {
+            let inv_n = 1.0 / self.n as f32;
+            for z in data.iter_mut() {
+                *z = z.conj().scale(inv_n);
+            }
+        }
+    }
+
+    /// Out-of-place transform: copies `src` into `dst` then runs in place.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths don't equal the plan size.
+    pub fn execute_to(&self, src: &[Cf32], dst: &mut [Cf32], dir: Direction) {
+        assert_eq!(src.len(), self.n);
+        assert_eq!(dst.len(), self.n);
+        dst.copy_from_slice(src);
+        self.execute(dst, dir);
+    }
+
+    fn forward_in_place(&self, data: &mut [Cf32]) {
+        let n = self.n;
+        // Bit-reversal permutation (swap once per pair).
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+        // Iterative DIT butterflies.
+        let mut w = 1usize; // half-width of the current butterfly
+        let mut tw_off = 0usize;
+        for _stage in 0..self.log2n {
+            let stride = w * 2;
+            let tws = &self.twiddles[tw_off..tw_off + w];
+            let mut base = 0usize;
+            while base < n {
+                for j in 0..w {
+                    let a = data[base + j];
+                    let b = data[base + j + w] * tws[j];
+                    data[base + j] = a + b;
+                    data[base + j + w] = a - b;
+                }
+                base += stride;
+            }
+            tw_off += w;
+            w = stride;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft_ref::{dft, idft};
+
+    fn signal(n: usize) -> Vec<Cf32> {
+        (0..n)
+            .map(|i| {
+                let t = i as f32;
+                Cf32::new((0.3 * t).sin() + 0.2, (0.7 * t).cos() - 0.1)
+            })
+            .collect()
+    }
+
+    fn max_err(a: &[Cf32], b: &[Cf32]) -> f32 {
+        a.iter().zip(b.iter()).map(|(x, y)| (*x - *y).abs()).fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn matches_reference_dft_all_small_sizes() {
+        for log2 in 0..=10 {
+            let n = 1usize << log2;
+            let x = signal(n);
+            let mut y = x.clone();
+            FftPlan::new(n).execute(&mut y, Direction::Forward);
+            let y_ref = dft(&x);
+            let tol = 1e-3 * (n as f32).sqrt();
+            assert!(max_err(&y, &y_ref) < tol, "size {n} error too large");
+        }
+    }
+
+    #[test]
+    fn inverse_matches_reference_idft() {
+        let n = 64;
+        let x = signal(n);
+        let mut y = x.clone();
+        FftPlan::new(n).execute(&mut y, Direction::Inverse);
+        let y_ref = idft(&x);
+        assert!(max_err(&y, &y_ref) < 1e-4);
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for &n in &[8usize, 256, 2048] {
+            let plan = FftPlan::new(n);
+            let x = signal(n);
+            let mut y = x.clone();
+            plan.execute(&mut y, Direction::Forward);
+            plan.execute(&mut y, Direction::Inverse);
+            assert!(max_err(&x, &y) < 1e-3, "roundtrip failed for {n}");
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let n = 128;
+        let mut x = vec![Cf32::ZERO; n];
+        x[0] = Cf32::ONE;
+        FftPlan::new(n).execute(&mut x, Direction::Forward);
+        for v in x {
+            assert!((v.re - 1.0).abs() < 1e-4 && v.im.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 256;
+        let k = 19usize;
+        let x: Vec<Cf32> = (0..n)
+            .map(|i| Cf32::cis(2.0 * core::f32::consts::PI * (k * i) as f32 / n as f32))
+            .collect();
+        let mut y = x.clone();
+        FftPlan::new(n).execute(&mut y, Direction::Forward);
+        for (bin, v) in y.iter().enumerate() {
+            if bin == k {
+                assert!((v.abs() - n as f32).abs() < 0.1 * n as f32);
+            } else {
+                assert!(v.abs() < 1e-2 * n as f32, "leakage in bin {bin}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let plan = FftPlan::new(n);
+        let a = signal(n);
+        let b: Vec<Cf32> = signal(n).iter().map(|z| z.conj()).collect();
+        let sum: Vec<Cf32> = a.iter().zip(b.iter()).map(|(x, y)| *x + *y).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fsum = sum.clone();
+        plan.execute(&mut fa, Direction::Forward);
+        plan.execute(&mut fb, Direction::Forward);
+        plan.execute(&mut fsum, Direction::Forward);
+        let combined: Vec<Cf32> = fa.iter().zip(fb.iter()).map(|(x, y)| *x + *y).collect();
+        assert!(max_err(&fsum, &combined) < 1e-3);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 512;
+        let x = signal(n);
+        let time_energy: f32 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut y = x;
+        FftPlan::new(n).execute(&mut y, Direction::Forward);
+        let freq_energy: f32 = y.iter().map(|z| z.norm_sqr()).sum::<f32>() / n as f32;
+        assert!((time_energy - freq_energy).abs() < 1e-2 * time_energy);
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let plan = FftPlan::new(1);
+        let mut x = [Cf32::new(3.0, -2.0)];
+        plan.execute(&mut x, Direction::Forward);
+        assert_eq!(x[0], Cf32::new(3.0, -2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = FftPlan::new(48);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn wrong_buffer_length_rejected() {
+        let plan = FftPlan::new(8);
+        let mut x = vec![Cf32::ZERO; 4];
+        plan.execute(&mut x, Direction::Forward);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn roundtrip_recovers_input(
+            log2 in 1u32..9,
+            seed in any::<u64>(),
+        ) {
+            let n = 1usize << log2;
+            let mut state = seed | 1;
+            let x: Vec<Cf32> = (0..n).map(|_| {
+                let mut next = || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    ((state >> 11) as f32 / (1u64 << 53) as f32) - 0.25
+                };
+                Cf32::new(next(), next())
+            }).collect();
+            let plan = FftPlan::new(n);
+            let mut y = x.clone();
+            plan.execute(&mut y, Direction::Forward);
+            plan.execute(&mut y, Direction::Inverse);
+            let err = x.iter().zip(y.iter()).map(|(a, b)| (*a - *b).abs()).fold(0.0f32, f32::max);
+            prop_assert!(err < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # agora-ldpc — 5G NR-style QC-LDPC codec
+//!
+//! From-scratch replacement for the Intel FlexRAN LDPC SDK the Agora
+//! paper links against (closed-source binaries):
+//!
+//! * [`base_graph`]: BG1/BG2-shaped protographs with the double-diagonal
+//!   encoding core and punctured high-degree columns (substitution
+//!   documented in DESIGN.md — shift tables are generated, not copied
+//!   from TS 38.212).
+//! * [`lifting`]: the standard's 51 lifting sizes and set indices.
+//! * [`encoder`]: linear-time systematic encoder.
+//! * [`decoder`]: offset min-sum BP, layered and flooding schedules.
+//! * [`rate_match`]: circular-buffer rate matching and LLR re-inflation.
+//! * [`crc`]: CRC-24A transport-block CRC.
+//! * [`metrics`]: BER/BLER accumulators.
+
+pub mod base_graph;
+pub mod crc;
+pub mod decoder;
+pub mod encoder;
+pub mod lifting;
+pub mod metrics;
+pub mod rate_match;
+
+pub use base_graph::{BaseEntry, BaseGraph, BaseGraphId};
+pub use crc::{attach_crc, check_crc, crc24a};
+pub use decoder::{DecodeConfig, DecodeResult, Decoder};
+pub use encoder::Encoder;
+pub use metrics::{count_bit_errors, ErrorStats};
+pub use rate_match::RateMatch;

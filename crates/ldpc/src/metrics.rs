@@ -1,0 +1,121 @@
+//! Error-rate bookkeeping: BER and BLER counters used by the Figure 9 and
+//! Figure 12 experiments.
+
+/// Accumulates bit- and block-error statistics across trials.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ErrorStats {
+    /// Total information bits compared.
+    pub bits: u64,
+    /// Bits that differed.
+    pub bit_errors: u64,
+    /// Total blocks compared.
+    pub blocks: u64,
+    /// Blocks with at least one bit error or a decoder-reported failure.
+    pub block_errors: u64,
+}
+
+impl ErrorStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one decoded block against the transmitted reference. A
+    /// block is in error if any bit differs or `decoder_success` is false
+    /// (matching the paper's "blocks for which LDPC decoding fails").
+    pub fn record(&mut self, tx: &[u8], rx: &[u8], decoder_success: bool) {
+        assert_eq!(tx.len(), rx.len(), "block length mismatch");
+        let errs = count_bit_errors(tx, rx);
+        self.bits += tx.len() as u64;
+        self.bit_errors += errs;
+        self.blocks += 1;
+        if errs > 0 || !decoder_success {
+            self.block_errors += 1;
+        }
+    }
+
+    /// Merges another accumulator (e.g. from a parallel worker).
+    pub fn merge(&mut self, other: &ErrorStats) {
+        self.bits += other.bits;
+        self.bit_errors += other.bit_errors;
+        self.blocks += other.blocks;
+        self.block_errors += other.block_errors;
+    }
+
+    /// Bit error rate; 0 when nothing was recorded.
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.bit_errors as f64 / self.bits as f64
+        }
+    }
+
+    /// Block error rate; 0 when nothing was recorded.
+    pub fn bler(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.block_errors as f64 / self.blocks as f64
+        }
+    }
+}
+
+/// Counts differing positions between two equal-length bit slices.
+pub fn count_bit_errors(a: &[u8], b: &[u8]) -> u64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).filter(|(x, y)| (**x & 1) != (**y & 1)).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_blocks_have_zero_rates() {
+        let mut s = ErrorStats::new();
+        let block = vec![1u8, 0, 1, 1];
+        s.record(&block, &block, true);
+        s.record(&block, &block, true);
+        assert_eq!(s.ber(), 0.0);
+        assert_eq!(s.bler(), 0.0);
+        assert_eq!(s.blocks, 2);
+    }
+
+    #[test]
+    fn bit_errors_counted() {
+        let mut s = ErrorStats::new();
+        s.record(&[0, 0, 0, 0], &[1, 0, 1, 0], true);
+        assert_eq!(s.bit_errors, 2);
+        assert_eq!(s.ber(), 0.5);
+        assert_eq!(s.bler(), 1.0);
+    }
+
+    #[test]
+    fn decoder_failure_marks_block_even_if_bits_match() {
+        let mut s = ErrorStats::new();
+        s.record(&[1, 1], &[1, 1], false);
+        assert_eq!(s.bit_errors, 0);
+        assert_eq!(s.bler(), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ErrorStats::new();
+        a.record(&[0, 0], &[0, 1], true);
+        let mut b = ErrorStats::new();
+        b.record(&[1, 1], &[1, 1], true);
+        a.merge(&b);
+        assert_eq!(a.blocks, 2);
+        assert_eq!(a.block_errors, 1);
+        assert_eq!(a.bits, 4);
+        assert_eq!(a.bit_errors, 1);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let s = ErrorStats::new();
+        assert_eq!(s.ber(), 0.0);
+        assert_eq!(s.bler(), 0.0);
+    }
+}

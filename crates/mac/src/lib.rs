@@ -1,0 +1,18 @@
+//! # agora-mac — a minimal MAC layer above the Agora PHY
+//!
+//! The paper's baseband hands decoded bits up to "the MAC" and takes
+//! downlink bits from it (Figure 1b) without specifying one. This crate
+//! provides the smallest MAC that makes the PHY *usable*: byte-oriented
+//! transport blocks segmented into the per-(symbol, user) code blocks
+//! the engine processes, with CRC-24A end-to-end integrity and loss-
+//! tolerant reassembly.
+//!
+//! * [`segment`]: transport block → per-symbol code-block payloads.
+//! * [`reassemble`]: decoded code blocks → transport block + CRC verdict.
+//! * [`pack_bits`] / [`unpack_bits`]: byte ↔ LSB-first bit conversion.
+
+pub mod segment;
+
+pub use segment::{
+    pack_bits, reassemble, segment, unpack_bits, ReassembleError, Segmenter, TransportBlock,
+};

@@ -1,0 +1,221 @@
+//! Cholesky factorisation of Hermitian positive-definite matrices.
+//!
+//! The zero-forcing Gram matrix `H^H H` is Hermitian positive definite
+//! whenever `H` has full column rank, so its inverse can be computed with a
+//! Cholesky factorisation at roughly half the flops of Gauss-Jordan. The
+//! engine uses Gauss-Jordan by default (it matches the paper's direct-
+//! inverse description and is insensitive to slight asymmetry from float
+//! rounding), but exposes this route for the ablation benches.
+
+use crate::complex::Cf32;
+use crate::matrix::CMat;
+
+/// Error returned when a matrix is not Hermitian positive definite (a
+/// non-positive pivot appeared on the diagonal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NotPositiveDefinite {
+    /// The factorisation step at which the pivot failed.
+    pub step: usize,
+    /// The offending pivot value.
+    pub pivot: f32,
+}
+
+impl core::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite (pivot {} at step {})",
+            self.pivot, self.step
+        )
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L L^H`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: CMat,
+}
+
+impl Cholesky {
+    /// Factorises a Hermitian positive-definite matrix. Only the lower
+    /// triangle of `a` is read; the strict upper triangle is ignored, so
+    /// callers may pass a matrix whose upper triangle is garbage.
+    pub fn factor(a: &CMat) -> Result<Self, NotPositiveDefinite> {
+        assert_eq!(a.rows(), a.cols(), "Cholesky requires a square matrix");
+        let n = a.rows();
+        let mut l = CMat::zeros(n, n);
+        for j in 0..n {
+            // Diagonal pivot: real by Hermitian symmetry.
+            let mut d = a[(j, j)].re;
+            for p in 0..j {
+                d -= l[(j, p)].norm_sqr();
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(NotPositiveDefinite { step: j, pivot: d });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = Cf32::real(dj);
+            let inv_dj = 1.0 / dj;
+            for i in j + 1..n {
+                let mut s = a[(i, j)];
+                for p in 0..j {
+                    // s -= L[i][p] * conj(L[j][p])
+                    s -= l[(i, p)] * l[(j, p)].conj();
+                }
+                l[(i, j)] = s.scale(inv_dj);
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &CMat {
+        &self.l
+    }
+
+    /// Solves `A x = b` using the factorisation.
+    pub fn solve_vec(&self, b: &[Cf32]) -> Vec<Cf32> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n);
+        // Forward: L y = b
+        let mut y = vec![Cf32::ZERO; n];
+        for i in 0..n {
+            let mut acc = b[i];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                acc -= self.l[(i, j)] * yj;
+            }
+            y[i] = acc * self.l[(i, i)].inv();
+        }
+        // Backward: L^H x = y
+        let mut x = vec![Cf32::ZERO; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in i + 1..n {
+                acc -= self.l[(j, i)].conj() * x[j];
+            }
+            x[i] = acc * self.l[(i, i)].inv();
+        }
+        x
+    }
+
+    /// Solves `A X = B` column-by-column.
+    pub fn solve(&self, b: &CMat) -> CMat {
+        let n = self.l.rows();
+        assert_eq!(b.rows(), n);
+        let mut x = CMat::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let bc = b.col(c);
+            let xc = self.solve_vec(&bc);
+            for (r, v) in xc.into_iter().enumerate() {
+                x[(r, c)] = v;
+            }
+        }
+        x
+    }
+
+    /// Computes `A^{-1}` by solving against the identity.
+    pub fn inverse(&self) -> CMat {
+        self.solve(&CMat::identity(self.l.rows()))
+    }
+
+    /// Determinant of `A` (product of squared diagonal pivots); real and
+    /// positive for positive-definite input.
+    pub fn det(&self) -> f32 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].re * self.l[(i, i)].re).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inverse::invert;
+
+    fn hpd(n: usize, seed: u64) -> CMat {
+        // Random A, then A^H A + n*I is comfortably positive definite.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let a = CMat::from_fn(n, n, |_, _| {
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 11) as f32 / (1u64 << 53) as f32) - 0.25
+            };
+            Cf32::new(next(), next())
+        });
+        let mut g = a.gram();
+        for i in 0..n {
+            g[(i, i)] += Cf32::real(0.5);
+        }
+        g
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = hpd(8, 3);
+        let ch = Cholesky::factor(&a).unwrap();
+        let recon = ch.l().matmul(&ch.l().hermitian());
+        assert!(recon.max_abs_diff(&a) < 1e-3);
+    }
+
+    #[test]
+    fn factor_identity_is_identity() {
+        let i = CMat::identity(5);
+        let ch = Cholesky::factor(&i).unwrap();
+        assert!(ch.l().max_abs_diff(&i) < 1e-6);
+        assert!((ch.det() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_matches_gauss_jordan() {
+        let a = hpd(6, 9);
+        let b = CMat::from_fn(6, 2, |r, c| Cf32::new(r as f32 + 1.0, c as f32 - 0.5));
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&b);
+        let x_ref = invert(&a).unwrap().matmul(&b);
+        assert!(x.max_abs_diff(&x_ref) < 1e-2);
+        assert!(a.matmul(&x).max_abs_diff(&b) < 1e-2);
+    }
+
+    #[test]
+    fn inverse_matches_gauss_jordan() {
+        let a = hpd(10, 17);
+        let ch = Cholesky::factor(&a).unwrap();
+        let inv1 = ch.inverse();
+        let inv2 = invert(&a).unwrap();
+        assert!(inv1.max_abs_diff(&inv2) < 1e-2);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut a = CMat::identity(3);
+        a[(2, 2)] = Cf32::real(-1.0);
+        match Cholesky::factor(&a) {
+            Err(NotPositiveDefinite { step: 2, .. }) => {}
+            other => panic!("expected failure at step 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn upper_triangle_is_ignored() {
+        let a = hpd(4, 21);
+        let mut messy = a.clone();
+        // Corrupt the strict upper triangle; result must not change.
+        for r in 0..4 {
+            for c in r + 1..4 {
+                messy[(r, c)] = Cf32::new(1e6, -1e6);
+            }
+        }
+        let x1 = Cholesky::factor(&a).unwrap().inverse();
+        let x2 = Cholesky::factor(&messy).unwrap().inverse();
+        assert!(x1.max_abs_diff(&x2) < 1e-5);
+    }
+
+    #[test]
+    fn det_of_scaled_identity() {
+        let a = CMat::identity(3).scale(4.0);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.det() - 64.0).abs() < 1e-3);
+    }
+}

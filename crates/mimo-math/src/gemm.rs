@@ -1,0 +1,306 @@
+//! Complex matrix multiplication kernels.
+//!
+//! Equalization and precoding multiply a fixed-size detector/precoder matrix
+//! against every data subcarrier of every symbol, so GEMM dominates the
+//! per-subcarrier cost after LDPC. The paper accelerates this with Intel
+//! MKL's JIT GEMM, which emits code specialised for the one `(M, K)` problem
+//! size the cell uses. Our analogue of "JIT" is monomorphisation:
+//! [`gemm_fixed`] is a const-generic kernel the compiler fully unrolls for
+//! the given shape, and [`Gemm`] caches the dispatch decision, falling back
+//! to the generic blocked kernel [`gemm`] for unusual shapes. The
+//! generic-vs-specialised gap is what Table 4's "JIT matrix multiplication"
+//! ablation row measures.
+
+use crate::complex::Cf32;
+use crate::matrix::CMat;
+
+/// Generic row-major complex GEMM: `C = A * B`.
+///
+/// `a` is `m x k`, `b` is `k x n`, `c` is `m x n`; all row-major. The loop
+/// order (i, p, j) streams `b` and `c` rows contiguously, which
+/// auto-vectorises well.
+///
+/// # Panics
+/// Panics if slice lengths do not match the shapes.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[Cf32], b: &[Cf32], c: &mut [Cf32]) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(c.len(), m * n, "C shape mismatch");
+    c.fill(Cf32::ZERO);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &aip) in arow.iter().enumerate() {
+            let brow = &b[p * n..(p + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                *cj = aip.mul_add(bj, *cj);
+            }
+        }
+    }
+}
+
+/// Shape-specialised GEMM. The compiler monomorphises one copy per `(M, K,
+/// N)` triple used in the program and unrolls the inner loops — the moral
+/// equivalent of MKL's JIT-generated kernel for a fixed problem size.
+///
+/// # Panics
+/// Panics if slice lengths do not match the const shapes.
+#[inline]
+pub fn gemm_fixed<const M: usize, const K: usize, const N: usize>(
+    a: &[Cf32],
+    b: &[Cf32],
+    c: &mut [Cf32],
+) {
+    assert_eq!(a.len(), M * K, "A shape mismatch");
+    assert_eq!(b.len(), K * N, "B shape mismatch");
+    assert_eq!(c.len(), M * N, "C shape mismatch");
+    for i in 0..M {
+        let mut acc = [Cf32::ZERO; N];
+        let arow = &a[i * K..(i + 1) * K];
+        for p in 0..K {
+            let aip = arow[p];
+            let brow = &b[p * N..(p + 1) * N];
+            for j in 0..N {
+                acc[j] = aip.mul_add(brow[j], acc[j]);
+            }
+        }
+        c[i * N..(i + 1) * N].copy_from_slice(&acc);
+    }
+}
+
+/// GEMV specialised for the equalizer hot path: `y = A x` where `A` is
+/// `m x k` row-major. Used when the "B" operand is a single subcarrier's
+/// antenna vector.
+#[inline]
+pub fn gemv(m: usize, k: usize, a: &[Cf32], x: &[Cf32], y: &mut [Cf32]) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(x.len(), k, "x length mismatch");
+    assert_eq!(y.len(), m, "y length mismatch");
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut acc = Cf32::ZERO;
+        for (&aij, &xj) in arow.iter().zip(x.iter()) {
+            acc = aij.mul_add(xj, acc);
+        }
+        y[i] = acc;
+    }
+}
+
+/// Which kernel a [`Gemm`] plan selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmKernel {
+    /// Generic three-loop kernel, any shape.
+    Generic,
+    /// Monomorphised fixed-shape kernel ("JIT" analogue).
+    Specialized,
+}
+
+/// A small "planned GEMM" wrapper: resolves at construction whether a
+/// specialised kernel exists for the problem shape, mirroring MKL's
+/// `mkl_jit_create_cgemm` + `mkl_jit_get_cgemm_ptr` flow.
+#[derive(Debug, Clone, Copy)]
+pub struct Gemm {
+    m: usize,
+    k: usize,
+    n: usize,
+    kernel: GemmKernel,
+    /// Allows ablations to force the generic path even when a specialised
+    /// kernel exists (Table 4, "JIT matmul disabled").
+    force_generic: bool,
+}
+
+impl Gemm {
+    /// Plans a GEMM for `m x k times k x n`.
+    pub fn plan(m: usize, k: usize, n: usize) -> Self {
+        let kernel = if dispatch_fixed(m, k, n, None, None, None).is_some() {
+            GemmKernel::Specialized
+        } else {
+            GemmKernel::Generic
+        };
+        Self { m, k, n, kernel, force_generic: false }
+    }
+
+    /// Plans a GEMM but pins it to the generic kernel (for ablations).
+    pub fn plan_generic(m: usize, k: usize, n: usize) -> Self {
+        Self { m, k, n, kernel: GemmKernel::Generic, force_generic: true }
+    }
+
+    /// The kernel this plan resolved to.
+    pub fn kernel(&self) -> GemmKernel {
+        if self.force_generic {
+            GemmKernel::Generic
+        } else {
+            self.kernel
+        }
+    }
+
+    /// Executes `C = A * B`.
+    #[inline]
+    pub fn run(&self, a: &[Cf32], b: &[Cf32], c: &mut [Cf32]) {
+        if self.kernel() == GemmKernel::Specialized {
+            if dispatch_fixed(self.m, self.k, self.n, Some(a), Some(b), Some(c)).is_some() {
+                return;
+            }
+        }
+        gemm(self.m, self.k, self.n, a, b, c);
+    }
+
+    /// Convenience wrapper over [`CMat`] operands.
+    pub fn run_mat(&self, a: &CMat, b: &CMat) -> CMat {
+        assert_eq!(a.shape(), (self.m, self.k));
+        assert_eq!(b.shape(), (self.k, self.n));
+        let mut c = CMat::zeros(self.m, self.n);
+        self.run(a.as_slice(), b.as_slice(), c.as_mut_slice());
+        c
+    }
+}
+
+/// Dispatch table of monomorphised kernels for the MIMO shapes Agora's
+/// evaluation uses: detector `K x M` against antenna blocks, precoder
+/// `M x K` against user blocks, and the Gram/inverse products.
+///
+/// Called with `None` operands it only answers "is this shape specialised?".
+fn dispatch_fixed(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: Option<&[Cf32]>,
+    b: Option<&[Cf32]>,
+    c: Option<&mut [Cf32]>,
+) -> Option<()> {
+    macro_rules! table {
+        ($(($mm:literal, $kk:literal, $nn:literal)),+ $(,)?) => {
+            match (m, k, n) {
+                $(
+                    ($mm, $kk, $nn) => {
+                        if let (Some(a), Some(b), Some(c)) = (a, b, c) {
+                            gemm_fixed::<$mm, $kk, $nn>(a, b, c);
+                        }
+                        Some(())
+                    }
+                )+
+                _ => None,
+            }
+        };
+    }
+    // Shapes: (users x antennas) * (antennas x batch) for equalization with
+    // batch widths 1 and 8 (one cache line of subcarriers), Gram products,
+    // and downlink precoding (antennas x users) * (users x batch).
+    table!(
+        // Equalization: detector (K x M) times received block (M x n).
+        (16, 64, 1),
+        (16, 64, 8),
+        (8, 64, 1),
+        (8, 64, 8),
+        (16, 32, 1),
+        (16, 32, 8),
+        (4, 16, 1),
+        (4, 16, 8),
+        // Downlink precoding: precoder (M x K) times user block (K x n).
+        (64, 16, 1),
+        (64, 16, 8),
+        (64, 8, 1),
+        (64, 8, 8),
+        (32, 16, 1),
+        (32, 16, 8),
+        (16, 4, 1),
+        (16, 4, 8),
+        // Detector assembly: (K x K) inverse times (K x M) Hermitian.
+        (16, 16, 64),
+        (8, 8, 64),
+        (16, 16, 32),
+        (4, 4, 16),
+        // Gram: (K x M) times (M x K). ((8, 64, 8) is already covered by
+        // the equalization section above.)
+        (16, 64, 16),
+        (16, 32, 16),
+        (4, 16, 4),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::CMat;
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> CMat {
+        // Deterministic pseudo-random fill without pulling in `rand` here.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        CMat::from_fn(rows, cols, |_, _| {
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 11) as f32 / (1u64 << 53) as f32) * 2.0 - 0.5
+            };
+            Cf32::new(next(), next())
+        })
+    }
+
+    #[test]
+    fn generic_matches_naive() {
+        let a = rand_mat(5, 7, 1);
+        let b = rand_mat(7, 3, 2);
+        let mut c = vec![Cf32::ZERO; 15];
+        gemm(5, 7, 3, a.as_slice(), b.as_slice(), &mut c);
+        let c_ref = a.matmul(&b);
+        let cm = CMat::from_slice(5, 3, &c);
+        assert!(cm.max_abs_diff(&c_ref) < 1e-4);
+    }
+
+    #[test]
+    fn fixed_matches_generic() {
+        let a = rand_mat(16, 64, 3);
+        let b = rand_mat(64, 8, 4);
+        let mut c1 = vec![Cf32::ZERO; 16 * 8];
+        let mut c2 = vec![Cf32::ZERO; 16 * 8];
+        gemm(16, 64, 8, a.as_slice(), b.as_slice(), &mut c1);
+        gemm_fixed::<16, 64, 8>(a.as_slice(), b.as_slice(), &mut c2);
+        for (x, y) in c1.iter().zip(c2.iter()) {
+            assert!((*x - *y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn plan_selects_specialized_for_known_shapes() {
+        assert_eq!(Gemm::plan(16, 64, 8).kernel(), GemmKernel::Specialized);
+        assert_eq!(Gemm::plan(16, 64, 1).kernel(), GemmKernel::Specialized);
+        assert_eq!(Gemm::plan(17, 64, 8).kernel(), GemmKernel::Generic);
+    }
+
+    #[test]
+    fn plan_generic_forces_generic() {
+        let g = Gemm::plan_generic(16, 64, 8);
+        assert_eq!(g.kernel(), GemmKernel::Generic);
+    }
+
+    #[test]
+    fn planned_run_matches_matmul() {
+        let a = rand_mat(16, 64, 5);
+        let b = rand_mat(64, 8, 6);
+        let plan = Gemm::plan(16, 64, 8);
+        let c = plan.run_mat(&a, &b);
+        assert!(c.max_abs_diff(&a.matmul(&b)) < 1e-3);
+    }
+
+    #[test]
+    fn gemv_matches_matvec() {
+        let a = rand_mat(6, 9, 7);
+        let x: Vec<Cf32> = rand_mat(9, 1, 8).as_slice().to_vec();
+        let mut y = vec![Cf32::ZERO; 6];
+        gemv(6, 9, a.as_slice(), &x, &mut y);
+        let y_ref = a.matvec(&x);
+        for (u, v) in y.iter().zip(y_ref.iter()) {
+            assert!((*u - *v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn zero_inputs_give_zero_output() {
+        let a = vec![Cf32::ZERO; 4 * 4];
+        let b = vec![Cf32::ZERO; 4 * 4];
+        let mut c = vec![Cf32::ONE; 16];
+        gemm(4, 4, 4, &a, &b, &mut c);
+        assert!(c.iter().all(|z| *z == Cf32::ZERO));
+    }
+}

@@ -1,0 +1,298 @@
+//! Complex matrix inversion and linear solves.
+//!
+//! Zero-forcing needs the inverse of the small `K x K` Gram matrix
+//! `H^H H`. The paper's key observation (§4.2) is that this inverse is
+//! *cheap* — ~16 µs for K=16 — because K is small even when M is large;
+//! the expensive, numerically robust SVD route is unnecessary for
+//! well-conditioned channels. This module provides the direct route:
+//! Gauss-Jordan elimination with partial pivoting ([`invert`]) and an LU
+//! solve ([`solve`]).
+
+use crate::complex::Cf32;
+use crate::matrix::CMat;
+
+/// Errors from direct inversion/solving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvError {
+    /// The matrix is not square.
+    NotSquare,
+    /// A pivot smaller than the singularity threshold was encountered; the
+    /// matrix is singular or numerically near-singular.
+    Singular {
+        /// Elimination step at which the pivot collapsed.
+        step: usize,
+    },
+}
+
+impl core::fmt::Display for InvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InvError::NotSquare => write!(f, "matrix is not square"),
+            InvError::Singular { step } => {
+                write!(f, "matrix is singular (pivot collapsed at step {step})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvError {}
+
+/// Pivot magnitudes below this (relative to the largest initial element)
+/// are treated as singular.
+const PIVOT_EPS: f32 = 1e-12;
+
+/// Inverts a square complex matrix by Gauss-Jordan elimination with
+/// partial (row) pivoting.
+///
+/// This is the paper's "matrix inverse optimisation": invert the small
+/// `K x K` matrix directly instead of taking an SVD pseudo-inverse of the
+/// full `M x K` channel (compare [`crate::pinv::pinv_svd`]).
+pub fn invert(a: &CMat) -> Result<CMat, InvError> {
+    if a.rows() != a.cols() {
+        return Err(InvError::NotSquare);
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(CMat::zeros(0, 0));
+    }
+    // Augmented [A | I] in one buffer, eliminated in place.
+    let mut m = a.clone();
+    let mut inv = CMat::identity(n);
+    let scale = m.as_slice().iter().map(|z| z.norm_sqr()).fold(0.0f32, f32::max).sqrt().max(1.0);
+
+    for col in 0..n {
+        // Partial pivot: find the largest magnitude in this column at or
+        // below the diagonal.
+        let mut pivot_row = col;
+        let mut pivot_mag = m[(col, col)].norm_sqr();
+        for r in col + 1..n {
+            let mag = m[(r, col)].norm_sqr();
+            if mag > pivot_mag {
+                pivot_mag = mag;
+                pivot_row = r;
+            }
+        }
+        if pivot_mag.sqrt() <= PIVOT_EPS * scale {
+            return Err(InvError::Singular { step: col });
+        }
+        if pivot_row != col {
+            swap_rows(&mut m, col, pivot_row);
+            swap_rows(&mut inv, col, pivot_row);
+        }
+        // Normalise the pivot row.
+        let pinv = m[(col, col)].inv();
+        for z in m.row_mut(col).iter_mut() {
+            *z *= pinv;
+        }
+        for z in inv.row_mut(col).iter_mut() {
+            *z *= pinv;
+        }
+        // Eliminate the column from all other rows.
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let factor = m[(r, col)];
+            if factor == Cf32::ZERO {
+                continue;
+            }
+            for c in 0..n {
+                let sub_m = m[(col, c)];
+                let sub_i = inv[(col, c)];
+                m[(r, c)] -= factor * sub_m;
+                inv[(r, c)] -= factor * sub_i;
+            }
+        }
+    }
+    Ok(inv)
+}
+
+/// Solves `A X = B` for `X` via LU decomposition with partial pivoting,
+/// without forming `A^{-1}` explicitly.
+pub fn solve(a: &CMat, b: &CMat) -> Result<CMat, InvError> {
+    if a.rows() != a.cols() {
+        return Err(InvError::NotSquare);
+    }
+    let n = a.rows();
+    assert_eq!(b.rows(), n, "RHS row count must match A");
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let scale = lu.as_slice().iter().map(|z| z.norm_sqr()).fold(0.0f32, f32::max).sqrt().max(1.0);
+
+    for col in 0..n {
+        let mut pivot_row = col;
+        let mut pivot_mag = lu[(col, col)].norm_sqr();
+        for r in col + 1..n {
+            let mag = lu[(r, col)].norm_sqr();
+            if mag > pivot_mag {
+                pivot_mag = mag;
+                pivot_row = r;
+            }
+        }
+        if pivot_mag.sqrt() <= PIVOT_EPS * scale {
+            return Err(InvError::Singular { step: col });
+        }
+        if pivot_row != col {
+            swap_rows(&mut lu, col, pivot_row);
+            perm.swap(col, pivot_row);
+        }
+        let pinv = lu[(col, col)].inv();
+        for r in col + 1..n {
+            let l = lu[(r, col)] * pinv;
+            lu[(r, col)] = l;
+            for c in col + 1..n {
+                let u = lu[(col, c)];
+                lu[(r, c)] -= l * u;
+            }
+        }
+    }
+
+    // Apply permutation to B, then forward/back substitution per column.
+    let ncols = b.cols();
+    let mut x = CMat::zeros(n, ncols);
+    for c in 0..ncols {
+        // y = L^{-1} P b
+        let mut y = vec![Cf32::ZERO; n];
+        for i in 0..n {
+            let mut acc = b[(perm[i], c)];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                acc -= lu[(i, j)] * yj;
+            }
+            y[i] = acc;
+        }
+        // x = U^{-1} y
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in i + 1..n {
+                acc -= lu[(i, j)] * x[(j, c)];
+            }
+            x[(i, c)] = acc * lu[(i, i)].inv();
+        }
+    }
+    Ok(x)
+}
+
+fn swap_rows(m: &mut CMat, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    let cols = m.cols();
+    let s = m.as_mut_slice();
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let (head, tail) = s.split_at_mut(hi * cols);
+    head[lo * cols..lo * cols + cols].swap_with_slice(&mut tail[..cols]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_mat(n: usize, seed: u64) -> CMat {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(99);
+        CMat::from_fn(n, n, |_, _| {
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 11) as f32 / (1u64 << 53) as f32) - 0.25
+            };
+            Cf32::new(next(), next())
+        })
+    }
+
+    /// Random matrices are almost surely well-conditioned enough at these
+    /// sizes; diagonally dominate to be safe.
+    fn well_conditioned(n: usize, seed: u64) -> CMat {
+        let mut m = rand_mat(n, seed);
+        for i in 0..n {
+            m[(i, i)] += Cf32::new(n as f32, 0.0);
+        }
+        m
+    }
+
+    #[test]
+    fn invert_identity() {
+        let i = CMat::identity(5);
+        let inv = invert(&i).unwrap();
+        assert!(inv.max_abs_diff(&i) < 1e-6);
+    }
+
+    #[test]
+    fn invert_diagonal() {
+        let d = CMat::from_fn(3, 3, |r, c| {
+            if r == c {
+                Cf32::new(0.0, (r + 1) as f32)
+            } else {
+                Cf32::ZERO
+            }
+        });
+        let inv = invert(&d).unwrap();
+        let prod = d.matmul(&inv);
+        assert!(prod.max_abs_diff(&CMat::identity(3)) < 1e-6);
+    }
+
+    #[test]
+    fn invert_random_16x16() {
+        let a = well_conditioned(16, 42);
+        let inv = invert(&a).unwrap();
+        let prod = a.matmul(&inv);
+        assert!(prod.max_abs_diff(&CMat::identity(16)) < 1e-3);
+        let prod2 = inv.matmul(&a);
+        assert!(prod2.max_abs_diff(&CMat::identity(16)) < 1e-3);
+    }
+
+    #[test]
+    fn invert_singular_fails() {
+        let mut a = CMat::zeros(3, 3);
+        a[(0, 0)] = Cf32::ONE;
+        a[(1, 1)] = Cf32::ONE;
+        // Row 2 is all zeros -> singular.
+        match invert(&a) {
+            Err(InvError::Singular { .. }) => {}
+            other => panic!("expected singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invert_rejects_non_square() {
+        let a = CMat::zeros(2, 3);
+        assert_eq!(invert(&a), Err(InvError::NotSquare));
+    }
+
+    #[test]
+    fn invert_requires_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = CMat::from_slice(
+            2,
+            2,
+            &[Cf32::ZERO, Cf32::ONE, Cf32::ONE, Cf32::ZERO],
+        );
+        let inv = invert(&a).unwrap();
+        assert!(a.matmul(&inv).max_abs_diff(&CMat::identity(2)) < 1e-6);
+    }
+
+    #[test]
+    fn solve_matches_invert() {
+        let a = well_conditioned(8, 7);
+        let b = rand_mat(8, 9);
+        let x = solve(&a, &b).unwrap();
+        let x_ref = invert(&a).unwrap().matmul(&b);
+        assert!(x.max_abs_diff(&x_ref) < 1e-3);
+        // Residual check: A x == b.
+        assert!(a.matmul(&x).max_abs_diff(&b) < 1e-3);
+    }
+
+    #[test]
+    fn solve_identity_returns_rhs() {
+        let i = CMat::identity(4);
+        let b = rand_mat(4, 11);
+        let x = solve(&i, &b).unwrap();
+        assert!(x.max_abs_diff(&b) < 1e-6);
+    }
+
+    #[test]
+    fn invert_empty_matrix() {
+        let a = CMat::zeros(0, 0);
+        assert!(invert(&a).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # agora-math — complex linear algebra for massive MIMO baseband
+//!
+//! From-scratch replacement for the subset of Intel MKL that the Agora
+//! paper (CoNEXT 2020) relies on:
+//!
+//! * [`complex`]: `Cf32`/`Cf64` scalar complex arithmetic.
+//! * [`matrix`]: dense row-major complex matrices ([`CMat`]).
+//! * [`gemm`]: generic and shape-specialised ("JIT"-analogue) GEMM kernels.
+//! * [`inverse`]: Gauss-Jordan inversion and LU solves.
+//! * [`cholesky`]: Hermitian positive-definite factorisation.
+//! * [`qr`]: modified Gram-Schmidt thin QR (the middle pseudo-inverse
+//!   route: no Gram-matrix conditioning penalty, cheaper than SVD).
+//! * [`svd`]: one-sided Jacobi thin SVD (the robust pseudo-inverse route).
+//! * [`pinv`]: zero-forcing pseudo-inverse, both fast and robust paths.
+//! * [`simd`]: runtime-dispatched AVX2 kernels for IQ conversion,
+//!   streaming copies, and transposes, with scalar fallbacks.
+//!
+//! No allocation happens in the hot kernels; everything operates on
+//! caller-provided slices.
+
+pub mod cholesky;
+pub mod complex;
+pub mod gemm;
+pub mod inverse;
+pub mod matrix;
+pub mod pinv;
+pub mod qr;
+pub mod simd;
+pub mod svd;
+
+pub use cholesky::Cholesky;
+pub use complex::{Cf32, Cf64};
+pub use gemm::{gemm, gemm_fixed, gemv, Gemm, GemmKernel};
+pub use inverse::{invert, solve, InvError};
+pub use matrix::CMat;
+pub use pinv::{cond_estimate, normalize_precoder, pinv, pinv_direct, pinv_svd, PinvMethod};
+pub use qr::{qr, Qr};
+pub use simd::SimdTier;
+pub use svd::{svd, Svd};

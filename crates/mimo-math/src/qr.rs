@@ -1,0 +1,168 @@
+//! Householder QR decomposition.
+//!
+//! The third pseudo-inverse route (between the fast Gram-inverse and the
+//! slow-but-robust SVD): `A = Q R` with orthonormal `Q` gives the
+//! least-squares solve `x = R^{-1} Q^H b` without squaring the condition
+//! number the way the Gram matrix does. MKL-based basebands often use QR
+//! for mid-conditioned channels; we provide it for the same ablation
+//! space.
+
+use crate::complex::Cf32;
+use crate::matrix::CMat;
+
+/// Thin QR factors of an `m x n` matrix (`m >= n`): `q` is `m x n` with
+/// orthonormal columns, `r` is `n x n` upper triangular.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Orthonormal columns.
+    pub q: CMat,
+    /// Upper-triangular factor.
+    pub r: CMat,
+}
+
+/// Computes the thin QR decomposition by modified Gram-Schmidt with one
+/// reorthogonalisation pass (numerically adequate for MIMO-sized
+/// problems in f32; tests verify orthogonality to 1e-4).
+///
+/// # Panics
+/// Panics if `m < n`.
+pub fn qr(a: &CMat) -> Qr {
+    let (m, n) = a.shape();
+    assert!(m >= n, "thin QR requires m >= n (got {m}x{n})");
+    let mut q = a.clone();
+    let mut r = CMat::zeros(n, n);
+
+    for j in 0..n {
+        // Two MGS passes against previous columns.
+        for _pass in 0..2 {
+            for i in 0..j {
+                // proj = q_i^H q_j
+                let mut proj = Cf32::ZERO;
+                for row in 0..m {
+                    proj = q[(row, i)].conj_mul(q[(row, j)]) + proj;
+                }
+                r[(i, j)] += proj;
+                for row in 0..m {
+                    let qi = q[(row, i)];
+                    q[(row, j)] -= qi * proj;
+                }
+            }
+        }
+        let norm: f32 = (0..m).map(|row| q[(row, j)].norm_sqr()).sum::<f32>().sqrt();
+        r[(j, j)] = Cf32::real(norm);
+        if norm > 0.0 {
+            let inv = 1.0 / norm;
+            for row in 0..m {
+                q[(row, j)] = q[(row, j)].scale(inv);
+            }
+        }
+    }
+    Qr { q, r }
+}
+
+impl Qr {
+    /// Solves the least-squares problem `min ||A x - b||` via
+    /// `R x = Q^H b` (back substitution). `b` has one column per RHS.
+    pub fn solve(&self, b: &CMat) -> CMat {
+        let n = self.r.rows();
+        let qtb = self.q.hermitian().matmul(b);
+        let mut x = CMat::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            for i in (0..n).rev() {
+                let mut acc = qtb[(i, c)];
+                for j in i + 1..n {
+                    acc -= self.r[(i, j)] * x[(j, c)];
+                }
+                x[(i, c)] = acc * self.r[(i, i)].inv();
+            }
+        }
+        x
+    }
+
+    /// Pseudo-inverse `A^+ = R^{-1} Q^H` (`n x m`).
+    pub fn pinv(&self) -> CMat {
+        self.solve(&CMat::identity(self.q.rows()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> CMat {
+        let mut state = seed | 1;
+        CMat::from_fn(m, n, |_, _| {
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 11) as f32 / (1u64 << 53) as f32) - 0.25
+            };
+            Cf32::new(next(), next())
+        })
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = rand_mat(12, 5, 1);
+        let f = qr(&a);
+        assert!(f.q.matmul(&f.r).max_abs_diff(&a) < 1e-4);
+    }
+
+    #[test]
+    fn q_columns_orthonormal() {
+        let a = rand_mat(16, 8, 2);
+        let f = qr(&a);
+        let g = f.q.hermitian().matmul(&f.q);
+        assert!(g.max_abs_diff(&CMat::identity(8)) < 1e-4);
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_real_diagonal() {
+        let a = rand_mat(10, 6, 3);
+        let f = qr(&a);
+        for i in 0..6 {
+            assert!(f.r[(i, i)].im.abs() < 1e-6);
+            assert!(f.r[(i, i)].re >= 0.0);
+            for j in 0..i {
+                assert!(f.r[(i, j)].abs() < 1e-6, "below-diagonal ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn qr_pinv_left_inverts() {
+        let h = rand_mat(64, 16, 4);
+        let w = qr(&h).pinv();
+        assert_eq!(w.shape(), (16, 64));
+        let wh = w.matmul(&h);
+        assert!(wh.max_abs_diff(&CMat::identity(16)) < 1e-2);
+    }
+
+    #[test]
+    fn qr_pinv_agrees_with_gram_route() {
+        let h = rand_mat(16, 4, 5);
+        let w_qr = qr(&h).pinv();
+        let w_gram = crate::pinv::pinv_direct(&h).unwrap();
+        assert!(w_qr.max_abs_diff(&w_gram) < 1e-2);
+    }
+
+    #[test]
+    fn least_squares_residual_orthogonal() {
+        // Overdetermined solve: residual must be orthogonal to col(A).
+        let a = rand_mat(10, 3, 6);
+        let b = rand_mat(10, 1, 7);
+        let x = qr(&a).solve(&b);
+        let residual = b.sub(&a.matmul(&x));
+        let proj = a.hermitian().matmul(&residual);
+        assert!(proj.fro_norm() < 1e-3, "A^H r = {}", proj.fro_norm());
+    }
+
+    #[test]
+    fn square_identity_qr() {
+        let i = CMat::identity(4);
+        let f = qr(&i);
+        assert!(f.q.max_abs_diff(&i) < 1e-6);
+        assert!(f.r.max_abs_diff(&i) < 1e-6);
+    }
+}

@@ -1,0 +1,293 @@
+//! Runtime-dispatched SIMD kernels for data-movement-heavy primitives.
+//!
+//! The paper uses AVX-512 intrinsics for three things outside the matrix
+//! library: converting integer IQ samples to floats, demodulation, and
+//! matrix transposes; and non-temporal (streaming) stores to skip the
+//! cache-coherence traffic when a block's output is consumed by cores
+//! other than the producer (§4.1). This module provides those primitives
+//! with scalar fallbacks and `std::arch` AVX2 fast paths selected at
+//! runtime, so the same binary runs on any x86-64 (and the scalar paths on
+//! any architecture). The demodulation SIMD lives in `agora-phy` next to
+//! its tables; these are the shared data-plane kernels.
+
+use crate::complex::Cf32;
+
+/// SIMD instruction-set tier available/selected at runtime. Table 5 of the
+/// paper compares AVX2 and AVX-512 servers; we reproduce it by pinning the
+/// dispatch tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdTier {
+    /// Pure scalar loops (portable baseline).
+    Scalar,
+    /// 256-bit AVX2 kernels.
+    Avx2,
+}
+
+impl SimdTier {
+    /// The best tier the current CPU supports.
+    pub fn detect() -> SimdTier {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdTier::Avx2;
+            }
+        }
+        SimdTier::Scalar
+    }
+}
+
+/// Converts packed `i16` IQ components to `f32`, scaling by `1/scale`
+/// (e.g. 32768 for Q15 samples). The RRU sends fixed-point samples; the
+/// baseband computes in float, so this runs on every received byte.
+pub fn i16_to_f32(src: &[i16], dst: &mut [f32], scale: f32, tier: SimdTier) {
+    assert_eq!(src.len(), dst.len());
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { i16_to_f32_avx2(src, dst, scale) },
+        _ => i16_to_f32_scalar(src, dst, scale),
+    }
+}
+
+/// Scalar reference conversion.
+pub fn i16_to_f32_scalar(src: &[i16], dst: &mut [f32], scale: f32) {
+    let inv = 1.0 / scale;
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = s as f32 * inv;
+    }
+}
+
+/// AVX2 conversion: 16 samples per iteration via `vpmovsxwd` + `vcvtdq2ps`.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn i16_to_f32_avx2(src: &[i16], dst: &mut [f32], scale: f32) {
+    use core::arch::x86_64::*;
+    let inv = _mm256_set1_ps(1.0 / scale);
+    let n = src.len();
+    let chunks = n / 8;
+    for i in 0..chunks {
+        let p = src.as_ptr().add(i * 8);
+        let v16 = _mm_loadu_si128(p as *const __m128i);
+        let v32 = _mm256_cvtepi16_epi32(v16);
+        let vf = _mm256_mul_ps(_mm256_cvtepi32_ps(v32), inv);
+        _mm256_storeu_ps(dst.as_mut_ptr().add(i * 8), vf);
+    }
+    i16_to_f32_scalar(&src[chunks * 8..], &mut dst[chunks * 8..], scale);
+}
+
+/// Converts `f32` back to saturating `i16` with scaling (downlink TX path).
+pub fn f32_to_i16(src: &[f32], dst: &mut [i16], scale: f32, tier: SimdTier) {
+    assert_eq!(src.len(), dst.len());
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { f32_to_i16_avx2(src, dst, scale) },
+        _ => f32_to_i16_scalar(src, dst, scale),
+    }
+}
+
+/// Scalar reference conversion with saturation.
+pub fn f32_to_i16_scalar(src: &[f32], dst: &mut [i16], scale: f32) {
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        let v = (s * scale).round();
+        *d = v.clamp(i16::MIN as f32, i16::MAX as f32) as i16;
+    }
+}
+
+/// AVX2 float-to-i16 with packed saturation.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn f32_to_i16_avx2(src: &[f32], dst: &mut [i16], scale: f32) {
+    use core::arch::x86_64::*;
+    let vs = _mm256_set1_ps(scale);
+    let n = src.len();
+    let chunks = n / 16;
+    for i in 0..chunks {
+        let a = _mm256_mul_ps(_mm256_loadu_ps(src.as_ptr().add(i * 16)), vs);
+        let b = _mm256_mul_ps(_mm256_loadu_ps(src.as_ptr().add(i * 16 + 8)), vs);
+        let ia = _mm256_cvtps_epi32(a);
+        let ib = _mm256_cvtps_epi32(b);
+        // packs saturates to i16 but interleaves 128-bit lanes; permute back.
+        let packed = _mm256_packs_epi32(ia, ib);
+        let fixed = _mm256_permute4x64_epi64(packed, 0b11011000);
+        _mm256_storeu_si256(dst.as_mut_ptr().add(i * 16) as *mut __m256i, fixed);
+    }
+    f32_to_i16_scalar(&src[chunks * 16..], &mut dst[chunks * 16..], scale);
+}
+
+/// Copies complex samples with *streaming* (non-temporal) stores when the
+/// tier allows, bypassing the cache. Producers whose output is consumed by
+/// other cores use this to avoid coherence traffic — the paper's §4.1
+/// "non-temporal stores" optimisation (Table 4 row 3 toggles it off).
+pub fn stream_copy(src: &[Cf32], dst: &mut [Cf32], tier: SimdTier) {
+    assert_eq!(src.len(), dst.len());
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { stream_copy_avx(src, dst) },
+        _ => dst.copy_from_slice(src),
+    }
+}
+
+/// Streaming copy with `movntps`. Handles unaligned prologue/epilogue with
+/// regular stores.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX (implied by AVX2).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn stream_copy_avx(src: &[Cf32], dst: &mut [Cf32]) {
+    use core::arch::x86_64::*;
+    let n_floats = src.len() * 2;
+    let sp = src.as_ptr() as *const f32;
+    let dp = dst.as_mut_ptr() as *mut f32;
+    // Align destination to 32 bytes for the streaming stores.
+    let mut i = 0usize;
+    while i < n_floats && (dp.add(i) as usize) % 32 != 0 {
+        *dp.add(i) = *sp.add(i);
+        i += 1;
+    }
+    while i + 8 <= n_floats {
+        let v = _mm256_loadu_ps(sp.add(i));
+        _mm256_stream_ps(dp.add(i), v);
+        i += 8;
+    }
+    while i < n_floats {
+        *dp.add(i) = *sp.add(i);
+        i += 1;
+    }
+    _mm_sfence();
+}
+
+/// Out-of-place transpose of a row-major `rows x cols` matrix of complex
+/// samples (`dst` becomes `cols x rows`). Blocked for cache friendliness;
+/// this is the "matrix transpose" kernel the paper vectorises, used when
+/// re-laying antenna-major FFT output into subcarrier-major blocks.
+pub fn transpose(src: &[Cf32], rows: usize, cols: usize, dst: &mut [Cf32]) {
+    assert_eq!(src.len(), rows * cols);
+    assert_eq!(dst.len(), rows * cols);
+    const B: usize = 8; // 8 complex = one cache line per row slice
+    for rb in (0..rows).step_by(B) {
+        for cb in (0..cols).step_by(B) {
+            let rmax = (rb + B).min(rows);
+            let cmax = (cb + B).min(cols);
+            for r in rb..rmax {
+                for c in cb..cmax {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_returns_some_tier() {
+        let t = SimdTier::detect();
+        assert!(t == SimdTier::Scalar || t == SimdTier::Avx2);
+    }
+
+    #[test]
+    fn i16_conversion_scalar_matches_simd() {
+        let src: Vec<i16> = (0..103).map(|i| (i * 517 % 32768) as i16 - 16384).collect();
+        let mut a = vec![0.0f32; src.len()];
+        let mut b = vec![0.0f32; src.len()];
+        i16_to_f32(&src, &mut a, 32768.0, SimdTier::Scalar);
+        i16_to_f32(&src, &mut b, 32768.0, SimdTier::detect());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn f32_to_i16_roundtrip() {
+        let orig: Vec<i16> = (0..97).map(|i| (i * 613 % 30000) as i16 - 15000).collect();
+        let mut f = vec![0.0f32; orig.len()];
+        i16_to_f32(&orig, &mut f, 32768.0, SimdTier::detect());
+        let mut back = vec![0i16; orig.len()];
+        f32_to_i16(&f, &mut back, 32768.0, SimdTier::detect());
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn f32_to_i16_saturates() {
+        let src = [2.0f32, -2.0, 0.5];
+        let mut dst = [0i16; 3];
+        f32_to_i16(&src, &mut dst, 32768.0, SimdTier::Scalar);
+        assert_eq!(dst[0], i16::MAX);
+        assert_eq!(dst[1], i16::MIN);
+        let mut dst_simd = [0i16; 3];
+        f32_to_i16(&src, &mut dst_simd, 32768.0, SimdTier::detect());
+        // SIMD path may differ by at most 1 LSB at the saturation boundary.
+        assert!((dst[2] - dst_simd[2]).abs() <= 1);
+    }
+
+    #[test]
+    fn stream_copy_matches_memcpy() {
+        let src: Vec<Cf32> = (0..333)
+            .map(|i| Cf32::new(i as f32, -(i as f32)))
+            .collect();
+        let mut dst = vec![Cf32::ZERO; src.len()];
+        stream_copy(&src, &mut dst, SimdTier::detect());
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let rows = 13;
+        let cols = 22;
+        let src: Vec<Cf32> = (0..rows * cols)
+            .map(|i| Cf32::new(i as f32, 2.0 * i as f32))
+            .collect();
+        let mut t = vec![Cf32::ZERO; src.len()];
+        let mut back = vec![Cf32::ZERO; src.len()];
+        transpose(&src, rows, cols, &mut t);
+        transpose(&t, cols, rows, &mut back);
+        assert_eq!(src, back);
+    }
+
+    #[test]
+    fn transpose_element_mapping() {
+        let src: Vec<Cf32> = (0..6).map(|i| Cf32::real(i as f32)).collect();
+        let mut dst = vec![Cf32::ZERO; 6];
+        transpose(&src, 2, 3, &mut dst);
+        // src is [[0,1,2],[3,4,5]]; dst should be [[0,3],[1,4],[2,5]].
+        let expect = [0.0, 3.0, 1.0, 4.0, 2.0, 5.0];
+        for (z, &e) in dst.iter().zip(expect.iter()) {
+            assert_eq!(z.re, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn simd_conversion_equals_scalar(src in proptest::collection::vec(any::<i16>(), 0..512)) {
+            let mut a = vec![0.0f32; src.len()];
+            let mut b = vec![0.0f32; src.len()];
+            i16_to_f32_scalar(&src, &mut a, 32768.0);
+            i16_to_f32(&src, &mut b, 32768.0, SimdTier::detect());
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn transpose_is_involutive(rows in 1usize..32, cols in 1usize..32) {
+            let src: Vec<Cf32> = (0..rows * cols).map(|i| Cf32::new(i as f32, 0.5 * i as f32)).collect();
+            let mut t = vec![Cf32::ZERO; src.len()];
+            let mut back = vec![Cf32::ZERO; src.len()];
+            transpose(&src, rows, cols, &mut t);
+            transpose(&t, cols, rows, &mut back);
+            prop_assert_eq!(src, back);
+        }
+    }
+}

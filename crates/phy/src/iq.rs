@@ -1,0 +1,148 @@
+//! Fixed-point IQ sample packing.
+//!
+//! The RRU fronthaul carries "24-bit IQ samples" (§5): 12-bit signed I and
+//! 12-bit signed Q packed into three bytes. Agora "pads them to be 32-bit
+//! before performing computation" — i.e. converts to a float pair. This
+//! module implements the 3-byte wire codec and the float conversion (the
+//! data-type-conversion kernel the paper vectorises with AVX-512; the
+//! wider i16 path lives in `agora_math::simd`).
+
+use agora_math::Cf32;
+
+/// Bytes per packed complex sample.
+pub const BYTES_PER_SAMPLE: usize = 3;
+/// Full-scale magnitude of a 12-bit component.
+pub const FULL_SCALE: f32 = 2048.0;
+
+/// Packs one complex float (clamped to ±1.0 full scale) into 3 bytes:
+/// 12-bit I in bits [0..12), 12-bit Q in bits [12..24), little-endian.
+#[inline]
+pub fn pack_sample(z: Cf32, out: &mut [u8; 3]) {
+    let q12 = |x: f32| -> u16 {
+        let v = (x * FULL_SCALE).round().clamp(-2048.0, 2047.0) as i16;
+        (v as u16) & 0x0FFF
+    };
+    let i = q12(z.re) as u32;
+    let q = q12(z.im) as u32;
+    let word = i | (q << 12);
+    out[0] = word as u8;
+    out[1] = (word >> 8) as u8;
+    out[2] = (word >> 16) as u8;
+}
+
+/// Unpacks one 3-byte sample to a complex float in [-1, 1).
+#[inline]
+pub fn unpack_sample(b: &[u8; 3]) -> Cf32 {
+    let word = b[0] as u32 | ((b[1] as u32) << 8) | ((b[2] as u32) << 16);
+    let sext12 = |v: u32| -> i32 { ((v as i32) << 20) >> 20 };
+    let i = sext12(word & 0xFFF);
+    let q = sext12((word >> 12) & 0xFFF);
+    Cf32::new(i as f32 / FULL_SCALE, q as f32 / FULL_SCALE)
+}
+
+/// Packs a slice of complex samples into a byte buffer
+/// (`samples.len() * 3` bytes).
+pub fn pack_samples(samples: &[Cf32], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(samples.len() * BYTES_PER_SAMPLE);
+    let mut buf = [0u8; 3];
+    for &z in samples {
+        pack_sample(z, &mut buf);
+        out.extend_from_slice(&buf);
+    }
+}
+
+/// Unpacks a byte buffer into complex samples.
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of 3.
+pub fn unpack_samples(bytes: &[u8], out: &mut Vec<Cf32>) {
+    assert_eq!(bytes.len() % BYTES_PER_SAMPLE, 0, "byte count must be a multiple of 3");
+    out.clear();
+    out.reserve(bytes.len() / BYTES_PER_SAMPLE);
+    for chunk in bytes.chunks_exact(BYTES_PER_SAMPLE) {
+        out.push(unpack_sample(&[chunk[0], chunk[1], chunk[2]]));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_within_quantisation_error() {
+        let step = 1.0 / FULL_SCALE;
+        for (re, im) in [(0.0f32, 0.0f32), (0.5, -0.5), (0.999, -1.0), (-0.123, 0.77)] {
+            let z = Cf32::new(re, im);
+            let mut b = [0u8; 3];
+            pack_sample(z, &mut b);
+            let back = unpack_sample(&b);
+            assert!((back.re - re).abs() <= step, "re {re} -> {}", back.re);
+            assert!((back.im - im).abs() <= step, "im {im} -> {}", back.im);
+        }
+    }
+
+    #[test]
+    fn saturation_clamps_gracefully() {
+        let mut b = [0u8; 3];
+        pack_sample(Cf32::new(5.0, -5.0), &mut b);
+        let back = unpack_sample(&b);
+        assert!((back.re - 2047.0 / 2048.0).abs() < 1e-4);
+        assert!((back.im + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let samples: Vec<Cf32> = (0..1000)
+            .map(|i| Cf32::new(((i * 37) % 4000) as f32 / 4000.0 - 0.5, ((i * 59) % 4000) as f32 / 4000.0 - 0.5))
+            .collect();
+        let mut bytes = Vec::new();
+        pack_samples(&samples, &mut bytes);
+        assert_eq!(bytes.len(), 3000);
+        let mut back = Vec::new();
+        unpack_samples(&bytes, &mut back);
+        assert_eq!(back.len(), samples.len());
+        for (a, b) in samples.iter().zip(back.iter()) {
+            assert!((a.re - b.re).abs() <= 1.0 / FULL_SCALE);
+            assert!((a.im - b.im).abs() <= 1.0 / FULL_SCALE);
+        }
+    }
+
+    #[test]
+    fn negative_values_sign_extend() {
+        let mut b = [0u8; 3];
+        pack_sample(Cf32::new(-1.0, -0.25), &mut b);
+        let back = unpack_sample(&b);
+        assert!(back.re < -0.99);
+        assert!((back.im + 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 3")]
+    fn odd_byte_count_rejected() {
+        let mut out = Vec::new();
+        unpack_samples(&[0u8; 4], &mut out);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn pack_unpack_identity_on_quantised_values(i in -2048i32..2048, q in -2048i32..2048) {
+            let z = Cf32::new(i as f32 / FULL_SCALE, q as f32 / FULL_SCALE);
+            let mut b = [0u8; 3];
+            pack_sample(z, &mut b);
+            let back = unpack_sample(&b);
+            // Values already on the quantisation grid roundtrip exactly,
+            // except +2048/2048 which clamps to 2047.
+            let expect_re = (i.min(2047)) as f32 / FULL_SCALE;
+            let expect_im = (q.min(2047)) as f32 / FULL_SCALE;
+            prop_assert!((back.re - expect_re).abs() < 1e-6);
+            prop_assert!((back.im - expect_im).abs() < 1e-6);
+        }
+    }
+}

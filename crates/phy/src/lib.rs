@@ -1,0 +1,39 @@
+//! # agora-phy — physical-layer signal processing kernels
+//!
+//! The per-block kernels of Figure 1(b), independent of threading:
+//!
+//! * [`modulation`] / [`demod`]: Gray QAM mapping and max-log soft LLRs.
+//! * [`pilots`]: Zadoff-Chu sequences, frequency/time-orthogonal plans.
+//! * [`chanest`]: LS channel estimation into the CSI buffer.
+//! * [`zf`]: zero-forcing detector/precoder calculation per group.
+//! * [`detect`]: the wider linear detector menu (ZF / MMSE / conjugate).
+//! * [`cpe`]: decision-directed common-phase-error tracking.
+//! * [`equalize`] / [`precode`]: the uplink and downlink linear stages.
+//! * [`scrambler`]: Gold-sequence bit scrambling.
+//! * [`iq`]: 12+12-bit packed fronthaul sample codec.
+//! * [`frame`]: cell configuration and the TDD symbol schedule.
+//!
+//! The `agora-core` engine composes these kernels into tasks; everything
+//! here is plain single-threaded code operating on slices.
+
+pub mod chanest;
+pub mod cpe;
+pub mod demod;
+pub mod detect;
+pub mod equalize;
+pub mod frame;
+pub mod iq;
+pub mod modulation;
+pub mod pilots;
+pub mod precode;
+pub mod scrambler;
+pub mod zf;
+
+pub use chanest::{ChannelEstimator, CsiBuffer, Interpolation};
+pub use cpe::{correct_cpe, estimate_and_correct, estimate_cpe};
+pub use demod::{demod_soft, demod_soft_exact};
+pub use detect::Detector;
+pub use frame::{CellConfig, FrameSchedule, LdpcParams, SymbolType};
+pub use modulation::{demodulate_hard, modulate, ModScheme};
+pub use pilots::{zadoff_chu, PilotPlan, PilotScheme};
+pub use zf::{zf_task, ZfBuffer, ZfConfig};

@@ -1,0 +1,259 @@
+//! QAM constellation mapping.
+//!
+//! Gray-coded square constellations (BPSK through 256-QAM), normalised to
+//! unit average symbol energy as in 3GPP TS 38.211 §5.1. The paper's
+//! evaluation uses 64-QAM (6 bits/symbol) and mentions 256-QAM as an
+//! avenue of improvement; all five schemes are implemented.
+
+use agora_math::Cf32;
+
+/// Modulation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModScheme {
+    /// 1 bit/symbol.
+    Bpsk,
+    /// 2 bits/symbol.
+    Qpsk,
+    /// 4 bits/symbol.
+    Qam16,
+    /// 6 bits/symbol (the paper's evaluation setting).
+    Qam64,
+    /// 8 bits/symbol.
+    Qam256,
+}
+
+impl ModScheme {
+    /// Bits carried per modulated symbol.
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            ModScheme::Bpsk => 1,
+            ModScheme::Qpsk => 2,
+            ModScheme::Qam16 => 4,
+            ModScheme::Qam64 => 6,
+            ModScheme::Qam256 => 8,
+        }
+    }
+
+    /// Number of constellation points.
+    pub fn order(self) -> usize {
+        1 << self.bits_per_symbol()
+    }
+
+    /// Per-axis amplitude normaliser so that average symbol energy is 1.
+    /// For square M-QAM with PAM levels `{±1, ±3, ..}`, the mean energy is
+    /// `2 (L^2 - 1) / 3` with `L = sqrt(M)` levels per axis.
+    pub fn scale(self) -> f32 {
+        match self {
+            ModScheme::Bpsk => 1.0,
+            ModScheme::Qpsk => 1.0 / 2.0f32.sqrt(),
+            ModScheme::Qam16 => 1.0 / 10.0f32.sqrt(),
+            ModScheme::Qam64 => 1.0 / 42.0f32.sqrt(),
+            ModScheme::Qam256 => 1.0 / 170.0f32.sqrt(),
+        }
+    }
+
+    /// Parses the conventional names ("BPSK", "QPSK", "16QAM", "64QAM",
+    /// "256QAM"), case-insensitively.
+    pub fn parse(s: &str) -> Option<ModScheme> {
+        match s.to_ascii_uppercase().as_str() {
+            "BPSK" => Some(ModScheme::Bpsk),
+            "QPSK" | "4QAM" => Some(ModScheme::Qpsk),
+            "16QAM" | "QAM16" => Some(ModScheme::Qam16),
+            "64QAM" | "QAM64" => Some(ModScheme::Qam64),
+            "256QAM" | "QAM256" => Some(ModScheme::Qam256),
+            _ => None,
+        }
+    }
+}
+
+/// Gray-maps `b` bits (value `0..2^b`) to a PAM level in `{±1, ±3, ...}`.
+///
+/// Uses the standard binary-reflected Gray code so adjacent levels differ
+/// in exactly one bit.
+fn gray_to_pam(gray: u32, bits: u32) -> f32 {
+    // Convert Gray code to binary index.
+    let mut bin = gray;
+    let mut shift = 1;
+    while shift < bits {
+        bin ^= bin >> shift;
+        shift <<= 1;
+    }
+    let levels = 1i32 << bits;
+    (2 * bin as i32 - (levels - 1)) as f32
+}
+
+/// Inverse of [`gray_to_pam`]: nearest PAM level index -> Gray bits.
+fn pam_index_to_gray(index: u32) -> u32 {
+    index ^ (index >> 1)
+}
+
+/// Maps a bit group (packed LSB-first into `v`, `bits_per_symbol` wide)
+/// to a constellation point. For square QAM the first half of the bits
+/// select the I axis, the second half the Q axis.
+pub fn map_symbol(scheme: ModScheme, v: u32) -> Cf32 {
+    let s = scheme.scale();
+    match scheme {
+        ModScheme::Bpsk => Cf32::new(if v & 1 == 0 { s } else { -s }, 0.0),
+        _ => {
+            let half = (scheme.bits_per_symbol() / 2) as u32;
+            let mask = (1u32 << half) - 1;
+            let i_bits = v & mask;
+            let q_bits = (v >> half) & mask;
+            Cf32::new(
+                gray_to_pam(i_bits, half) * s,
+                gray_to_pam(q_bits, half) * s,
+            )
+        }
+    }
+}
+
+/// Hard-decision inverse of [`map_symbol`]: nearest constellation point.
+pub fn unmap_symbol(scheme: ModScheme, z: Cf32) -> u32 {
+    match scheme {
+        ModScheme::Bpsk => (z.re < 0.0) as u32,
+        _ => {
+            let half = (scheme.bits_per_symbol() / 2) as u32;
+            let levels = 1i32 << half;
+            let s = scheme.scale();
+            let quant = |x: f32| -> u32 {
+                // Nearest level in {±1, ±3, ...} scaled by s; index 0..levels.
+                let idx = ((x / s + (levels - 1) as f32) / 2.0).round() as i32;
+                idx.clamp(0, levels - 1) as u32
+            };
+            let gi = pam_index_to_gray(quant(z.re));
+            let gq = pam_index_to_gray(quant(z.im));
+            gi | (gq << half)
+        }
+    }
+}
+
+/// Modulates a bit slice (one bit per byte) into symbols. The bit count
+/// must be a multiple of `bits_per_symbol`; bits within a symbol are
+/// consumed LSB-first.
+pub fn modulate(scheme: ModScheme, bits: &[u8], out: &mut Vec<Cf32>) {
+    let bps = scheme.bits_per_symbol();
+    assert_eq!(bits.len() % bps, 0, "bit count must divide bits/symbol");
+    out.clear();
+    out.reserve(bits.len() / bps);
+    for group in bits.chunks_exact(bps) {
+        let mut v = 0u32;
+        for (i, &b) in group.iter().enumerate() {
+            v |= ((b & 1) as u32) << i;
+        }
+        out.push(map_symbol(scheme, v));
+    }
+}
+
+/// Hard-demodulates symbols back to bits (one bit per byte, LSB-first per
+/// symbol).
+pub fn demodulate_hard(scheme: ModScheme, symbols: &[Cf32], out: &mut Vec<u8>) {
+    let bps = scheme.bits_per_symbol();
+    out.clear();
+    out.reserve(symbols.len() * bps);
+    for &z in symbols {
+        let v = unmap_symbol(scheme, z);
+        for i in 0..bps {
+            out.push(((v >> i) & 1) as u8);
+        }
+    }
+}
+
+/// Returns the full constellation (index -> point), used by the exact
+/// max-log soft demapper and tests.
+pub fn constellation(scheme: ModScheme) -> Vec<Cf32> {
+    (0..scheme.order() as u32).map(|v| map_symbol(scheme, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMES: [ModScheme; 5] = [
+        ModScheme::Bpsk,
+        ModScheme::Qpsk,
+        ModScheme::Qam16,
+        ModScheme::Qam64,
+        ModScheme::Qam256,
+    ];
+
+    #[test]
+    fn unit_average_energy() {
+        for scheme in SCHEMES {
+            let pts = constellation(scheme);
+            let avg: f32 = pts.iter().map(|z| z.norm_sqr()).sum::<f32>() / pts.len() as f32;
+            assert!((avg - 1.0).abs() < 1e-3, "{scheme:?} energy {avg}");
+        }
+    }
+
+    #[test]
+    fn constellation_points_distinct() {
+        for scheme in SCHEMES {
+            let pts = constellation(scheme);
+            for i in 0..pts.len() {
+                for j in i + 1..pts.len() {
+                    assert!((pts[i] - pts[j]).abs() > 1e-4, "{scheme:?} points {i},{j} collide");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_unmap_roundtrip() {
+        for scheme in SCHEMES {
+            for v in 0..scheme.order() as u32 {
+                let z = map_symbol(scheme, v);
+                assert_eq!(unmap_symbol(scheme, z), v, "{scheme:?} value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn modulate_demodulate_roundtrip() {
+        for scheme in SCHEMES {
+            let bps = scheme.bits_per_symbol();
+            let bits: Vec<u8> = (0..bps * 50).map(|i| ((i * 29 + 7) % 2) as u8).collect();
+            let mut syms = Vec::new();
+            modulate(scheme, &bits, &mut syms);
+            assert_eq!(syms.len(), 50);
+            let mut back = Vec::new();
+            demodulate_hard(scheme, &syms, &mut back);
+            assert_eq!(bits, back, "{scheme:?} roundtrip failed");
+        }
+    }
+
+    #[test]
+    fn gray_mapping_adjacent_levels_differ_by_one_bit() {
+        // For 64-QAM, walk the 8 PAM levels on one axis: consecutive
+        // levels must differ in exactly one bit.
+        for idx in 0..7u32 {
+            let a = pam_index_to_gray(idx);
+            let b = pam_index_to_gray(idx + 1);
+            assert_eq!((a ^ b).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn hard_decision_robust_to_small_noise() {
+        let scheme = ModScheme::Qam64;
+        // Minimum distance is 2*scale; noise below scale/2 never flips.
+        let eps = scheme.scale() * 0.4;
+        for v in 0..64u32 {
+            let z = map_symbol(scheme, v) + Cf32::new(eps, -eps);
+            assert_eq!(unmap_symbol(scheme, z), v);
+        }
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(ModScheme::parse("64qam"), Some(ModScheme::Qam64));
+        assert_eq!(ModScheme::parse("QPSK"), Some(ModScheme::Qpsk));
+        assert_eq!(ModScheme::parse("512QAM"), None);
+    }
+
+    #[test]
+    fn paper_bits_per_symbol() {
+        // "64-QAM (6-bit) modulation" (§6.1.3).
+        assert_eq!(ModScheme::Qam64.bits_per_symbol(), 6);
+        assert_eq!(ModScheme::Qam16.bits_per_symbol(), 4);
+    }
+}

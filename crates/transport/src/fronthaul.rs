@@ -1,0 +1,209 @@
+//! Fronthaul transports.
+//!
+//! The paper moves IQ samples between the RRU and the baseband server
+//! over 40 GbE with DPDK kernel-bypass. This module abstracts the link
+//! behind the [`Fronthaul`] trait with two implementations:
+//!
+//! * [`MemFronthaul`] — lock-free in-memory rings. This is the DPDK
+//!   substitute (DESIGN.md §3): packets appear in user space with
+//!   sub-microsecond overhead and no syscalls, preserving the property
+//!   that network I/O never blocks the data path.
+//! * [`UdpFronthaul`] — real (non-blocking) UDP sockets, demonstrating
+//!   the identical code path over an actual network stack (loopback or
+//!   NIC), at kernel-stack cost.
+
+use agora_queue::MpmcQueue;
+use bytes::Bytes;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
+
+/// A bidirectional packet link endpoint.
+///
+/// Implementations must be cheap to clone/share across the network
+/// threads; sends and receives never block.
+pub trait Fronthaul: Send + Sync {
+    /// Enqueues a packet for the peer. Returns `false` if the link is
+    /// full/backpressured (callers may retry or drop, as a NIC would).
+    fn send(&self, packet: Bytes) -> bool;
+
+    /// Dequeues a packet from the peer, if any.
+    fn recv(&self) -> Option<Bytes>;
+}
+
+/// One side of an in-memory fronthaul link.
+pub struct MemFronthaul {
+    tx: Arc<MpmcQueue<Bytes>>,
+    rx: Arc<MpmcQueue<Bytes>>,
+}
+
+impl MemFronthaul {
+    /// Creates a connected pair `(rru_side, bbu_side)` with the given
+    /// per-direction capacity (packets).
+    pub fn pair(capacity: usize) -> (MemFronthaul, MemFronthaul) {
+        let a = Arc::new(MpmcQueue::new(capacity));
+        let b = Arc::new(MpmcQueue::new(capacity));
+        (
+            MemFronthaul { tx: a.clone(), rx: b.clone() },
+            MemFronthaul { tx: b, rx: a },
+        )
+    }
+
+    /// Packets waiting to be received on this side (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl Fronthaul for MemFronthaul {
+    fn send(&self, packet: Bytes) -> bool {
+        self.tx.push(packet).is_ok()
+    }
+
+    fn recv(&self) -> Option<Bytes> {
+        self.rx.pop()
+    }
+}
+
+/// UDP-socket fronthaul endpoint (non-blocking).
+pub struct UdpFronthaul {
+    socket: UdpSocket,
+    peer: SocketAddr,
+    /// Receive scratch sized for jumbo frames.
+    mtu: usize,
+}
+
+impl UdpFronthaul {
+    /// Binds `local` and targets `peer`. Uses non-blocking I/O; callers
+    /// poll like they poll the in-memory rings.
+    pub fn new(local: SocketAddr, peer: SocketAddr) -> std::io::Result<UdpFronthaul> {
+        let socket = UdpSocket::bind(local)?;
+        socket.set_nonblocking(true)?;
+        Ok(UdpFronthaul { socket, peer, mtu: 9000 })
+    }
+
+    /// The locally bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Re-targets the peer (e.g. after learning the generator's port).
+    pub fn set_peer(&mut self, peer: SocketAddr) {
+        self.peer = peer;
+    }
+}
+
+impl Fronthaul for UdpFronthaul {
+    fn send(&self, packet: Bytes) -> bool {
+        match self.socket.send_to(&packet, self.peer) {
+            Ok(n) => n == packet.len(),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => false,
+            Err(_) => false,
+        }
+    }
+
+    fn recv(&self) -> Option<Bytes> {
+        let mut buf = vec![0u8; self.mtu];
+        match self.socket.recv_from(&mut buf) {
+            Ok((n, _src)) => {
+                buf.truncate(n);
+                Some(Bytes::from(buf))
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{decode, encode, PacketDir, PacketHeader};
+
+    fn test_packet(frame: u32) -> Bytes {
+        encode(
+            &PacketHeader {
+                frame,
+                symbol: 0,
+                antenna: 0,
+                dir: PacketDir::Uplink,
+                payload_len: 4,
+            },
+            &[1, 2, 3, 4],
+        )
+    }
+
+    #[test]
+    fn mem_pair_delivers_both_directions() {
+        let (rru, bbu) = MemFronthaul::pair(16);
+        assert!(rru.send(test_packet(1)));
+        assert!(bbu.send(test_packet(2)));
+        let at_bbu = bbu.recv().unwrap();
+        let at_rru = rru.recv().unwrap();
+        assert_eq!(decode(&at_bbu).unwrap().0.frame, 1);
+        assert_eq!(decode(&at_rru).unwrap().0.frame, 2);
+        assert!(bbu.recv().is_none());
+    }
+
+    #[test]
+    fn mem_backpressure_reports_full() {
+        let (rru, _bbu) = MemFronthaul::pair(2);
+        assert!(rru.send(test_packet(0)));
+        assert!(rru.send(test_packet(1)));
+        assert!(!rru.send(test_packet(2)), "third send must be refused");
+    }
+
+    #[test]
+    fn mem_preserves_order() {
+        let (rru, bbu) = MemFronthaul::pair(64);
+        for f in 0..50 {
+            rru.send(test_packet(f));
+        }
+        for f in 0..50 {
+            let p = bbu.recv().unwrap();
+            assert_eq!(decode(&p).unwrap().0.frame, f);
+        }
+    }
+
+    #[test]
+    fn udp_loopback_roundtrip() {
+        let a_addr: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let mut a = UdpFronthaul::new(a_addr, a_addr).unwrap();
+        let b = UdpFronthaul::new(a_addr, a.local_addr().unwrap()).unwrap();
+        a.set_peer(b.local_addr().unwrap());
+
+        assert!(a.send(test_packet(7)));
+        // Non-blocking receive may need a brief moment on loopback.
+        let mut got = None;
+        for _ in 0..1000 {
+            if let Some(p) = b.recv() {
+                got = Some(p);
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let p = got.expect("packet not delivered over loopback");
+        assert_eq!(decode(&p).unwrap().0.frame, 7);
+        // And the reverse direction.
+        assert!(b.send(test_packet(8)));
+        let mut got = None;
+        for _ in 0..1000 {
+            if let Some(p) = a.recv() {
+                got = Some(p);
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(decode(&got.unwrap()).unwrap().0.frame, 8);
+    }
+
+    #[test]
+    fn pending_counts_queued_packets() {
+        let (rru, bbu) = MemFronthaul::pair(16);
+        assert_eq!(bbu.pending(), 0);
+        rru.send(test_packet(0));
+        rru.send(test_packet(1));
+        assert_eq!(bbu.pending(), 2);
+        bbu.recv();
+        assert_eq!(bbu.pending(), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! # agora-fronthaul — the RRU/baseband link
+//!
+//! Substitute for the paper's DPDK fronthaul (DESIGN.md §3):
+//!
+//! * [`packet`]: the 64-byte-header UDP packet format of §5.2.
+//! * [`fronthaul`]: the [`Fronthaul`] transport trait with lock-free
+//!   in-memory rings (DPDK stand-in) and real UDP sockets.
+//! * [`rru`]: the emulated RRU / IQ sample generator with ground truth.
+//! * [`pacing`]: nanosecond-precision symbol pacing.
+
+pub mod fronthaul;
+pub mod packet;
+pub mod pacing;
+pub mod rru;
+
+pub use fronthaul::{Fronthaul, MemFronthaul, UdpFronthaul};
+pub use packet::{decode, encode, PacketDir, PacketError, PacketHeader, HEADER_LEN};
+pub use pacing::Pacer;
+pub use rru::{FrameGroundTruth, RruConfig, RruEmulator};

@@ -1,0 +1,233 @@
+//! The fronthaul packet format.
+//!
+//! One UDP packet per (frame, symbol, antenna): "Each packet consists of a
+//! 64-byte header specifying the frame, symbol and antenna indexes, and as
+//! many 24-bit IQ samples as the number of OFDM subcarriers" (§5.2). The
+//! header is padded to 64 bytes so the payload starts cache-line aligned
+//! after a kernel-bypass receive.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Header magic ("AGRA" little-endian) for cheap corruption detection.
+pub const MAGIC: u32 = 0x4152_4741;
+/// Wire size of the packet header.
+pub const HEADER_LEN: usize = 64;
+
+/// Direction discriminator carried in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PacketDir {
+    /// RRU -> baseband (received IQ samples).
+    Uplink = 0,
+    /// Baseband -> RRU (samples to transmit).
+    Downlink = 1,
+}
+
+/// Parsed packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketHeader {
+    /// Monotonic frame id.
+    pub frame: u32,
+    /// Symbol index within the frame.
+    pub symbol: u16,
+    /// Antenna index.
+    pub antenna: u16,
+    /// Direction of travel.
+    pub dir: PacketDir,
+    /// Payload length in bytes (`3 * samples`).
+    pub payload_len: u32,
+}
+
+/// Errors from packet decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketError {
+    /// Buffer shorter than the fixed header.
+    TooShort,
+    /// Magic mismatch.
+    BadMagic,
+    /// Unknown direction byte.
+    BadDirection,
+    /// Payload length field disagrees with the buffer.
+    LengthMismatch,
+}
+
+impl core::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PacketError::TooShort => write!(f, "packet shorter than header"),
+            PacketError::BadMagic => write!(f, "bad magic"),
+            PacketError::BadDirection => write!(f, "bad direction byte"),
+            PacketError::LengthMismatch => write!(f, "payload length mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// Encodes a packet: 64-byte header followed by the sample payload.
+pub fn encode(header: &PacketHeader, payload: &[u8]) -> Bytes {
+    debug_assert_eq!(header.payload_len as usize, payload.len());
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(header.frame);
+    buf.put_u16_le(header.symbol);
+    buf.put_u16_le(header.antenna);
+    buf.put_u8(header.dir as u8);
+    buf.put_bytes(0, 3); // alignment
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_bytes(0, HEADER_LEN - 20); // pad header to 64 bytes
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Decodes a packet, returning the header and a zero-copy payload slice.
+pub fn decode(packet: &Bytes) -> Result<(PacketHeader, Bytes), PacketError> {
+    if packet.len() < HEADER_LEN {
+        return Err(PacketError::TooShort);
+    }
+    let mut cur = &packet[..];
+    if cur.get_u32_le() != MAGIC {
+        return Err(PacketError::BadMagic);
+    }
+    let frame = cur.get_u32_le();
+    let symbol = cur.get_u16_le();
+    let antenna = cur.get_u16_le();
+    let dir = match cur.get_u8() {
+        0 => PacketDir::Uplink,
+        1 => PacketDir::Downlink,
+        _ => return Err(PacketError::BadDirection),
+    };
+    cur.advance(3);
+    let payload_len = cur.get_u32_le();
+    if packet.len() != HEADER_LEN + payload_len as usize {
+        return Err(PacketError::LengthMismatch);
+    }
+    let header = PacketHeader { frame, symbol, antenna, dir, payload_len };
+    Ok((header, packet.slice(HEADER_LEN..)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header(payload_len: u32) -> PacketHeader {
+        PacketHeader {
+            frame: 1234,
+            symbol: 7,
+            antenna: 63,
+            dir: PacketDir::Uplink,
+            payload_len,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let payload: Vec<u8> = (0..300).map(|i| i as u8).collect();
+        let pkt = encode(&sample_header(300), &payload);
+        assert_eq!(pkt.len(), HEADER_LEN + 300);
+        let (h, p) = decode(&pkt).unwrap();
+        assert_eq!(h, sample_header(300));
+        assert_eq!(&p[..], &payload[..]);
+    }
+
+    #[test]
+    fn header_is_exactly_64_bytes() {
+        let pkt = encode(&sample_header(0), &[]);
+        assert_eq!(pkt.len(), 64);
+    }
+
+    #[test]
+    fn paper_sized_packet() {
+        // 2048 subcarriers * 3 bytes = 6144-byte payload; fits a 9000-byte
+        // jumbo Ethernet frame as the paper requires (§4.3).
+        let payload = vec![0u8; 2048 * 3];
+        let pkt = encode(
+            &PacketHeader { payload_len: payload.len() as u32, ..sample_header(0) },
+            &payload,
+        );
+        assert!(pkt.len() <= 9000, "packet {} bytes exceeds jumbo frame", pkt.len());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let payload = [0u8; 8];
+        let pkt = encode(&sample_header(8), &payload);
+        let mut raw = pkt.to_vec();
+        raw[0] ^= 0xFF;
+        assert_eq!(decode(&Bytes::from(raw)).unwrap_err(), PacketError::BadMagic);
+    }
+
+    #[test]
+    fn truncated_packet_rejected() {
+        let pkt = encode(&sample_header(100), &[0u8; 100]);
+        let truncated = pkt.slice(..40);
+        assert_eq!(decode(&truncated).unwrap_err(), PacketError::TooShort);
+        let clipped = pkt.slice(..HEADER_LEN + 50);
+        assert_eq!(decode(&clipped).unwrap_err(), PacketError::LengthMismatch);
+    }
+
+    #[test]
+    fn bad_direction_rejected() {
+        let pkt = encode(&sample_header(0), &[]);
+        let mut raw = pkt.to_vec();
+        raw[12] = 9; // direction byte
+        assert_eq!(decode(&Bytes::from(raw)).unwrap_err(), PacketError::BadDirection);
+    }
+
+    #[test]
+    fn downlink_direction_roundtrips() {
+        let h = PacketHeader { dir: PacketDir::Downlink, ..sample_header(0) };
+        let (back, _) = decode(&encode(&h, &[])).unwrap();
+        assert_eq!(back.dir, PacketDir::Downlink);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Decoding must never panic on arbitrary bytes — the fronthaul
+        /// is an external input surface.
+        #[test]
+        fn decode_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = decode(&Bytes::from(data));
+        }
+
+        /// Any well-formed packet roundtrips exactly.
+        #[test]
+        fn arbitrary_valid_packets_roundtrip(
+            frame in any::<u32>(),
+            symbol in any::<u16>(),
+            antenna in any::<u16>(),
+            dl in any::<bool>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let h = PacketHeader {
+                frame,
+                symbol,
+                antenna,
+                dir: if dl { PacketDir::Downlink } else { PacketDir::Uplink },
+                payload_len: payload.len() as u32,
+            };
+            let (back, p) = decode(&encode(&h, &payload)).unwrap();
+            prop_assert_eq!(back, h);
+            prop_assert_eq!(&p[..], &payload[..]);
+        }
+
+        /// Truncating a valid packet anywhere must yield an error, never
+        /// a bogus success.
+        #[test]
+        fn truncations_always_rejected(cut in 0usize..64) {
+            let payload = vec![7u8; 96];
+            let h = PacketHeader {
+                frame: 1, symbol: 2, antenna: 3,
+                dir: PacketDir::Uplink, payload_len: 96,
+            };
+            let pkt = encode(&h, &payload);
+            let truncated = pkt.slice(..cut.min(pkt.len() - 1));
+            prop_assert!(decode(&truncated).is_err());
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # agora-queue — lock-free synchronisation primitives
+//!
+//! From-scratch replacement for the moodycamel `ConcurrentQueue` the Agora
+//! paper uses for manager/worker messaging:
+//!
+//! * [`mpmc`]: Vyukov-style bounded MPMC queue (task and completion queues).
+//! * [`spsc`]: wait-free single-producer/single-consumer ring (network
+//!   thread channels).
+//! * [`msg`]: the 64-byte, one-cache-line message format (Figure 3).
+//! * [`padded`]: cache-line padding to prevent false sharing (§4.1).
+
+pub mod mpmc;
+pub mod msg;
+pub mod padded;
+pub mod spsc;
+
+pub use mpmc::MpmcQueue;
+pub use msg::{Msg, TaskType};
+pub use padded::{CachePadded, CACHE_LINE};
+pub use spsc::{spsc, Consumer, Producer};

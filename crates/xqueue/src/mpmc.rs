@@ -1,0 +1,302 @@
+//! Bounded lock-free multi-producer multi-consumer queue.
+//!
+//! This is the workhorse behind Agora's task and completion queues. The
+//! design is Dmitry Vyukov's bounded MPMC queue: a power-of-two ring of
+//! slots, each carrying a sequence number that encodes whether the slot is
+//! ready for a producer or a consumer. Producers and consumers claim slots
+//! with a single CAS on their respective cursor; there are no locks and no
+//! allocation after construction. The paper uses moodycamel's
+//! `ConcurrentQueue` for the same role; Vyukov's design is simpler and has
+//! the same single-CAS fast path.
+//!
+//! Progress caveat (same as the original): a producer that claims a slot
+//! and is descheduled before publishing delays consumers of *that slot*,
+//! i.e. the queue is lock-free but not wait-free. Agora pins one thread
+//! per core and keeps critical sections at a few instructions, so this is
+//! immaterial in practice.
+
+use crate::padded::CachePadded;
+use core::cell::UnsafeCell;
+use core::mem::MaybeUninit;
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+struct Slot<T> {
+    /// Sequence: `i` when writable by the producer that claims position
+    /// `i`, `i + 1` once the value is published, `i + capacity` when
+    /// consumed and writable again on the next lap.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free MPMC queue.
+///
+/// `T` should be small and `Copy`-like (the engine enqueues 64-byte
+/// [`crate::msg::Msg`] values); larger payloads work but move through the
+/// ring by value.
+pub struct MpmcQueue<T> {
+    buffer: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+}
+
+unsafe impl<T: Send> Send for MpmcQueue<T> {}
+unsafe impl<T: Send> Sync for MpmcQueue<T> {}
+
+impl<T> MpmcQueue<T> {
+    /// Creates a queue with capacity rounded up to the next power of two
+    /// (minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let buffer: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Self {
+            buffer,
+            mask: cap - 1,
+            enqueue_pos: CachePadded::new(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Capacity of the ring (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Attempts to enqueue; returns `Err(value)` if the queue is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buffer[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                // Slot is free for this position; try to claim it.
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // We own the slot: publish value then bump seq.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                // Slot still holds an unconsumed value from the previous
+                // lap: the queue is full.
+                return Err(value);
+            } else {
+                // Another producer claimed this position; reload.
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempts to dequeue; returns `None` if the queue is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buffer[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - (pos.wrapping_add(1)) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                // Nothing published at this position yet: empty.
+                return None;
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Approximate number of queued elements (racy; diagnostics only).
+    pub fn len(&self) -> usize {
+        let tail = self.enqueue_pos.load(Ordering::Relaxed);
+        let head = self.dequeue_pos.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
+    }
+
+    /// Approximate emptiness (racy; diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for MpmcQueue<T> {
+    fn drop(&mut self) {
+        // Drain any unconsumed values so their destructors run.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = MpmcQueue::new(8);
+        for i in 0..8 {
+            q.push(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(MpmcQueue::<u8>::new(5).capacity(), 8);
+        assert_eq!(MpmcQueue::<u8>::new(0).capacity(), 2);
+        assert_eq!(MpmcQueue::<u8>::new(64).capacity(), 64);
+    }
+
+    #[test]
+    fn push_fails_when_full() {
+        let q = MpmcQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        q.push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn wraps_many_laps() {
+        let q = MpmcQueue::new(4);
+        for lap in 0..100u64 {
+            for i in 0..4 {
+                q.push(lap * 4 + i).unwrap();
+            }
+            for i in 0..4 {
+                assert_eq!(q.pop(), Some(lap * 4 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_values() {
+        let counter = Arc::new(AtomicU64::new(0));
+        struct Probe(Arc<AtomicU64>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let q = MpmcQueue::new(8);
+            for _ in 0..5 {
+                q.push(Probe(counter.clone())).map_err(|_| ()).unwrap();
+            }
+            let _ = q.pop(); // one dropped here
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn mpmc_stress_no_loss_no_dup() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: u64 = 4_000;
+        let q = Arc::new(MpmcQueue::new(1024));
+        let sum = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = q.clone();
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let v = (p as u64) * PER_PRODUCER + i + 1;
+                        let mut item = v;
+                        loop {
+                            match q.push(item) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    item = back;
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = q.clone();
+                let sum = sum.clone();
+                let count = count.clone();
+                s.spawn(move || {
+                    let total = PRODUCERS as u64 * PER_PRODUCER;
+                    loop {
+                        if count.load(Ordering::SeqCst) >= total {
+                            break;
+                        }
+                        if let Some(v) = q.pop() {
+                            sum.fetch_add(v, Ordering::SeqCst);
+                            count.fetch_add(1, Ordering::SeqCst);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+
+        let n = PRODUCERS as u64 * PER_PRODUCER;
+        assert_eq!(count.load(Ordering::SeqCst), n);
+        assert_eq!(sum.load(Ordering::SeqCst), n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn spsc_usage_preserves_order_across_threads() {
+        let q = Arc::new(MpmcQueue::new(64));
+        let q2 = q.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..20_000u64 {
+                let mut v = i;
+                while let Err(back) = q2.push(v) {
+                    v = back;
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < 20_000 {
+            if let Some(v) = q.pop() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+    }
+}

@@ -1,0 +1,158 @@
+//! The 64-byte queue message.
+//!
+//! Agora's threads synchronise through FIFO queues "using 64-byte messages
+//! each containing two fields: task type and buffer location" (§3.2,
+//! Figure 3). One message occupies exactly one cache line, so enqueueing
+//! or dequeueing it moves a single line between cores. [`Msg`] is the
+//! wire format; the engine layers typed constructors on top.
+
+use crate::padded::CACHE_LINE;
+
+/// Task/message kind discriminator carried in a [`Msg`].
+///
+/// The numeric values are stable: they index the engine's per-type task
+/// queues and the priority table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum TaskType {
+    /// Uplink FFT (+ fused channel estimation on pilot symbols).
+    Fft = 0,
+    /// Zero-forcing precoder/detector calculation.
+    Zf = 1,
+    /// Equalization + demodulation (fused).
+    Demod = 2,
+    /// LDPC decoding.
+    Decode = 3,
+    /// LDPC encoding (downlink).
+    Encode = 4,
+    /// Precoding + modulation (fused, downlink).
+    Precode = 5,
+    /// Downlink IFFT.
+    Ifft = 6,
+    /// Packet received from the fronthaul (network -> manager).
+    PacketRx = 7,
+    /// Packet ready for transmission (manager -> network).
+    PacketTx = 8,
+    /// Task-complete notification (worker -> manager).
+    Complete = 9,
+}
+
+impl TaskType {
+    /// All compute task types, in *paper* pipeline order.
+    pub const COMPUTE: [TaskType; 7] = [
+        TaskType::Fft,
+        TaskType::Zf,
+        TaskType::Demod,
+        TaskType::Decode,
+        TaskType::Encode,
+        TaskType::Precode,
+        TaskType::Ifft,
+    ];
+
+    /// Converts the stable numeric id back to a `TaskType`.
+    pub fn from_u16(v: u16) -> Option<TaskType> {
+        Some(match v {
+            0 => TaskType::Fft,
+            1 => TaskType::Zf,
+            2 => TaskType::Demod,
+            3 => TaskType::Decode,
+            4 => TaskType::Encode,
+            5 => TaskType::Precode,
+            6 => TaskType::Ifft,
+            7 => TaskType::PacketRx,
+            8 => TaskType::PacketTx,
+            9 => TaskType::Complete,
+            _ => return None,
+        })
+    }
+}
+
+/// A 64-byte, cache-line-sized queue message.
+///
+/// Field meanings depend on `task`:
+/// * compute tasks: `frame`/`symbol` locate the work, `base` is the first
+///   task index (antenna, subcarrier-group, or user), `count` is the batch
+///   size (§3.4 "Batching"), and `aux` carries the completing worker id in
+///   `Complete` messages.
+/// * packet messages: `base` is the antenna index and `aux` the buffer
+///   slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C, align(64))]
+pub struct Msg {
+    /// What kind of work / notification this is.
+    pub task: TaskType,
+    /// Completing worker id (Complete) or transport slot (packets).
+    pub aux: u16,
+    /// Batch size: number of consecutive tasks this message carries.
+    pub count: u32,
+    /// Frame id (monotonically increasing, never wrapped).
+    pub frame: u32,
+    /// Symbol index within the frame.
+    pub symbol: u32,
+    /// First task index within the block (antenna / subcarrier group /
+    /// user, depending on `task`).
+    pub base: u32,
+    /// Reserved padding to fill the cache line; always zero.
+    _pad: [u32; 11],
+}
+
+const _: () = assert!(core::mem::size_of::<Msg>() == CACHE_LINE);
+const _: () = assert!(core::mem::align_of::<Msg>() == CACHE_LINE);
+
+impl Msg {
+    /// Creates a task message for a batch of `count` tasks starting at
+    /// `base` within `(frame, symbol)`.
+    pub fn task(task: TaskType, frame: u32, symbol: u32, base: u32, count: u32) -> Self {
+        Self { task, aux: 0, count, frame, symbol, base, _pad: [0; 11] }
+    }
+
+    /// Creates a completion notification echoing the task coordinates.
+    pub fn complete(task: TaskType, frame: u32, symbol: u32, base: u32, count: u32, worker: u16) -> Self {
+        Self { task, aux: worker, count, frame, symbol, base, _pad: [0; 11] }
+    }
+}
+
+impl Default for Msg {
+    fn default() -> Self {
+        Msg::task(TaskType::Fft, 0, 0, 0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_is_exactly_one_cache_line() {
+        assert_eq!(core::mem::size_of::<Msg>(), 64);
+        assert_eq!(core::mem::align_of::<Msg>(), 64);
+    }
+
+    #[test]
+    fn task_type_roundtrip() {
+        for t in TaskType::COMPUTE {
+            assert_eq!(TaskType::from_u16(t as u16), Some(t));
+        }
+        assert_eq!(TaskType::from_u16(9), Some(TaskType::Complete));
+        assert_eq!(TaskType::from_u16(100), None);
+    }
+
+    #[test]
+    fn constructors_fill_fields() {
+        let m = Msg::task(TaskType::Demod, 7, 3, 128, 8);
+        assert_eq!(m.task, TaskType::Demod);
+        assert_eq!(m.frame, 7);
+        assert_eq!(m.symbol, 3);
+        assert_eq!(m.base, 128);
+        assert_eq!(m.count, 8);
+        let c = Msg::complete(TaskType::Demod, 7, 3, 128, 8, 21);
+        assert_eq!(c.aux, 21);
+    }
+
+    #[test]
+    fn compute_order_matches_pipeline() {
+        assert_eq!(TaskType::COMPUTE[0], TaskType::Fft);
+        assert_eq!(TaskType::COMPUTE[3], TaskType::Decode);
+        assert_eq!(TaskType::COMPUTE[6], TaskType::Ifft);
+    }
+}

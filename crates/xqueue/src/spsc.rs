@@ -1,0 +1,207 @@
+//! Bounded wait-free single-producer single-consumer ring.
+//!
+//! The network threads each feed the manager through a dedicated channel
+//! (Figure 3's `Msg(RX)`/`Msg(TX)` pairs). With exactly one producer and
+//! one consumer a plain ring with two monotone indices suffices — no CAS at
+//! all, one release store per operation. Split into [`Producer`] and
+//! [`Consumer`] halves so the single-endpoint discipline is enforced by
+//! ownership rather than by convention.
+
+use crate::padded::CachePadded;
+use core::cell::UnsafeCell;
+use core::mem::MaybeUninit;
+use core::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Ring<T> {
+    buffer: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next position to write (owned by the producer, read by consumer).
+    head: CachePadded<AtomicUsize>,
+    /// Next position to read (owned by the consumer, read by producer).
+    tail: CachePadded<AtomicUsize>,
+}
+
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+/// The sending half of an SPSC ring.
+pub struct Producer<T> {
+    ring: Arc<Ring<T>>,
+    /// Cached copy of the consumer's tail to avoid re-reading the shared
+    /// atomic on every push.
+    cached_tail: usize,
+}
+
+/// The receiving half of an SPSC ring.
+pub struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+    /// Cached copy of the producer's head.
+    cached_head: usize,
+}
+
+// Each half is used from one thread at a time but may be *moved* across
+// threads.
+unsafe impl<T: Send> Send for Producer<T> {}
+unsafe impl<T: Send> Send for Consumer<T> {}
+
+/// Creates an SPSC ring with capacity rounded up to a power of two
+/// (minimum 2).
+pub fn spsc<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let buffer: Box<[UnsafeCell<MaybeUninit<T>>]> =
+        (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let ring = Arc::new(Ring {
+        buffer,
+        mask: cap - 1,
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
+    });
+    (
+        Producer { ring: ring.clone(), cached_tail: 0 },
+        Consumer { ring, cached_head: 0 },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Attempts to push; returns `Err(value)` if the ring is full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let head = self.ring.head.load(Ordering::Relaxed);
+        if head.wrapping_sub(self.cached_tail) > self.ring.mask {
+            // Looks full against the cached tail; refresh.
+            self.cached_tail = self.ring.tail.load(Ordering::Acquire);
+            if head.wrapping_sub(self.cached_tail) > self.ring.mask {
+                return Err(value);
+            }
+        }
+        unsafe {
+            (*self.ring.buffer[head & self.ring.mask].get()).write(value);
+        }
+        self.ring.head.store(head.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Approximate occupancy (diagnostics only).
+    pub fn len(&self) -> usize {
+        self.ring
+            .head
+            .load(Ordering::Relaxed)
+            .wrapping_sub(self.ring.tail.load(Ordering::Relaxed))
+    }
+
+    /// Approximate emptiness (diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Attempts to pop; returns `None` if the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let tail = self.ring.tail.load(Ordering::Relaxed);
+        if tail == self.cached_head {
+            self.cached_head = self.ring.head.load(Ordering::Acquire);
+            if tail == self.cached_head {
+                return None;
+            }
+        }
+        let value = unsafe { (*self.ring.buffer[tail & self.ring.mask].get()).assume_init_read() };
+        self.ring.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Approximate occupancy (diagnostics only).
+    pub fn len(&self) -> usize {
+        self.ring
+            .head
+            .load(Ordering::Relaxed)
+            .wrapping_sub(self.ring.tail.load(Ordering::Relaxed))
+    }
+
+    /// Approximate emptiness (diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        // The consumer is the last to see values; drain so destructors run.
+        // (If the producer outlives the consumer it can no longer insert
+        // values that would leak, because Producer::push only writes into
+        // slots the consumer has already vacated.)
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let (mut tx, mut rx) = spsc(8);
+        for i in 0..8 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99));
+        for i in 0..8 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_wraparound() {
+        let (mut tx, mut rx) = spsc(4);
+        for lap in 0..1000 {
+            tx.push(lap).unwrap();
+            tx.push(lap + 1_000_000).unwrap();
+            assert_eq!(rx.pop(), Some(lap));
+            assert_eq!(rx.pop(), Some(lap + 1_000_000));
+        }
+    }
+
+    #[test]
+    fn cross_thread_order_preserved() {
+        let (mut tx, mut rx) = spsc(128);
+        let producer = std::thread::spawn(move || {
+            for i in 0..30_000u64 {
+                let mut v = i;
+                while let Err(back) = tx.push(v) {
+                    v = back;
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < 30_000 {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn drop_consumer_drains_values() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let counter = Arc::new(AtomicU64::new(0));
+        struct Probe(Arc<AtomicU64>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, rx) = spsc(8);
+        for _ in 0..3 {
+            tx.push(Probe(counter.clone())).map_err(|_| ()).unwrap();
+        }
+        drop(rx);
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+}

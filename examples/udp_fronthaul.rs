@@ -1,0 +1,84 @@
+//! Real-network fronthaul demo: the RRU emulator and the baseband engine
+//! talk over actual UDP sockets (loopback), exercising the same packet
+//! format the paper puts on 40 GbE — 64-byte header plus 24-bit IQ
+//! samples, one packet per (frame, symbol, antenna).
+//!
+//! The in-memory ring (the DPDK stand-in) is the benchmark transport;
+//! this example shows the identical code path surviving a real kernel
+//! network stack, including out-of-order and best-effort delivery.
+//!
+//! Run with: `cargo run --release --example udp_fronthaul`
+
+use agora_core::{EngineConfig, InlineProcessor};
+use agora_fronthaul::{Fronthaul, RruConfig, RruEmulator, UdpFronthaul};
+use agora_phy::CellConfig;
+use std::net::SocketAddr;
+
+fn main() {
+    let cell = CellConfig::tiny_test(2);
+    let mut rru = RruEmulator::new(cell.clone(), RruConfig { snr_db: 28.0, ..Default::default() });
+
+    // Bind both endpoints on ephemeral loopback ports and cross-wire.
+    let any: SocketAddr = "127.0.0.1:0".parse().unwrap();
+    let mut rru_side = UdpFronthaul::new(any, any).expect("bind RRU socket");
+    let bbu_side =
+        UdpFronthaul::new(any, rru_side.local_addr().unwrap()).expect("bind BBU socket");
+    rru_side.set_peer(bbu_side.local_addr().unwrap());
+    println!(
+        "fronthaul: RRU {} -> BBU {}",
+        rru_side.local_addr().unwrap(),
+        bbu_side.local_addr().unwrap()
+    );
+
+    let mut cfg = EngineConfig::new(cell.clone(), 1);
+    cfg.noise_power = rru.noise_power();
+    let mut engine = InlineProcessor::new(cfg);
+
+    let frames = 4u32;
+    let mut total_blocks = 0usize;
+    let mut bad_blocks = 0usize;
+    for frame in 0..frames {
+        let (packets, gt) = rru.generate_frame(frame);
+        let expected = packets.len();
+
+        // Transmit over UDP (with retry on socket backpressure) ...
+        for pkt in packets {
+            let mut sent = rru_side.send(pkt.clone());
+            while !sent {
+                std::thread::yield_now();
+                sent = rru_side.send(pkt.clone());
+            }
+        }
+        // ... and receive on the baseband side.
+        let mut received = Vec::with_capacity(expected);
+        let mut spins = 0u64;
+        while received.len() < expected && spins < 5_000_000 {
+            match bbu_side.recv() {
+                Some(p) => received.push(p),
+                None => {
+                    spins += 1;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        println!(
+            "frame {frame}: {}/{} packets delivered over UDP",
+            received.len(),
+            expected
+        );
+        assert_eq!(received.len(), expected, "loopback UDP should not drop at this rate");
+
+        let result = engine.process_frame(frame, &received);
+        for symbol in cell.schedule.uplink_indices() {
+            for user in 0..cell.num_users {
+                total_blocks += 1;
+                if result.decoded[symbol][user] != gt.info_bits[symbol][user] {
+                    bad_blocks += 1;
+                }
+            }
+        }
+    }
+    println!("\ndecoded {total_blocks} blocks over a real UDP fronthaul, {bad_blocks} errors");
+    assert_eq!(bad_blocks, 0);
+    println!("UDP fronthaul path verified ✓");
+}

@@ -1,0 +1,15 @@
+//! # agora-repro — workspace facade
+//!
+//! Re-exports the crates of the Agora reproduction so examples and
+//! integration tests can reach everything through one dependency. The
+//! real code lives in the `crates/` workspace members; see the README
+//! for the architecture tour and DESIGN.md for the paper mapping.
+
+pub use agora_channel as channel;
+pub use agora_core as core;
+pub use agora_fft as fft;
+pub use agora_fronthaul as fronthaul;
+pub use agora_ldpc as ldpc;
+pub use agora_math as math;
+pub use agora_phy as phy;
+pub use agora_queue as queue;

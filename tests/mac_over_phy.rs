@@ -1,0 +1,64 @@
+//! Full-stack test: MAC transport blocks ride the complete air
+//! interface — segmentation, LDPC, OFDM, the emulated channel, the
+//! engine's receive chain, and reassembly with end-to-end CRC.
+
+use agora_core::{EngineConfig, InlineProcessor};
+use agora_fronthaul::{RruConfig, RruEmulator};
+use agora_mac::{Segmenter, TransportBlock};
+use agora_phy::CellConfig;
+
+#[test]
+fn transport_blocks_survive_the_air_interface() {
+    let cell = CellConfig::tiny_test(4);
+    let seg = Segmenter::for_cell(&cell);
+    // One transport block per user, distinct content.
+    let tbs: Vec<TransportBlock> = (0..cell.num_users)
+        .map(|u| {
+            TransportBlock::new(
+                (0..seg.max_payload_bytes()).map(|i| (i as u8).wrapping_mul(7 + u as u8)).collect(),
+            )
+        })
+        .collect();
+    let segments: Vec<Vec<Vec<u8>>> = tbs.iter().map(|tb| seg.segment(tb)).collect();
+
+    let mut rru = RruEmulator::new(
+        cell.clone(),
+        RruConfig { snr_db: 28.0, seed: 13, ..Default::default() },
+    );
+    let ul_symbols = cell.schedule.uplink_indices();
+    let (packets, _gt) = rru.generate_frame_with_bits(
+        0,
+        Some(&|symbol, user| {
+            let slot = ul_symbols.iter().position(|&s| s == symbol).unwrap();
+            segments[user][slot].clone()
+        }),
+    );
+
+    let mut cfg = EngineConfig::new(cell.clone(), 1);
+    cfg.noise_power = rru.noise_power();
+    let mut engine = InlineProcessor::new(cfg);
+    let res = engine.process_frame(0, &packets);
+
+    for (user, tb) in tbs.iter().enumerate() {
+        let decoded: Vec<(Vec<u8>, bool)> = ul_symbols
+            .iter()
+            .map(|&s| (res.decoded[s][user].clone(), res.decode_ok[s][user]))
+            .collect();
+        let out = seg.reassemble(&decoded).expect("reassembly failed");
+        assert_eq!(&out, tb, "user {user} transport block corrupted");
+    }
+}
+
+#[test]
+fn failed_decode_surfaces_as_lost_segment() {
+    let cell = CellConfig::tiny_test(2);
+    let seg = Segmenter::for_cell(&cell);
+    let tb = TransportBlock::new(vec![0xAB; 16]);
+    let parts = seg.segment(&tb);
+    // Simulate the engine flagging the second symbol's decode as failed.
+    let rx = vec![(parts[0].clone(), true), (parts[1].clone(), false)];
+    assert!(matches!(
+        seg.reassemble(&rx),
+        Err(agora_mac::ReassembleError::SegmentLost { segment: 1 })
+    ));
+}
