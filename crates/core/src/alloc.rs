@@ -62,7 +62,7 @@ pub fn allocate_cores(
     assert!(frame_ns > 0);
     let mut cores: Vec<usize> = blocks
         .iter()
-        .map(|b| ((b.total_ns + frame_ns - 1) / frame_ns).max(1) as usize)
+        .map(|b| b.total_ns.div_ceil(frame_ns).max(1) as usize)
         .collect();
     let needed: usize = cores.iter().sum();
     if needed > num_workers {

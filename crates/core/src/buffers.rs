@@ -52,7 +52,7 @@ impl<T> SharedVec<T> {
     /// No concurrent mutable view may overlap `range` (scheduler-enforced).
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice(&self, range: core::ops::Range<usize>) -> &[T] {
-        let b: &Box<[T]> = &*self.data.get();
+        let b: &[T] = &*self.data.get();
         &b[range]
     }
 
@@ -87,7 +87,7 @@ impl<T> SharedVec<T> {
     where
         T: Copy,
     {
-        let b: &Box<[T]> = &*self.data.get();
+        let b: &[T] = &*self.data.get();
         let p = b.as_ptr().add(idx);
         core::ptr::read(p)
     }

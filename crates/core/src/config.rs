@@ -123,6 +123,14 @@ pub struct EngineConfig {
     /// Decision-directed common-phase-error correction between
     /// equalization and demodulation (residual sync drift tracking).
     pub cpe_correction: bool,
+    /// Per-frame processing deadline. When set, a frame whose first
+    /// packet arrived more than this many nanoseconds ago is abandoned:
+    /// its in-flight tasks are flushed, its state freed, and a result
+    /// with `dropped: true` is emitted so the pipeline keeps pace under
+    /// fronthaul loss ("Agora drops the frame and continues", §6).
+    /// `None` keeps the legacy behaviour: incomplete frames are only
+    /// reaped by the end-of-input stall detector.
+    pub frame_deadline_ns: Option<u64>,
 }
 
 impl EngineConfig {
@@ -138,6 +146,7 @@ impl EngineConfig {
             noise_power: 0.05,
             stale_precoder: false,
             cpe_correction: false,
+            frame_deadline_ns: None,
         };
         cfg.clamp_batches();
         cfg
@@ -173,13 +182,13 @@ impl EngineConfig {
         if !self.demod_block.is_power_of_two() {
             return Err("demod block must be a power of two".into());
         }
-        if self.cell.num_data_sc % self.demod_block != 0 {
+        if !self.cell.num_data_sc.is_multiple_of(self.demod_block) {
             return Err(format!(
                 "demod block {} must divide data subcarriers {}",
                 self.demod_block, self.cell.num_data_sc
             ));
         }
-        if self.cell.zf_group % self.demod_block != 0 {
+        if !self.cell.zf_group.is_multiple_of(self.demod_block) {
             return Err("ZF group must be a multiple of the demod block".into());
         }
         Ok(())

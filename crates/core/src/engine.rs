@@ -64,6 +64,9 @@ pub struct FrameResult {
     /// (fronthaul loss) — decoded bits are whatever completed before the
     /// timeout.
     pub dropped: bool,
+    /// Packets that never arrived for this frame (0 for completed
+    /// frames; the per-frame share of fronthaul loss for dropped ones).
+    pub lost_packets: u32,
 }
 
 impl FrameResult {
@@ -181,6 +184,7 @@ impl Engine {
                 let min_frame = self.min_frame.clone();
                 let net_done = net_done.clone();
                 let kernels = self.kernels.clone();
+                let stats = self.stats.clone();
                 scope.spawn(move || {
                     let g = &kernels.geom;
                     let win = window.window() as u64;
@@ -198,6 +202,16 @@ impl Engine {
                                 p.wait_next();
                                 last_symbol = sym_abs;
                             }
+                        }
+                        // Late rejection: the frame's slot has been
+                        // retired (and may already belong to a newer
+                        // frame) — writing the payload would corrupt the
+                        // new occupant. Happens to duplicates/stragglers
+                        // arriving after their frame completed or was
+                        // abandoned.
+                        if (hdr.frame as u64) < min_frame.load(Ordering::Acquire) {
+                            stats.packet_late();
+                            continue;
                         }
                         // Flow control: wait until the frame's slot is free.
                         while hdr.frame as u64 >= min_frame.load(Ordering::Acquire) + win {
@@ -258,6 +272,14 @@ impl Engine {
         // Pending FFT batch accumulator per (frame, symbol): consecutive
         // antenna run awaiting flush (base, count).
         let mut fft_runs: HashMap<(u32, usize), (u32, u32)> = HashMap::new();
+        // Task messages currently in flight (queued or executing) per
+        // frame. A frame's slot may only be retired once this reaches
+        // zero — otherwise a worker could touch a reused buffer.
+        let mut inflight: HashMap<u32, usize> = HashMap::new();
+        // Frames past their deadline, waiting for their in-flight tasks
+        // to drain before the dropped result is emitted.
+        let mut abandoning: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let deadline_ns = kernels.cfg.frame_deadline_ns;
 
         let now_ns = |start: Instant| start.elapsed().as_nanos() as u64;
 
@@ -271,6 +293,14 @@ impl Engine {
                 let frame = msg.frame;
                 let symbol = msg.symbol as usize;
                 let ant = msg.base as usize;
+                // Late rejection: the frame already finished (completed
+                // or being abandoned) — a straggler or duplicate must not
+                // resurrect its state.
+                if completed.contains(&(frame as u64)) || abandoning.contains(&frame) {
+                    self.stats.packet_late();
+                    continue;
+                }
+                let mut pushed = 0usize;
                 let st = states.entry(frame).or_insert_with(|| {
                     let mut st = FrameState::new(
                         frame,
@@ -283,11 +313,18 @@ impl Engine {
                     st.milestones.first_packet_ns = now_ns(start);
                     st.milestones.processing_start_ns = now_ns(start);
                     for r in st.initial_work() {
-                        self.dispatch(frame, r, &batch);
+                        pushed += self.dispatch(frame, r, &batch);
                     }
                     st
                 });
-                let ready = st.on_packet(symbol, ant);
+                let Some(ready) = st.on_packet(symbol, ant) else {
+                    // Duplicate (symbol, antenna): the byte-identical
+                    // payload rewrite is harmless, but dispatching a
+                    // second FFT would double-count the pilot barrier.
+                    self.stats.packet_duplicate();
+                    *inflight.entry(frame).or_insert(0) += pushed;
+                    continue;
+                };
                 let rx_complete = st.packets_received(symbol) == g.m;
                 for r in ready {
                     if let Ready::Fft { symbol, antenna } = r {
@@ -299,12 +336,14 @@ impl Engine {
                             entry.1 += 1;
                         } else {
                             let (b, c) = *entry;
-                            self.push_task(Msg::task(TaskType::Fft, frame, symbol as u32, b, c));
+                            pushed +=
+                                self.push_task(Msg::task(TaskType::Fft, frame, symbol as u32, b, c));
                             *entry = (antenna as u32, 1);
                         }
                         if entry.1 as usize >= batch.fft {
                             let (b, c) = fft_runs.remove(&key).unwrap();
-                            self.push_task(Msg::task(TaskType::Fft, frame, symbol as u32, b, c));
+                            pushed +=
+                                self.push_task(Msg::task(TaskType::Fft, frame, symbol as u32, b, c));
                         }
                     }
                 }
@@ -312,9 +351,11 @@ impl Engine {
                 // all in — nothing more will extend it.
                 if rx_complete {
                     if let Some((b, c)) = fft_runs.remove(&(frame, symbol)) {
-                        self.push_task(Msg::task(TaskType::Fft, frame, symbol as u32, b, c));
+                        pushed +=
+                            self.push_task(Msg::task(TaskType::Fft, frame, symbol as u32, b, c));
                     }
                 }
+                *inflight.entry(frame).or_insert(0) += pushed;
             }
 
             // 2. Drain completions.
@@ -322,8 +363,28 @@ impl Engine {
                 idle = false;
                 last_progress = Instant::now();
                 let frame = msg.frame;
+                if let Some(n) = inflight.get_mut(&frame) {
+                    *n = n.saturating_sub(1);
+                }
+                if abandoning.contains(&frame) {
+                    // The frame is being torn down: ignore the result and
+                    // finalize once the last in-flight task has drained
+                    // (only then is the slot safe to retire).
+                    if inflight.get(&frame).copied().unwrap_or(0) == 0 {
+                        self.finalize_abandoned(
+                            frame,
+                            &mut states,
+                            &mut results,
+                            &mut completed,
+                            &mut abandoning,
+                            &mut inflight,
+                        );
+                    }
+                    continue;
+                }
                 let Some(st) = states.get_mut(&frame) else { continue };
                 let symbol = msg.symbol as usize;
+                let mut pushed = 0usize;
                 let mut ready = Vec::new();
                 let mut ul_done = false;
                 let mut dl_done = false;
@@ -363,7 +424,7 @@ impl Engine {
                             && stale_dl_symbols.contains(&symbol)
                         {
                             for r in st.precode_with_stale(symbol) {
-                                self.dispatch_stale(frame, r, &batch);
+                                pushed += self.dispatch_stale(frame, r, &batch);
                             }
                         }
                     }
@@ -381,8 +442,9 @@ impl Engine {
                     kernels.interpolate_csi(self.window.slot(frame));
                 }
                 for r in ready {
-                    self.dispatch(frame, r, &batch);
+                    pushed += self.dispatch(frame, r, &batch);
                 }
+                *inflight.entry(frame).or_insert(0) += pushed;
                 let has_ul = !cell.schedule.uplink_indices().is_empty();
                 let has_dl = !cell.schedule.downlink_indices().is_empty();
                 if ul_done && st.milestones.decode_done_ns == 0 {
@@ -395,6 +457,8 @@ impl Engine {
                     && (!has_dl || st.downlink_complete());
                 if complete {
                     let st = states.remove(&frame).unwrap();
+                    inflight.remove(&frame);
+                    self.stats.frame_completed();
                     results.push(self.collect_result(&st));
                     completed.insert(frame as u64);
                     // Retire contiguously from the bottom so the network
@@ -404,6 +468,51 @@ impl Engine {
                         min += 1;
                     }
                     self.min_frame.store(min, Ordering::Release);
+                }
+            }
+
+            // 3. Deadline watchdog: abandon frames that have been in
+            // flight longer than the configured budget — missing packets
+            // would otherwise stall the pipeline (and, via flow control,
+            // the whole fronthaul) until end-of-input.
+            if let Some(deadline) = deadline_ns {
+                if !states.is_empty() {
+                    let now = now_ns(start);
+                    let expired: Vec<u32> = states
+                        .iter()
+                        .filter(|(f, st)| {
+                            !abandoning.contains(f)
+                                && now.saturating_sub(st.milestones.first_packet_ns) > deadline
+                        })
+                        .map(|(&f, _)| f)
+                        .collect();
+                    if !expired.is_empty() {
+                        idle = false;
+                        last_progress = Instant::now();
+                        for &f in &expired {
+                            abandoning.insert(f);
+                            // Un-flushed FFT runs will never be pushed.
+                            fft_runs.retain(|&(fr, _), _| fr != f);
+                        }
+                        // Remove the abandoned frames' queued tasks so
+                        // workers never touch their (soon freed) slots.
+                        self.flush_abandoned(&abandoning, &mut inflight);
+                        let drained: Vec<u32> = abandoning
+                            .iter()
+                            .copied()
+                            .filter(|f| inflight.get(f).copied().unwrap_or(0) == 0)
+                            .collect();
+                        for f in drained {
+                            self.finalize_abandoned(
+                                f,
+                                &mut states,
+                                &mut results,
+                                &mut completed,
+                                &mut abandoning,
+                                &mut inflight,
+                            );
+                        }
+                    }
                 }
             }
 
@@ -419,6 +528,10 @@ impl Engine {
                     let stalled: Vec<u32> = states.keys().copied().collect();
                     for frame in stalled {
                         let st = states.remove(&frame).unwrap();
+                        abandoning.remove(&frame);
+                        inflight.remove(&frame);
+                        self.stats.add_packets_lost(st.packets_missing() as u64);
+                        self.stats.frame_dropped();
                         let mut r = self.collect_result(&st);
                         r.dropped = true;
                         results.push(r);
@@ -433,14 +546,20 @@ impl Engine {
                         // Frames whose packets never arrived at all: emit
                         // empty dropped results so callers see them.
                         let symbols = self.kernels.cfg.cell.symbols_per_frame();
+                        let full_load = (cell.schedule.pilot_indices().len()
+                            + cell.schedule.uplink_indices().len())
+                            * g.m;
                         for f in 0..num_frames {
                             if !completed.contains(&(f as u64)) {
+                                self.stats.add_packets_lost(full_load as u64);
+                                self.stats.frame_dropped();
                                 results.push(FrameResult {
                                     frame: f,
                                     milestones: crate::state::Milestones::default(),
                                     decoded: vec![Vec::new(); symbols],
                                     decode_ok: vec![Vec::new(); symbols],
                                     dropped: true,
+                                    lost_packets: full_load as u32,
                                 });
                                 completed.insert(f as u64);
                             }
@@ -456,8 +575,11 @@ impl Engine {
     }
 
     /// Converts a ready-item into queue messages (applying batching).
-    fn dispatch(&self, frame: u32, ready: Ready, batch: &crate::config::BatchSizes) {
+    /// Returns the number of messages pushed so the manager can track
+    /// per-frame in-flight work.
+    fn dispatch(&self, frame: u32, ready: Ready, batch: &crate::config::BatchSizes) -> usize {
         let g = &self.kernels.geom;
+        let mut pushed = 0usize;
         match ready {
             Ready::Fft { .. } => unreachable!("FFT dispatch handled by the run accumulator"),
             Ready::AllZf => {
@@ -465,7 +587,7 @@ impl Engine {
                 let mut base = 0u32;
                 while (base as usize) < groups {
                     let count = batch.zf.min(groups - base as usize) as u32;
-                    self.push_task(Msg::task(TaskType::Zf, frame, 0, base, count));
+                    pushed += self.push_task(Msg::task(TaskType::Zf, frame, 0, base, count));
                     base += count;
                 }
             }
@@ -473,7 +595,8 @@ impl Engine {
                 let mut base = 0u32;
                 while (base as usize) < g.q {
                     let count = batch.demod.min(g.q - base as usize) as u32;
-                    self.push_task(Msg::task(TaskType::Demod, frame, symbol as u32, base, count));
+                    pushed +=
+                        self.push_task(Msg::task(TaskType::Demod, frame, symbol as u32, base, count));
                     base += count;
                 }
             }
@@ -481,7 +604,8 @@ impl Engine {
                 let mut base = 0u32;
                 while (base as usize) < g.k {
                     let count = batch.decode.min(g.k - base as usize) as u32;
-                    self.push_task(Msg::task(TaskType::Decode, frame, symbol as u32, base, count));
+                    pushed +=
+                        self.push_task(Msg::task(TaskType::Decode, frame, symbol as u32, base, count));
                     base += count;
                 }
             }
@@ -489,7 +613,8 @@ impl Engine {
                 let mut base = 0u32;
                 while (base as usize) < g.k {
                     let count = batch.encode.min(g.k - base as usize) as u32;
-                    self.push_task(Msg::task(TaskType::Encode, frame, symbol as u32, base, count));
+                    pushed +=
+                        self.push_task(Msg::task(TaskType::Encode, frame, symbol as u32, base, count));
                     base += count;
                 }
             }
@@ -497,7 +622,7 @@ impl Engine {
                 let mut base = 0u32;
                 while (base as usize) < g.q {
                     let count = batch.precode.min(g.q - base as usize) as u32;
-                    self.push_task(Msg::task(
+                    pushed += self.push_task(Msg::task(
                         TaskType::Precode,
                         frame,
                         symbol as u32,
@@ -511,35 +636,39 @@ impl Engine {
                 let mut base = 0u32;
                 while (base as usize) < g.m {
                     let count = batch.ifft.min(g.m - base as usize) as u32;
-                    self.push_task(Msg::task(TaskType::Ifft, frame, symbol as u32, base, count));
+                    pushed +=
+                        self.push_task(Msg::task(TaskType::Ifft, frame, symbol as u32, base, count));
                     base += count;
                 }
             }
         }
+        pushed
     }
 
     /// Dispatches a stale-precoder precode ready-item: identical to
     /// [`Self::dispatch`] but messages carry `aux = 1`, telling workers
     /// to read the precoder from the previous frame's buffers.
-    fn dispatch_stale(&self, frame: u32, ready: Ready, batch: &crate::config::BatchSizes) {
+    fn dispatch_stale(&self, frame: u32, ready: Ready, batch: &crate::config::BatchSizes) -> usize {
         let g = &self.kernels.geom;
         if let Ready::PrecodeSymbol { symbol } = ready {
+            let mut pushed = 0usize;
             let mut base = 0u32;
             while (base as usize) < g.q {
                 let count = batch.precode.min(g.q - base as usize) as u32;
                 let mut msg = Msg::task(TaskType::Precode, frame, symbol as u32, base, count);
                 msg.aux = 1;
-                self.push_task(msg);
+                pushed += self.push_task(msg);
                 base += count;
             }
+            pushed
         } else {
-            self.dispatch(frame, ready, batch);
+            self.dispatch(frame, ready, batch)
         }
     }
 
-    fn push_task(&self, msg: Msg) {
+    fn push_task(&self, msg: Msg) -> usize {
         if msg.count == 0 {
-            return;
+            return 0;
         }
         let q = self.queues.queue(msg.task);
         let mut m = msg;
@@ -547,6 +676,67 @@ impl Engine {
             m = back;
             std::thread::yield_now();
         }
+        1
+    }
+
+    /// Removes every queued task belonging to an abandoning frame,
+    /// crediting its in-flight count. Tasks a worker already popped
+    /// complete normally and drain through the completion queue — the
+    /// frame's slot stays valid until its count reaches zero, so workers
+    /// never observe a freed buffer. The manager is the only task-queue
+    /// producer, so pop-all / re-push cannot chase its own tail.
+    fn flush_abandoned(
+        &self,
+        abandoning: &std::collections::HashSet<u32>,
+        inflight: &mut HashMap<u32, usize>,
+    ) {
+        for q in &self.queues.tasks {
+            let mut keep: Vec<Msg> = Vec::new();
+            while let Some(msg) = q.pop() {
+                if abandoning.contains(&msg.frame) {
+                    if let Some(n) = inflight.get_mut(&msg.frame) {
+                        *n = n.saturating_sub(1);
+                    }
+                } else {
+                    keep.push(msg);
+                }
+            }
+            for msg in keep {
+                let mut m = msg;
+                while let Err(back) = q.push(m) {
+                    m = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Emits the dropped result for an abandoned frame and retires its
+    /// slot. Must only be called once the frame's in-flight count is
+    /// zero.
+    fn finalize_abandoned(
+        &self,
+        frame: u32,
+        states: &mut HashMap<u32, FrameState>,
+        results: &mut Vec<FrameResult>,
+        completed: &mut std::collections::HashSet<u64>,
+        abandoning: &mut std::collections::HashSet<u32>,
+        inflight: &mut HashMap<u32, usize>,
+    ) {
+        abandoning.remove(&frame);
+        inflight.remove(&frame);
+        let Some(st) = states.remove(&frame) else { return };
+        self.stats.add_packets_lost(st.packets_missing() as u64);
+        self.stats.frame_dropped();
+        let mut r = self.collect_result(&st);
+        r.dropped = true;
+        results.push(r);
+        completed.insert(frame as u64);
+        let mut min = self.min_frame.load(Ordering::Relaxed);
+        while completed.contains(&min) {
+            min += 1;
+        }
+        self.min_frame.store(min, Ordering::Release);
     }
 
     fn collect_result(&self, st: &FrameState) -> FrameResult {
@@ -570,7 +760,14 @@ impl Engine {
                 ok[sym].push(flag);
             }
         }
-        FrameResult { frame: st.frame, milestones: st.milestones, decoded, decode_ok: ok, dropped: false }
+        FrameResult {
+            frame: st.frame,
+            milestones: st.milestones,
+            decoded,
+            decode_ok: ok,
+            dropped: false,
+            lost_packets: st.packets_missing() as u32,
+        }
     }
 }
 

@@ -85,6 +85,11 @@ pub struct FrameState {
     zf_groups: usize,
     // --- uplink ---
     pkts: Vec<usize>,
+    /// Per-(symbol, antenna) arrival flags (`symbol * m + antenna`):
+    /// rejects duplicate fronthaul packets, which would otherwise
+    /// double-count toward the FFT barrier and corrupt the dependency
+    /// counters.
+    rx_seen: Vec<bool>,
     fft_done: Vec<usize>,
     pilot_ffts_remaining: usize,
     zf_dispatched: bool,
@@ -126,6 +131,7 @@ impl FrameState {
             q,
             zf_groups,
             pkts: vec![0; symbols],
+            rx_seen: vec![false; symbols * m],
             fft_done: vec![0; symbols],
             pilot_ffts_remaining: pilot_ffts,
             zf_dispatched: false,
@@ -161,16 +167,23 @@ impl FrameState {
 
     /// A packet for `(symbol, antenna)` arrived; its payload is already in
     /// the frame buffer. Returns the FFT task this unlocks (uplink/pilot
-    /// symbols only; downlink symbols carry no uplink packets).
-    pub fn on_packet(&mut self, symbol: usize, antenna: usize) -> Vec<Ready> {
+    /// symbols only; downlink symbols carry no uplink packets). Returns
+    /// `None` for a duplicate `(symbol, antenna)` — the caller must not
+    /// dispatch anything for it (the byte-identical payload rewrite is
+    /// harmless, but a second FFT would double-count the barrier).
+    pub fn on_packet(&mut self, symbol: usize, antenna: usize) -> Option<Vec<Ready>> {
+        let idx = symbol * self.m + antenna;
+        if self.rx_seen[idx] {
+            return None;
+        }
+        self.rx_seen[idx] = true;
         self.pkts[symbol] += 1;
-        debug_assert!(self.pkts[symbol] <= self.m, "duplicate packets for symbol {symbol}");
-        match self.schedule.symbol(symbol) {
+        Some(match self.schedule.symbol(symbol) {
             SymbolType::Pilot | SymbolType::Uplink => {
                 vec![Ready::Fft { symbol, antenna }]
             }
             _ => Vec::new(),
-        }
+        })
     }
 
     /// An FFT task completed. May unlock ZF (pilots done) or
@@ -187,10 +200,8 @@ impl FrameState {
                     out.push(Ready::AllZf);
                 }
             }
-            SymbolType::Uplink => {
-                if self.fft_done[symbol] == self.m {
-                    out.extend(self.try_demod(symbol));
-                }
+            SymbolType::Uplink if self.fft_done[symbol] == self.m => {
+                out.extend(self.try_demod(symbol));
             }
             _ => {}
         }
@@ -292,6 +303,18 @@ impl FrameState {
         self.pkts[symbol]
     }
 
+    /// Distinct packets still missing across all packet-bearing symbols
+    /// (pilot + uplink; downlink symbols carry no uplink packets). This
+    /// is the loss count attributed to a frame when it is abandoned.
+    pub fn packets_missing(&self) -> usize {
+        self.schedule
+            .pilot_indices()
+            .into_iter()
+            .chain(self.schedule.uplink_indices())
+            .map(|s| self.m - self.pkts[s])
+            .sum()
+    }
+
     /// True once every user of a downlink symbol has been encoded.
     pub fn encode_complete(&self, symbol: usize) -> bool {
         self.encode_done[symbol] == self.k
@@ -350,8 +373,38 @@ mod tests {
     #[test]
     fn packets_unlock_ffts() {
         let mut st = ul_state();
-        let r = st.on_packet(0, 3);
+        let r = st.on_packet(0, 3).unwrap();
         assert_eq!(r, vec![Ready::Fft { symbol: 0, antenna: 3 }]);
+    }
+
+    #[test]
+    fn duplicate_packets_rejected() {
+        let mut st = ul_state();
+        assert!(st.on_packet(1, 2).is_some());
+        // Same (symbol, antenna) again: rejected, no second FFT, and the
+        // arrival counter does not double-count toward the barrier.
+        assert!(st.on_packet(1, 2).is_none());
+        assert_eq!(st.packets_received(1), 1);
+        // A different antenna on the same symbol is still accepted.
+        assert!(st.on_packet(1, 3).is_some());
+        assert_eq!(st.packets_received(1), 2);
+    }
+
+    #[test]
+    fn packets_missing_counts_undelivered() {
+        let mut st = ul_state();
+        // 3 packet-bearing symbols (1 pilot + 2 uplink) x 4 antennas.
+        assert_eq!(st.packets_missing(), 12);
+        let _ = st.on_packet(0, 0);
+        let _ = st.on_packet(1, 2);
+        let _ = st.on_packet(1, 2); // duplicate must not count
+        assert_eq!(st.packets_missing(), 10);
+        for sym in 0..3 {
+            for ant in 0..4 {
+                let _ = st.on_packet(sym, ant);
+            }
+        }
+        assert_eq!(st.packets_missing(), 0);
     }
 
     #[test]

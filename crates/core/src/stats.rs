@@ -37,6 +37,18 @@ pub struct EngineStats {
     messages: [AtomicU64; NUM_TASK_TYPES],
     /// Total busy nanoseconds per worker id (sized at engine start).
     worker_busy_ns: Vec<AtomicU64>,
+    /// Packets that never arrived for frames the engine gave up on.
+    packets_lost: AtomicU64,
+    /// Packets rejected because their frame was already completed,
+    /// abandoned, or retired past the flow-control window.
+    packets_late: AtomicU64,
+    /// Packets rejected because the same (frame, symbol, antenna) was
+    /// already received.
+    packets_duplicate: AtomicU64,
+    /// Frames fully processed to completion.
+    frames_completed: AtomicU64,
+    /// Frames abandoned (deadline or stall) with partial output.
+    frames_dropped: AtomicU64,
 }
 
 impl EngineStats {
@@ -93,6 +105,56 @@ impl EngineStats {
     /// Busy nanoseconds of one worker.
     pub fn worker_busy_ns(&self, worker: usize) -> u64 {
         self.worker_busy_ns.get(worker).map_or(0, |a| a.load(Ordering::Relaxed))
+    }
+
+    /// Records `n` packets as lost (frame abandoned before they arrived).
+    pub fn add_packets_lost(&self, n: u64) {
+        self.packets_lost.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one late packet (frame already completed/abandoned/retired).
+    pub fn packet_late(&self) {
+        self.packets_late.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one duplicate packet.
+    pub fn packet_duplicate(&self) {
+        self.packets_duplicate.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one frame processed to completion.
+    pub fn frame_completed(&self) {
+        self.frames_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one frame abandoned with partial output.
+    pub fn frame_dropped(&self) {
+        self.frames_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Packets that never arrived for abandoned frames.
+    pub fn packets_lost(&self) -> u64 {
+        self.packets_lost.load(Ordering::Relaxed)
+    }
+
+    /// Packets rejected as late.
+    pub fn packets_late(&self) -> u64 {
+        self.packets_late.load(Ordering::Relaxed)
+    }
+
+    /// Packets rejected as duplicates.
+    pub fn packets_duplicate(&self) -> u64 {
+        self.packets_duplicate.load(Ordering::Relaxed)
+    }
+
+    /// Frames processed to completion.
+    pub fn frames_completed(&self) -> u64 {
+        self.frames_completed.load(Ordering::Relaxed)
+    }
+
+    /// Frames abandoned with partial output.
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_dropped.load(Ordering::Relaxed)
     }
 
     /// Formats a Table 3-style summary.
@@ -156,5 +218,22 @@ mod tests {
     #[should_panic(expected = "not a compute task")]
     fn non_compute_type_panics() {
         type_index(TaskType::Complete);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let s = EngineStats::new(1);
+        s.add_packets_lost(3);
+        s.add_packets_lost(2);
+        s.packet_late();
+        s.packet_duplicate();
+        s.packet_duplicate();
+        s.frame_completed();
+        s.frame_dropped();
+        assert_eq!(s.packets_lost(), 5);
+        assert_eq!(s.packets_late(), 1);
+        assert_eq!(s.packets_duplicate(), 2);
+        assert_eq!(s.frames_completed(), 1);
+        assert_eq!(s.frames_dropped(), 1);
     }
 }

@@ -191,8 +191,7 @@ impl BaseGraph {
                 _ => unreachable!(),
             }
         }
-        for r in CORE_ROWS..rows {
-            let row_support = &mut support[r];
+        for (r, row_support) in support.iter_mut().enumerate().skip(CORE_ROWS) {
             // Extension rows: column 0 always (high-degree punctured
             // column), column 1 on alternating rows, a few mid columns,
             // occasionally a core parity column (the D block), and the

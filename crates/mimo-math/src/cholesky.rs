@@ -92,8 +92,8 @@ impl Cholesky {
         let mut x = vec![Cf32::ZERO; n];
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for j in i + 1..n {
-                acc -= self.l[(j, i)].conj() * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.l[(j, i)].conj() * xj;
             }
             x[i] = acc * self.l[(i, i)].inv();
         }

@@ -158,6 +158,8 @@ macro_rules! impl_complex {
         impl Div for $name {
             type Output = Self;
             #[inline]
+            // Complex division IS multiplication by the inverse.
+            #[allow(clippy::suspicious_arithmetic_impl)]
             fn div(self, o: Self) -> Self {
                 self * o.inv()
             }

@@ -137,10 +137,10 @@ impl Gemm {
     /// Executes `C = A * B`.
     #[inline]
     pub fn run(&self, a: &[Cf32], b: &[Cf32], c: &mut [Cf32]) {
-        if self.kernel() == GemmKernel::Specialized {
-            if dispatch_fixed(self.m, self.k, self.n, Some(a), Some(b), Some(c)).is_some() {
-                return;
-            }
+        if self.kernel() == GemmKernel::Specialized
+            && dispatch_fixed(self.m, self.k, self.n, Some(a), Some(b), Some(c)).is_some()
+        {
+            return;
         }
         gemm(self.m, self.k, self.n, a, b, c);
     }

@@ -146,7 +146,7 @@ unsafe fn stream_copy_avx(src: &[Cf32], dst: &mut [Cf32]) {
     let dp = dst.as_mut_ptr() as *mut f32;
     // Align destination to 32 bytes for the streaming stores.
     let mut i = 0usize;
-    while i < n_floats && (dp.add(i) as usize) % 32 != 0 {
+    while i < n_floats && !(dp.add(i) as usize).is_multiple_of(32) {
         *dp.add(i) = *sp.add(i);
         i += 1;
     }

@@ -66,9 +66,7 @@ pub fn svd(a: &CMat) -> Svd {
                 let mut app = 0.0f64;
                 let mut aqq = 0.0f64;
                 let mut apq = Cf64::ZERO;
-                for r in 0..m {
-                    let wp = w[p][r];
-                    let wq = w[q][r];
+                for (&wp, &wq) in w[p].iter().zip(&w[q]) {
                     app += wp.norm_sqr();
                     aqq += wq.norm_sqr();
                     apq = wp.conj_mul(wq) + apq;
@@ -92,17 +90,17 @@ pub fn svd(a: &CMat) -> Svd {
                 //   wq' =  s*alpha*wp + c*wq
                 let sa = alpha.scale(s);
                 let sac = alpha.conj().scale(s);
-                for r in 0..m {
-                    let wp = w[p][r];
-                    let wq = w[q][r];
-                    w[p][r] = wp.scale(c) - sac * wq;
-                    w[q][r] = sa * wp + wq.scale(c);
+                let (wlo, whi) = w.split_at_mut(q);
+                for (ep, eq) in wlo[p].iter_mut().zip(whi[0].iter_mut()) {
+                    let (wp, wq) = (*ep, *eq);
+                    *ep = wp.scale(c) - sac * wq;
+                    *eq = sa * wp + wq.scale(c);
                 }
-                for r in 0..n {
-                    let vp = v[p][r];
-                    let vq = v[q][r];
-                    v[p][r] = vp.scale(c) - sac * vq;
-                    v[q][r] = sa * vp + vq.scale(c);
+                let (vlo, vhi) = v.split_at_mut(q);
+                for (ep, eq) in vlo[p].iter_mut().zip(vhi[0].iter_mut()) {
+                    let (vp, vq) = (*ep, *eq);
+                    *ep = vp.scale(c) - sac * vq;
+                    *eq = sa * vp + vq.scale(c);
                 }
             }
         }

@@ -80,11 +80,11 @@ pub fn demod_soft(scheme: ModScheme, symbols: &[Cf32], noise_var: f32, out: &mut
     for &y in symbols {
         axis_max_log(&levels, y.re, half, &mut i_llr);
         axis_max_log(&levels, y.im, half, &mut q_llr);
-        for k in 0..half {
-            out.push(i_llr[k] * inv_nv);
+        for &l in i_llr.iter().take(half) {
+            out.push(l * inv_nv);
         }
-        for k in 0..half {
-            out.push(q_llr[k] * inv_nv);
+        for &l in q_llr.iter().take(half) {
+            out.push(l * inv_nv);
         }
     }
 }
@@ -249,11 +249,11 @@ pub fn demod_soft_simd(scheme: ModScheme, symbols: &[Cf32], noise_var: f32, out:
                     axis_max_log_x8(&levels, &re, half, &mut i_llr);
                     axis_max_log_x8(&levels, &im, half, &mut q_llr);
                     for j in 0..8 {
-                        for k in 0..half {
-                            out.push(i_llr[k][j] * inv_nv);
+                        for l in i_llr.iter().take(half) {
+                            out.push(l[j] * inv_nv);
                         }
-                        for k in 0..half {
-                            out.push(q_llr[k][j] * inv_nv);
+                        for l in q_llr.iter().take(half) {
+                            out.push(l[j] * inv_nv);
                         }
                     }
                 }

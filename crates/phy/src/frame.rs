@@ -55,14 +55,14 @@ impl FrameSchedule {
     /// `num_pilots` pilot symbols followed by `num_data` uplink symbols.
     pub fn uplink(num_pilots: usize, num_data: usize) -> FrameSchedule {
         let mut symbols = vec![SymbolType::Pilot; num_pilots];
-        symbols.extend(std::iter::repeat(SymbolType::Uplink).take(num_data));
+        symbols.extend(std::iter::repeat_n(SymbolType::Uplink, num_data));
         FrameSchedule { symbols }
     }
 
     /// `num_pilots` pilot symbols followed by `num_data` downlink symbols.
     pub fn downlink(num_pilots: usize, num_data: usize) -> FrameSchedule {
         let mut symbols = vec![SymbolType::Pilot; num_pilots];
-        symbols.extend(std::iter::repeat(SymbolType::Downlink).take(num_data));
+        symbols.extend(std::iter::repeat_n(SymbolType::Downlink, num_data));
         FrameSchedule { symbols }
     }
 
@@ -293,7 +293,7 @@ impl CellConfig {
                 self.num_users, self.num_antennas
             ));
         }
-        if self.num_data_sc % self.num_users != 0
+        if !self.num_data_sc.is_multiple_of(self.num_users)
             && self.pilot_scheme == PilotScheme::FrequencyOrthogonal
         {
             return Err("frequency-orthogonal pilots need K | num_data_sc".into());

@@ -144,5 +144,64 @@ mod proptests {
             prop_assert!((back.re - expect_re).abs() < 1e-6);
             prop_assert!((back.im - expect_im).abs() < 1e-6);
         }
+
+        /// Full-scale edges: any float in [-1.25, 1.25] — including ±1.0
+        /// exactly and values straddling the 2047/-2048 clamp — must pack
+        /// to the clamped quantisation grid and unpack within half a step
+        /// (or exactly the clamp rail when saturated).
+        #[test]
+        fn full_scale_edges_clamp_to_rails(
+            re in -1.25f32..1.25,
+            im in -1.25f32..1.25,
+            exact_edge in any::<bool>(),
+        ) {
+            // Half the cases exercise the exact ±1.0 / rail-straddling
+            // values rather than a uniform draw.
+            let (re, im) = if exact_edge {
+                (
+                    if re < 0.0 { -1.0 } else { 1.0 },
+                    // Straddle the positive clamp: 2046.5/2048 .. 2048.5/2048.
+                    2046.5 / FULL_SCALE + (im.abs() % (2.0 / FULL_SCALE)),
+                )
+            } else {
+                (re, im)
+            };
+            let z = Cf32::new(re, im);
+            let mut b = [0u8; 3];
+            pack_sample(z, &mut b);
+            let back = unpack_sample(&b);
+            let expect = |x: f32| -> f32 {
+                (x * FULL_SCALE).round().clamp(-2048.0, 2047.0) / FULL_SCALE
+            };
+            prop_assert!((back.re - expect(re)).abs() < 1e-6, "re {re} -> {} want {}", back.re, expect(re));
+            prop_assert!((back.im - expect(im)).abs() < 1e-6, "im {im} -> {} want {}", back.im, expect(im));
+            // The decoded value never escapes the representable range.
+            prop_assert!((-1.0..=2047.0 / FULL_SCALE).contains(&back.re));
+            prop_assert!((-1.0..=2047.0 / FULL_SCALE).contains(&back.im));
+        }
+
+        /// +1.0 saturates to the positive rail, -1.0 is exactly
+        /// representable, and both survive a slice roundtrip.
+        #[test]
+        fn unit_magnitude_slice_roundtrip(n in 1usize..64) {
+            let samples: Vec<Cf32> = (0..n)
+                .map(|i| match i % 4 {
+                    0 => Cf32::new(1.0, -1.0),
+                    1 => Cf32::new(-1.0, 1.0),
+                    2 => Cf32::new(2047.0 / FULL_SCALE, -2048.0 / FULL_SCALE),
+                    _ => Cf32::new(2047.5 / FULL_SCALE, -2048.5 / FULL_SCALE),
+                })
+                .collect();
+            let mut bytes = Vec::new();
+            pack_samples(&samples, &mut bytes);
+            let mut back = Vec::new();
+            unpack_samples(&bytes, &mut back);
+            prop_assert_eq!(back.len(), samples.len());
+            for (orig, got) in samples.iter().zip(back.iter()) {
+                let expect = |x: f32| (x * FULL_SCALE).round().clamp(-2048.0, 2047.0) / FULL_SCALE;
+                prop_assert!((got.re - expect(orig.re)).abs() < 1e-6);
+                prop_assert!((got.im - expect(orig.im)).abs() < 1e-6);
+            }
+        }
     }
 }

@@ -7,12 +7,15 @@
 //!   in-memory rings (DPDK stand-in) and real UDP sockets.
 //! * [`rru`]: the emulated RRU / IQ sample generator with ground truth.
 //! * [`pacing`]: nanosecond-precision symbol pacing.
+//! * [`fault`]: deterministic fault injection (loss/reorder/dup/jitter).
 
+pub mod fault;
 pub mod fronthaul;
 pub mod packet;
 pub mod pacing;
 pub mod rru;
 
+pub use fault::{FaultConfig, FaultInjector, FaultStats, FaultyFronthaul, LossModel};
 pub use fronthaul::{Fronthaul, MemFronthaul, UdpFronthaul};
 pub use packet::{decode, encode, PacketDir, PacketError, PacketHeader, HEADER_LEN};
 pub use pacing::Pacer;

@@ -23,12 +23,23 @@ impl Pacer {
         Self { start: Instant::now(), interval, next_tick: 0 }
     }
 
+    /// Absolute schedule offset of `tick`, in u64 nanoseconds. The old
+    /// `interval * tick as u32` truncated the tick to 32 bits (wrapping
+    /// the deadline backwards after 2^32 ticks — under an hour at
+    /// sub-microsecond symbol intervals — which silently disabled
+    /// pacing) and could panic on `Duration * u32` overflow. 64-bit
+    /// nanosecond arithmetic covers ~584 years of schedule.
+    #[inline]
+    fn scheduled(&self, tick: u64) -> Duration {
+        Duration::from_nanos((self.interval.as_nanos() as u64).saturating_mul(tick))
+    }
+
     /// Busy-waits until the next tick boundary and returns the tick index.
     /// If the caller is already late, returns immediately (no tick is
     /// skipped — backlog drains at full speed, like a NIC queue).
     pub fn wait_next(&mut self) -> u64 {
         let tick = self.next_tick;
-        let deadline = self.start + self.interval * tick as u32;
+        let deadline = self.start + self.scheduled(tick);
         while Instant::now() < deadline {
             std::hint::spin_loop();
         }
@@ -43,8 +54,7 @@ impl Pacer {
 
     /// How far behind schedule the pacer currently is (zero when on time).
     pub fn lag(&self) -> Duration {
-        let scheduled = self.interval * self.next_tick as u32;
-        self.start.elapsed().saturating_sub(scheduled)
+        self.start.elapsed().saturating_sub(self.scheduled(self.next_tick))
     }
 }
 
@@ -63,8 +73,10 @@ mod tests {
     #[test]
     fn interval_is_respected_on_average() {
         // 200 ticks at 50 us = 10 ms nominal; allow generous slack for CI.
-        let mut p = Pacer::new(Duration::from_micros(50));
+        // t0 is taken *before* the pacer's internal start instant so the
+        // lower bound holds even if the thread is preempted in between.
         let t0 = Instant::now();
+        let mut p = Pacer::new(Duration::from_micros(50));
         for _ in 0..200 {
             p.wait_next();
         }
@@ -73,7 +85,22 @@ mod tests {
             elapsed >= Duration::from_micros(50 * 199),
             "finished too fast: {elapsed:?}"
         );
-        assert!(elapsed < Duration::from_millis(100), "far too slow: {elapsed:?}");
+        assert!(elapsed < Duration::from_millis(500), "far too slow: {elapsed:?}");
+    }
+
+    #[test]
+    fn tick_beyond_u32_does_not_wrap_deadline() {
+        // Regression: `interval * tick as u32` truncated the tick, so tick
+        // 2^32 wrapped its deadline back to the start instant and lag()
+        // reported the full elapsed time. With u64 ns math the scheduled
+        // offset keeps growing, so a far-future tick shows zero lag.
+        let mut p = Pacer::new(Duration::from_secs(1));
+        p.next_tick = (u32::MAX as u64) + 1; // wraps to tick 0 under the bug
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(p.lag(), Duration::ZERO, "deadline wrapped backwards");
+        // Saturating math: an absurd tick must not panic.
+        p.next_tick = u64::MAX;
+        assert_eq!(p.lag(), Duration::ZERO);
     }
 
     #[test]

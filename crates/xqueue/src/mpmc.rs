@@ -276,6 +276,60 @@ mod tests {
     }
 
     #[test]
+    fn mpmc_stress_small_capacities_exact_multiset() {
+        // At tiny capacities every push contends with wrap-around, which
+        // is where a Vyukov ring's sequence arithmetic would break. The
+        // exact multiset check (one slot per value) catches both loss and
+        // duplication, which a sum test alone can miss when errors cancel.
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 400;
+        for capacity in [2usize, 4, 8] {
+            let q = Arc::new(MpmcQueue::new(capacity));
+            assert_eq!(q.capacity(), capacity);
+            let total = PRODUCERS * PER_PRODUCER;
+            let seen: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+            let consumed = Arc::new(AtomicU64::new(0));
+
+            std::thread::scope(|s| {
+                for p in 0..PRODUCERS {
+                    let q = q.clone();
+                    s.spawn(move || {
+                        for i in 0..PER_PRODUCER {
+                            let mut item = (p * PER_PRODUCER + i) as u64;
+                            while let Err(back) = q.push(item) {
+                                item = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    });
+                }
+                for _ in 0..CONSUMERS {
+                    let q = q.clone();
+                    let consumed = consumed.clone();
+                    let seen = &seen;
+                    s.spawn(move || loop {
+                        if consumed.load(Ordering::SeqCst) >= total as u64 {
+                            break;
+                        }
+                        if let Some(v) = q.pop() {
+                            seen[v as usize].fetch_add(1, Ordering::SeqCst);
+                            consumed.fetch_add(1, Ordering::SeqCst);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    });
+                }
+            });
+
+            for (v, slot) in seen.iter().enumerate() {
+                let n = slot.load(Ordering::SeqCst);
+                assert_eq!(n, 1, "capacity {capacity}: value {v} seen {n} times");
+            }
+        }
+    }
+
+    #[test]
     fn spsc_usage_preserves_order_across_threads() {
         let q = Arc::new(MpmcQueue::new(64));
         let q2 = q.clone();

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a PR must pass before merging.
+#
+#   scripts/ci.sh
+#
+# Runs the release build (the tier-1 artifact), the full workspace test
+# suite, and clippy with warnings promoted to errors. Fails fast.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test --workspace -q
+
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "CI OK"
