@@ -119,6 +119,10 @@ pub struct FrameBuffers {
     pub pre: SharedVec<Cf32>,
     /// Soft demodulator output.
     pub llr: SharedVec<f32>,
+    /// Quantised soft demodulator output (fixed-point decoding plane).
+    /// Same `[symbol][user][bit]` layout as `llr`; only the plane selected
+    /// by `ablation.quantized_decoder` is written per frame.
+    pub llr_i8: SharedVec<i8>,
     /// Decoded information bits.
     pub decoded: SharedVec<u8>,
     /// Per-(symbol, user) decode success flags (1 = CRC/syndrome pass).
@@ -174,6 +178,7 @@ impl FrameBuffers {
             det: SharedVec::new(groups * g.k * g.m, Cf32::ZERO),
             pre: SharedVec::new(groups * g.m * g.k, Cf32::ZERO),
             llr: SharedVec::new(g.symbols * g.k * g.cap_bits, 0.0f32),
+            llr_i8: SharedVec::new(g.symbols * g.k * g.cap_bits, 0i8),
             decoded: SharedVec::new(g.symbols * g.k * g.info_bits, 0u8),
             decode_ok: SharedVec::new(g.symbols * g.k, 0u8),
             dl_bits: SharedVec::new(g.symbols * g.k * g.cap_bits, 0u8),

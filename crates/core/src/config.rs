@@ -44,6 +44,12 @@ pub struct Ablation {
     /// §4.3 "Real-time process": when *disabled*, the simulator injects
     /// OS-scheduler preemption jitter into task times (tail blow-up).
     pub realtime_process: bool,
+    /// Fixed-point decoding plane: demodulation emits saturating `i8`
+    /// LLRs and `decode_task` runs the Z-lane-vectorised i8 layered
+    /// min-sum decoder instead of the scalar `f32` one (the FlexRAN-style
+    /// configuration the paper offloads to). Disabled, the engine keeps
+    /// the float plane — the A/B for fig-style runs.
+    pub quantized_decoder: bool,
 }
 
 impl Default for Ablation {
@@ -56,6 +62,7 @@ impl Default for Ablation {
             jit_gemm: true,
             detector: DetectorKind::ZeroForcing,
             realtime_process: true,
+            quantized_decoder: false,
         }
     }
 }
@@ -116,6 +123,9 @@ pub struct EngineConfig {
     /// subcarrier, post-channel). Receivers estimate this from pilots;
     /// experiments set it from the generator's ground truth.
     pub noise_power: f32,
+    /// `f32 -> i8` LLR quantisation scale for the fixed-point decoding
+    /// plane (`ablation.quantized_decoder`): integer steps per LLR unit.
+    pub llr_quant_scale: f32,
     /// §3.4.2: precode the first downlink symbols of frame `f` with frame
     /// `f-1`'s precoder so the RRU's air time never idles waiting for the
     /// new frame's ZF (slightly stale CSI, negligible at low mobility).
@@ -144,6 +154,7 @@ impl EngineConfig {
             ablation: Ablation::default(),
             demod_block: 8,
             noise_power: 0.05,
+            llr_quant_scale: agora_ldpc::DEFAULT_LLR_SCALE,
             stale_precoder: false,
             cpe_correction: false,
             frame_deadline_ns: None,
@@ -178,6 +189,9 @@ impl EngineConfig {
         }
         if self.frame_window < 2 {
             return Err("frame window must be at least 2".into());
+        }
+        if !(self.llr_quant_scale > 0.0 && self.llr_quant_scale.is_finite()) {
+            return Err("LLR quantisation scale must be positive and finite".into());
         }
         if !self.demod_block.is_power_of_two() {
             return Err("demod block must be a power of two".into());

@@ -10,10 +10,10 @@
 use crate::buffers::{BufferGeometry, FrameBuffers};
 use crate::config::EngineConfig;
 use agora_fft::{Direction, FftPlan, SubcarrierMap};
-use agora_ldpc::{DecodeConfig, Decoder, Encoder, RateMatch};
+use agora_ldpc::{DecodeConfig, DecodeConfigI8, Decoder, DecoderI8, Encoder, RateMatch};
 use agora_math::simd::{stream_copy, SimdTier};
 use agora_math::{pinv, CMat, Cf32, Gemm};
-use agora_phy::demod::{demod_soft, demod_soft_simd};
+use agora_phy::demod::{demod_soft_i8, demod_soft_simd};
 use agora_phy::frame::SymbolType;
 use agora_phy::iq::unpack_samples;
 use agora_phy::modulation::{map_symbol, ModScheme};
@@ -42,13 +42,22 @@ pub struct Kernels {
 /// Per-worker mutable scratch: decoder state and staging buffers.
 pub struct WorkerScratch {
     decoder: Decoder,
+    /// Fixed-point decoder for the quantised plane (`ablation.
+    /// quantized_decoder`); carries its own message/posterior scratch.
+    decoder_i8: DecoderI8,
     time: Vec<Cf32>,
     grid: Vec<Cf32>,
     active: Vec<Cf32>,
     ant_block: Vec<Cf32>,
     user_block: Vec<Cf32>,
+    /// Per-user equalized rows for the strided demod path,
+    /// `[user][zf_group]` — gathered so demodulation runs the SIMD
+    /// demapper over a contiguous row instead of symbol-at-a-time.
+    strided_rows: Vec<Cf32>,
     llr_tmp: Vec<f32>,
+    llr_i8_tmp: Vec<i8>,
     full_llr: Vec<f32>,
+    full_llr_i8: Vec<i8>,
     /// Tracked common-phase-error estimate (radians), carried across
     /// blocks/symbols processed by this worker.
     cpe_seed: f32,
@@ -110,13 +119,17 @@ impl Kernels {
         let g = &self.geom;
         WorkerScratch {
             decoder: Decoder::new(self.cfg.cell.ldpc.base_graph, self.cfg.cell.ldpc.z),
+            decoder_i8: DecoderI8::new(self.cfg.cell.ldpc.base_graph, self.cfg.cell.ldpc.z),
             time: vec![Cf32::ZERO; g.samples],
             grid: vec![Cf32::ZERO; self.cfg.cell.fft_size],
             active: vec![Cf32::ZERO; g.q],
             ant_block: vec![Cf32::ZERO; g.m * g.block],
             user_block: vec![Cf32::ZERO; g.k * g.block],
-            llr_tmp: Vec::with_capacity(g.block * 8),
+            strided_rows: vec![Cf32::ZERO; g.k * g.zf_group],
+            llr_tmp: Vec::with_capacity(g.zf_group * 8),
+            llr_i8_tmp: Vec::with_capacity(g.zf_group * 8),
             full_llr: vec![0.0; self.rate_match.codeword_len()],
+            full_llr_i8: vec![0; self.rate_match.codeword_len()],
             cpe_seed: 0.0,
             cpe_frame: u32::MAX,
         }
@@ -301,34 +314,83 @@ impl Kernels {
                 self.write_llrs(fb, s, symbol, sc, g.block, bps, noise, det_slice);
             }
         } else {
-            // Strided layout: equalize one subcarrier at a time with a
-            // GEMV gathering M strided samples (the wasted-cache-line
-            // pattern §4.1 describes).
-            for i in 0..count {
-                let sc = sc_base + i;
-                let det_slice = unsafe { fb.det.slice(fb.det_range(sc / g.zf_group)) };
-                for ant in 0..g.m {
-                    s.ant_block[ant] = freq[fb.freq_strided_offset(g, ant, sc)];
+            // Strided layout: equalization still runs one GEMV per
+            // subcarrier over M strided samples (the wasted-cache-line
+            // pattern §4.1 describes is the point of this ablation), but
+            // demodulation is batched — each user's equalized symbols are
+            // gathered into a contiguous row and routed through the SIMD
+            // demapper instead of a scalar call per subcarrier. Chunks
+            // stop at ZF-group boundaries so the detector (and with it
+            // the post-ZF noise amplification) is constant per chunk.
+            let mut done = 0;
+            while done < count {
+                let sc0 = sc_base + done;
+                let group = sc0 / g.zf_group;
+                let group_end = (group + 1) * g.zf_group;
+                let w = (group_end - sc0).min(count - done);
+                let det_slice = unsafe { fb.det.slice(fb.det_range(group)) };
+                for i in 0..w {
+                    let sc = sc0 + i;
+                    for ant in 0..g.m {
+                        s.ant_block[ant] = freq[fb.freq_strided_offset(g, ant, sc)];
+                    }
+                    agora_math::gemv(
+                        g.k,
+                        g.m,
+                        det_slice,
+                        &s.ant_block[..g.m],
+                        &mut s.user_block[..g.k],
+                    );
+                    for user in 0..g.k {
+                        s.strided_rows[user * g.zf_group + i] = s.user_block[user];
+                    }
                 }
-                agora_math::gemv(
-                    g.k,
-                    g.m,
-                    det_slice,
-                    &s.ant_block[..g.m],
-                    &mut s.user_block[..g.k],
-                );
-                // user_block holds one symbol per user (width 1).
                 for user in 0..g.k {
-                    let y = s.user_block[user];
                     let nv = noise * row_norm_sqr(det_slice, g.m, user);
-                    demod_soft(self.cfg.cell.modulation, &[y], nv, &mut s.llr_tmp);
-                    let base = fb.llr_range(g, symbol, user).start;
-                    let llr = unsafe {
-                        fb.llr.slice_mut(base + sc * bps..base + (sc + 1) * bps)
-                    };
-                    llr.copy_from_slice(&s.llr_tmp);
+                    self.demap_row(fb, s, symbol, user, sc0, w, bps, nv, g.zf_group);
                 }
+                done += w;
             }
+        }
+    }
+
+    /// Demaps one user's contiguous row of `width` equalized symbols
+    /// (staged in `strided_rows` at the given stride) into the active LLR
+    /// plane, starting at subcarrier `sc0`.
+    #[allow(clippy::too_many_arguments)]
+    fn demap_row(
+        &self,
+        fb: &FrameBuffers,
+        s: &mut WorkerScratch,
+        symbol: usize,
+        user: usize,
+        sc0: usize,
+        width: usize,
+        bps: usize,
+        nv: f32,
+        stride: usize,
+    ) {
+        let g = &self.geom;
+        let row = &s.strided_rows[user * stride..user * stride + width];
+        let base = fb.llr_range(g, symbol, user).start;
+        if self.cfg.ablation.quantized_decoder {
+            s.llr_i8_tmp.clear();
+            demod_soft_i8(
+                self.cfg.cell.modulation,
+                row,
+                nv,
+                self.cfg.llr_quant_scale,
+                &mut s.llr_tmp,
+                &mut s.llr_i8_tmp,
+            );
+            let out =
+                unsafe { fb.llr_i8.slice_mut(base + sc0 * bps..base + (sc0 + width) * bps) };
+            out.copy_from_slice(&s.llr_i8_tmp);
+        } else {
+            demod_soft_simd(self.cfg.cell.modulation, row, nv, &mut s.llr_tmp);
+            let out =
+                unsafe { fb.llr.slice_mut(base + sc0 * bps..base + (sc0 + width) * bps) };
+            out.copy_from_slice(&s.llr_tmp);
         }
     }
 
@@ -364,31 +426,62 @@ impl Kernels {
             let row = &s.user_block[user * width..(user + 1) * width];
             // Post-ZF noise on user u is amplified by ||w_u||^2.
             let nv = noise * row_norm_sqr(det_slice, g.m, user);
+            let base = fb.llr_range(g, symbol, user).start;
             // Width is the 8-subcarrier cache-line block: exactly one
             // AVX2 vector per axis.
-            demod_soft_simd(self.cfg.cell.modulation, row, nv, &mut s.llr_tmp);
-            let base = fb.llr_range(g, symbol, user).start;
-            let llr =
-                unsafe { fb.llr.slice_mut(base + sc * bps..base + (sc + width) * bps) };
-            llr.copy_from_slice(&s.llr_tmp);
+            if self.cfg.ablation.quantized_decoder {
+                s.llr_i8_tmp.clear();
+                demod_soft_i8(
+                    self.cfg.cell.modulation,
+                    row,
+                    nv,
+                    self.cfg.llr_quant_scale,
+                    &mut s.llr_tmp,
+                    &mut s.llr_i8_tmp,
+                );
+                let llr = unsafe {
+                    fb.llr_i8.slice_mut(base + sc * bps..base + (sc + width) * bps)
+                };
+                llr.copy_from_slice(&s.llr_i8_tmp);
+            } else {
+                demod_soft_simd(self.cfg.cell.modulation, row, nv, &mut s.llr_tmp);
+                let llr =
+                    unsafe { fb.llr.slice_mut(base + sc * bps..base + (sc + width) * bps) };
+                llr.copy_from_slice(&s.llr_tmp);
+            }
         }
     }
 
-    /// LDPC decode task for one (symbol, user).
+    /// LDPC decode task for one (symbol, user). Routes through the f32
+    /// layered decoder or, with `ablation.quantized_decoder`, the
+    /// Z-lane-vectorised i8 decoder reading the quantised LLR plane. Both
+    /// paths re-inflate into reusable scratch — no hot-path allocation.
     pub fn decode_task(&self, fb: &FrameBuffers, s: &mut WorkerScratch, symbol: usize, user: usize) {
         let g = &self.geom;
-        let llr = unsafe { fb.llr.slice(fb.llr_range(g, symbol, user)) };
         let tx_len = self.rate_match.tx_len();
-        let full = self.rate_match.fill_llrs(&llr[..tx_len]);
-        s.full_llr.copy_from_slice(&full);
-        let res = s.decoder.decode(
-            &s.full_llr,
-            &DecodeConfig {
-                max_iters: self.cfg.cell.ldpc.max_iters,
-                active_rows: Some(self.rate_match.active_rows()),
-                ..Default::default()
-            },
-        );
+        let res = if self.cfg.ablation.quantized_decoder {
+            let llr = unsafe { fb.llr_i8.slice(fb.llr_range(g, symbol, user)) };
+            self.rate_match.fill_llrs_into(&llr[..tx_len], &mut s.full_llr_i8);
+            s.decoder_i8.decode(
+                &s.full_llr_i8,
+                &DecodeConfigI8 {
+                    max_iters: self.cfg.cell.ldpc.max_iters,
+                    active_rows: Some(self.rate_match.active_rows()),
+                    ..Default::default()
+                },
+            )
+        } else {
+            let llr = unsafe { fb.llr.slice(fb.llr_range(g, symbol, user)) };
+            self.rate_match.fill_llrs_into(&llr[..tx_len], &mut s.full_llr);
+            s.decoder.decode(
+                &s.full_llr,
+                &DecodeConfig {
+                    max_iters: self.cfg.cell.ldpc.max_iters,
+                    active_rows: Some(self.rate_match.active_rows()),
+                    ..Default::default()
+                },
+            )
+        };
         unsafe {
             fb.decoded
                 .slice_mut(fb.decoded_range(g, symbol, user))

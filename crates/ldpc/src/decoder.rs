@@ -59,6 +59,9 @@ pub struct Decoder {
     msgs: Vec<f32>,
     /// Posterior LLRs, length `cols * z`.
     post: Vec<f32>,
+    /// Variable-to-check scratch for the flooding schedule (same layout
+    /// as `msgs`); kept here so repeated decodes never allocate.
+    v2c: Vec<f32>,
 }
 
 impl Decoder {
@@ -71,6 +74,7 @@ impl Decoder {
             z,
             msgs: vec![0.0; bg.entries().len() * z],
             post: vec![0.0; bg.cols() * z],
+            v2c: vec![0.0; bg.entries().len() * z],
         }
     }
 
@@ -160,8 +164,9 @@ impl Decoder {
         let rows = cfg.active_rows.unwrap_or(self.bg.rows()).min(self.bg.rows());
         self.post.copy_from_slice(llr);
         self.msgs.fill(0.0);
-        // Variable-to-check messages from the previous half-iteration.
-        let mut v2c = vec![0.0f32; self.msgs.len()];
+        // Variable-to-check messages from the previous half-iteration —
+        // reused decoder scratch, so the hot path never allocates.
+        self.v2c.fill(0.0);
 
         let mut iterations = 0;
         for _iter in 0..cfg.max_iters {
@@ -175,7 +180,7 @@ impl Decoder {
                     for i in 0..z {
                         let bit = e.col as usize * z + (i + shift) % z;
                         let midx = (entry_base + k) * z + i;
-                        v2c[midx] = self.post[bit] - self.msgs[midx];
+                        self.v2c[midx] = self.post[bit] - self.msgs[midx];
                     }
                 }
             }
@@ -190,7 +195,7 @@ impl Decoder {
                     let mut min_pos = usize::MAX;
                     let mut sign_prod = 1.0f32;
                     for (k, _e) in row.iter().enumerate() {
-                        let t = v2c[(entry_base + k) * z + i];
+                        let t = self.v2c[(entry_base + k) * z + i];
                         let a = t.abs();
                         if a < min1 {
                             min2 = min1;
@@ -209,7 +214,7 @@ impl Decoder {
                         let shift = e.shift as usize % z;
                         let bit = e.col as usize * z + (i + shift) % z;
                         let midx = (entry_base + k) * z + i;
-                        let t = v2c[midx];
+                        let t = self.v2c[midx];
                         let mag = if k == min_pos { m2 } else { m1 };
                         let s = if t < 0.0 { -sign_prod } else { sign_prod };
                         let new_msg = s * mag;
@@ -415,6 +420,25 @@ mod tests {
             &DecodeConfig { active_rows: Some(10), ..Default::default() },
         );
         assert!(res.success);
+    }
+
+    #[test]
+    fn flooding_scratch_is_reused_across_decodes() {
+        // The v2c buffer must live in the decoder (no per-call allocation):
+        // its pointer and capacity are stable across repeated decodes.
+        let z = 8;
+        let enc = Encoder::new(BaseGraphId::Bg2, z);
+        let mut dec = Decoder::new(BaseGraphId::Bg2, z);
+        let info = random_bits(enc.info_len(), 71);
+        let llr = clean_llrs(&enc.encode(&info), z, 8.0);
+        let ptr_before = dec.v2c.as_ptr();
+        let cap_before = dec.v2c.capacity();
+        for _ in 0..4 {
+            let res = dec.decode_flooding(&llr, &DecodeConfig { max_iters: 10, ..Default::default() });
+            assert!(res.success);
+        }
+        assert_eq!(dec.v2c.as_ptr(), ptr_before, "flooding scratch was reallocated");
+        assert_eq!(dec.v2c.capacity(), cap_before, "flooding scratch capacity changed");
     }
 
     #[test]

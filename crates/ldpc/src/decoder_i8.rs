@@ -1,0 +1,756 @@
+//! Fixed-point (i8) layered offset min-sum decoder, vectorised across the
+//! QC lifting dimension `Z`.
+//!
+//! The paper offloads LDPC decoding to Intel FlexRAN's *fixed-point SIMD*
+//! offset min-sum decoder rather than running it in float — Figure 13
+//! shows decoding is the single largest compute block of the uplink, so
+//! this is where quantised, lane-parallel processing pays the most. This
+//! module is the Rust analogue: channel LLRs are quantised to saturating
+//! `i8` (see [`quantize_llrs`]) and the layered schedule of
+//! [`crate::decoder::Decoder::decode`] is re-expressed so that all `Z`
+//! lanes of a base-graph circulant are processed in lockstep.
+//!
+//! The key structural observation: for a base entry with shift `s`, lane
+//! `i` of the check touches bit `col * Z + (i + s) % Z` — i.e. the
+//! *rotated slice* of that column's `Z`-block. Gathering the rotation is
+//! two contiguous `memcpy`s, after which every per-lane operation
+//! (extrinsic subtract, abs, two-minimum tracking, sign accumulation,
+//! offset, saturating posterior update) is a pure element-wise pass over
+//! contiguous `i8` arrays — exactly the shape AVX2 byte ops want
+//! (`vpsubsb`/`vpabsb`/`vpminsb`/`vpaddsb`, 32 lanes per instruction).
+//!
+//! Two code paths share one set of scalar semantics:
+//! * a portable scalar-i8 loop (the reference), and
+//! * an AVX2 fast path behind [`SimdTier`] runtime dispatch.
+//!
+//! They are **bit-exact** against each other by construction: every AVX2
+//! instruction used has an exact scalar counterpart (saturating i8
+//! add/sub, `max`, `abs`, compare/blend), and the proptests assert
+//! equality across base graphs and lifting sizes. LLR values are confined
+//! to `[-127, 127]`: -128 is clamped away after every saturating op so
+//! `abs` and negation can never overflow.
+
+use crate::base_graph::{BaseGraph, BaseGraphId};
+use crate::decoder::DecodeResult;
+use agora_math::simd::SimdTier;
+
+/// Largest representable quantised LLR magnitude. The domain is the
+/// symmetric `[-127, 127]`; -128 is never produced.
+pub const I8_LLR_MAX: i8 = 127;
+
+/// Default `f32 -> i8` quantisation scale (LLR units per integer step:
+/// `llr_i8 = round(llr_f32 * scale)`). 4.0 gives a +-31.75 LLR dynamic
+/// range with 0.25-LLR resolution — comfortably past the point where
+/// BLER matches the float decoder at the paper's operating points, while
+/// an offset of 2 reproduces the classic beta = 0.5 correction.
+pub const DEFAULT_LLR_SCALE: f32 = 4.0;
+
+/// Largest check-to-variable message magnitude. Clipping messages well
+/// below [`I8_LLR_MAX`] is what keeps *layered* fixed-point decoding
+/// stable: the posterior saturates at 127 while the true sum of incoming
+/// messages keeps growing, so a stored message comparable to the clipped
+/// posterior would wipe it out (or flip its sign) when subtracted back
+/// out on the next iteration. Bounding messages to 31 bounds that
+/// extrinsic collapse to a quarter of the posterior range — a saturated
+/// posterior can never change sign from a single message replacement —
+/// which matches the precision split used by hardware min-sum decoders
+/// (narrow messages, wide accumulator).
+pub const I8_MSG_MAX: i8 = 31;
+
+/// Largest channel-prior magnitude admitted into the decoder, strictly
+/// below [`I8_MSG_MAX`]. The base graphs' extension parity columns have
+/// degree one, so a wrong-sign channel value there can only ever be
+/// overturned by its single check message: if the prior could reach the
+/// message clip, a deep-faded parity bit would be stuck forever, and the
+/// resulting block-error floor *grows* with SNR (larger scale x LLR
+/// magnitudes make clamped wrong-sign priors more common). Keeping the
+/// prior one step under the clip guarantees a full-strength message
+/// outweighs it — the 6-bit channel / 6-bit message split hardware
+/// decoders use, with the tie broken toward correction.
+pub const I8_CHAN_MAX: i8 = I8_MSG_MAX - 1;
+
+/// Quantises `f32` LLRs to saturating `i8` with the given scale.
+/// Values round to nearest and clamp to `[-127, 127]`; non-finite inputs
+/// saturate in their sign's direction (NaN maps to 0).
+pub fn quantize_llrs(src: &[f32], dst: &mut [i8], scale: f32) {
+    assert_eq!(src.len(), dst.len(), "quantise length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        let v = (s * scale).round();
+        *d = v.clamp(-(I8_LLR_MAX as f32), I8_LLR_MAX as f32) as i8;
+    }
+}
+
+/// Configuration for the fixed-point decoder. Mirrors
+/// [`crate::decoder::DecodeConfig`] with the offset expressed in
+/// quantised LLR units (2 at the default scale of 4.0 equals the float
+/// decoder's beta = 0.5).
+#[derive(Debug, Clone, Copy)]
+pub struct DecodeConfigI8 {
+    /// Maximum BP iterations.
+    pub max_iters: usize,
+    /// Min-sum correction offset in quantised LLR units.
+    pub offset: i8,
+    /// Stop as soon as the hard decision satisfies every parity check.
+    pub early_termination: bool,
+    /// Number of active base rows; `None` uses the full graph.
+    pub active_rows: Option<usize>,
+}
+
+impl Default for DecodeConfigI8 {
+    fn default() -> Self {
+        Self { max_iters: 5, offset: 2, early_termination: true, active_rows: None }
+    }
+}
+
+/// Fixed-point layered offset min-sum decoder for one `(base graph, Z)`
+/// pair. Holds all scratch so repeated decodes never allocate; create one
+/// per worker thread.
+#[derive(Debug, Clone)]
+pub struct DecoderI8 {
+    bg: &'static BaseGraph,
+    z: usize,
+    tier: SimdTier,
+    /// Per-edge check-to-variable messages, `[entry][z]`.
+    msgs: Vec<i8>,
+    /// Posterior LLRs, `[col][z]`.
+    post: Vec<i8>,
+    /// Per-row extrinsic scratch, `[row slot][z]` (max row degree slots).
+    t: Vec<i8>,
+    /// Per-lane smallest |extrinsic| of the current row.
+    min1: Vec<i8>,
+    /// Per-lane second-smallest |extrinsic|.
+    min2: Vec<i8>,
+    /// Per-lane index (within the row) achieving `min1`.
+    min_pos: Vec<u8>,
+    /// Per-lane sign-product mask: 0x00 even #negatives, 0xFF odd.
+    signs: Vec<u8>,
+}
+
+impl DecoderI8 {
+    /// Creates a decoder with preallocated scratch, auto-detecting the
+    /// SIMD tier.
+    pub fn new(id: BaseGraphId, z: usize) -> Self {
+        Self::with_tier(id, z, SimdTier::detect())
+    }
+
+    /// Creates a decoder pinned to a specific SIMD tier (parity tests and
+    /// Table 5-style ablations).
+    pub fn with_tier(id: BaseGraphId, z: usize, tier: SimdTier) -> Self {
+        assert!(z >= 2, "lifting size must be at least 2");
+        let bg = BaseGraph::get(id);
+        let max_deg = (0..bg.rows()).map(|r| bg.row_entries(r).len()).max().unwrap_or(0);
+        Self {
+            bg,
+            z,
+            tier,
+            msgs: vec![0; bg.entries().len() * z],
+            post: vec![0; bg.cols() * z],
+            t: vec![0; max_deg * z],
+            min1: vec![0; z],
+            min2: vec![0; z],
+            min_pos: vec![0; z],
+            signs: vec![0; z],
+        }
+    }
+
+    /// Codeword length in bits.
+    pub fn codeword_len(&self) -> usize {
+        self.bg.cols() * self.z
+    }
+
+    /// Information length in bits.
+    pub fn info_len(&self) -> usize {
+        self.bg.info_cols() * self.z
+    }
+
+    /// The SIMD tier this decoder dispatches to.
+    pub fn tier(&self) -> SimdTier {
+        self.tier
+    }
+
+    /// Decodes from quantised channel LLRs (positive = bit 0 more likely),
+    /// length [`Self::codeword_len`]. Punctured/untransmitted bits must
+    /// carry LLR 0. Layered schedule, identical message flow to the f32
+    /// [`crate::decoder::Decoder::decode`].
+    ///
+    /// # Panics
+    /// Panics if `llr.len() != self.codeword_len()`.
+    pub fn decode(&mut self, llr: &[i8], cfg: &DecodeConfigI8) -> DecodeResult {
+        assert_eq!(llr.len(), self.codeword_len(), "LLR length mismatch");
+        let rows = cfg.active_rows.unwrap_or(self.bg.rows()).min(self.bg.rows());
+        self.post.copy_from_slice(llr);
+        // Confine priors to [-I8_CHAN_MAX, I8_CHAN_MAX]: keeps -128 out of
+        // the abs/negate domain and, critically, keeps every channel value
+        // weaker than a full-strength check message (see I8_CHAN_MAX).
+        for p in self.post.iter_mut() {
+            *p = (*p).clamp(-I8_CHAN_MAX, I8_CHAN_MAX);
+        }
+        self.msgs.fill(0);
+
+        let mut iterations = 0;
+        for _iter in 0..cfg.max_iters {
+            iterations += 1;
+            for r in 0..rows {
+                self.process_row(r, cfg.offset);
+            }
+            if cfg.early_termination && self.syndrome_ok(rows) {
+                break;
+            }
+        }
+
+        let success = self.syndrome_ok(rows);
+        let info_bits = self.post[..self.info_len()].iter().map(|&l| (l < 0) as u8).collect();
+        DecodeResult { info_bits, success, iterations }
+    }
+
+    /// One layered update of base row `r`: gather rotated posteriors,
+    /// compute extrinsics and the per-lane two minima, then scatter the
+    /// new messages and posteriors back.
+    fn process_row(&mut self, r: usize, offset: i8) {
+        let z = self.z;
+        let row = self.bg.row_entries(r);
+        let entry_base = self.entry_offset(r);
+        self.min1.fill(I8_LLR_MAX);
+        self.min2.fill(I8_LLR_MAX);
+        self.min_pos.fill(u8::MAX);
+        self.signs.fill(0);
+
+        // Phase 1: t_k = sat(post_rot - msg), track mins/signs per lane.
+        for (k, e) in row.iter().enumerate() {
+            let shift = e.shift as usize % z;
+            let col = e.col as usize * z;
+            let tk = &mut self.t[k * z..(k + 1) * z];
+            // Rotated gather: tk[i] = post[col + (i + shift) % z].
+            tk[..z - shift].copy_from_slice(&self.post[col + shift..col + z]);
+            tk[z - shift..].copy_from_slice(&self.post[col..col + shift]);
+            let mk = (entry_base + k) * z;
+            row_extrinsic(
+                tk,
+                &self.msgs[mk..mk + z],
+                &mut self.min1,
+                &mut self.min2,
+                &mut self.min_pos,
+                &mut self.signs,
+                k as u8,
+                self.tier,
+            );
+        }
+
+        // Phase 2: new messages + posterior update, rotated scatter back.
+        for (k, e) in row.iter().enumerate() {
+            let shift = e.shift as usize % z;
+            let col = e.col as usize * z;
+            let tk = &mut self.t[k * z..(k + 1) * z];
+            let mk = (entry_base + k) * z;
+            row_update(
+                tk,
+                &mut self.msgs[mk..mk + z],
+                &self.min1,
+                &self.min2,
+                &self.min_pos,
+                &self.signs,
+                k as u8,
+                offset,
+                self.tier,
+            );
+            self.post[col + shift..col + z].copy_from_slice(&tk[..z - shift]);
+            self.post[col..col + shift].copy_from_slice(&tk[z - shift..]);
+        }
+    }
+
+    /// Index of the first entry of base row `r` in the flat entry array.
+    fn entry_offset(&self, r: usize) -> usize {
+        let base = self.bg.entries().as_ptr() as usize;
+        let row = self.bg.row_entries(r).as_ptr() as usize;
+        (row - base) / core::mem::size_of::<crate::base_graph::BaseEntry>()
+    }
+
+    fn syndrome_ok(&self, rows: usize) -> bool {
+        let z = self.z;
+        for r in 0..rows {
+            for i in 0..z {
+                let mut parity = 0u8;
+                for e in self.bg.row_entries(r) {
+                    let shift = e.shift as usize % z;
+                    let bit = e.col as usize * z + (i + shift) % z;
+                    parity ^= (self.post[bit] < 0) as u8;
+                }
+                if parity != 0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Phase-1 lane pass: `t = max(sat_sub(t, msg), -127)`, then fold `|t|`
+/// into the per-lane two-minimum trackers and XOR the sign mask.
+#[allow(clippy::too_many_arguments)]
+fn row_extrinsic(
+    t: &mut [i8],
+    msgs: &[i8],
+    min1: &mut [i8],
+    min2: &mut [i8],
+    min_pos: &mut [u8],
+    signs: &mut [u8],
+    k: u8,
+    tier: SimdTier,
+) {
+    let mut head = 0;
+    #[cfg(target_arch = "x86_64")]
+    if tier == SimdTier::Avx2 {
+        head = (t.len() / 32) * 32;
+        unsafe {
+            row_extrinsic_avx2(
+                &mut t[..head],
+                &msgs[..head],
+                &mut min1[..head],
+                &mut min2[..head],
+                &mut min_pos[..head],
+                &mut signs[..head],
+                k,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = tier;
+    for i in head..t.len() {
+        let v = t[i].saturating_sub(msgs[i]).max(-I8_LLR_MAX);
+        t[i] = v;
+        let a = v.abs();
+        if a < min1[i] {
+            min2[i] = min1[i];
+            min1[i] = a;
+            min_pos[i] = k;
+        } else if a < min2[i] {
+            min2[i] = a;
+        }
+        if v < 0 {
+            signs[i] ^= 0xFF;
+        }
+    }
+}
+
+/// Phase-2 lane pass: magnitudes from the offset two minima, sign from
+/// the row sign-product excluding self, saturating posterior update.
+#[allow(clippy::too_many_arguments)]
+fn row_update(
+    t: &mut [i8],
+    msgs: &mut [i8],
+    min1: &[i8],
+    min2: &[i8],
+    min_pos: &[u8],
+    signs: &[u8],
+    k: u8,
+    offset: i8,
+    tier: SimdTier,
+) {
+    let mut head = 0;
+    #[cfg(target_arch = "x86_64")]
+    if tier == SimdTier::Avx2 {
+        head = (t.len() / 32) * 32;
+        unsafe {
+            row_update_avx2(
+                &mut t[..head],
+                &mut msgs[..head],
+                &min1[..head],
+                &min2[..head],
+                &min_pos[..head],
+                &signs[..head],
+                k,
+                offset,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = tier;
+    for i in head..t.len() {
+        let m1 = min1[i].saturating_sub(offset).clamp(0, I8_MSG_MAX);
+        let m2 = min2[i].saturating_sub(offset).clamp(0, I8_MSG_MAX);
+        let mag = if min_pos[i] == k { m2 } else { m1 };
+        let v = t[i];
+        // Sign-product excluding self = total product XOR own sign.
+        let neg = (signs[i] != 0) ^ (v < 0);
+        let msg = if neg { -mag } else { mag };
+        msgs[i] = msg;
+        t[i] = v.saturating_add(msg).max(-I8_LLR_MAX);
+    }
+}
+
+/// AVX2 phase 1: 32 lanes per iteration. Exact vector counterparts of the
+/// scalar ops in [`row_extrinsic`] (`vpsubsb`, clamp via `vpmaxsb`,
+/// `vpabsb`, strict-compare blends), so outputs are bit-identical.
+///
+/// # Safety
+/// Caller must ensure AVX2 support; all slices must share a length that
+/// is a multiple of 32.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn row_extrinsic_avx2(
+    t: &mut [i8],
+    msgs: &[i8],
+    min1: &mut [i8],
+    min2: &mut [i8],
+    min_pos: &mut [u8],
+    signs: &mut [u8],
+    k: u8,
+) {
+    use core::arch::x86_64::*;
+    let floor = _mm256_set1_epi8(-I8_LLR_MAX);
+    let zero = _mm256_setzero_si256();
+    let kv = _mm256_set1_epi8(k as i8);
+    for c in (0..t.len()).step_by(32) {
+        let tv = _mm256_loadu_si256(t.as_ptr().add(c) as *const __m256i);
+        let mv = _mm256_loadu_si256(msgs.as_ptr().add(c) as *const __m256i);
+        let v = _mm256_max_epi8(_mm256_subs_epi8(tv, mv), floor);
+        _mm256_storeu_si256(t.as_mut_ptr().add(c) as *mut __m256i, v);
+        let a = _mm256_abs_epi8(v);
+        let m1 = _mm256_loadu_si256(min1.as_ptr().add(c) as *const __m256i);
+        let m2 = _mm256_loadu_si256(min2.as_ptr().add(c) as *const __m256i);
+        let mp = _mm256_loadu_si256(min_pos.as_ptr().add(c) as *const __m256i);
+        // a < min1 (strict), matching the scalar branch order.
+        let lt1 = _mm256_cmpgt_epi8(m1, a);
+        let new_m2 = _mm256_blendv_epi8(_mm256_min_epi8(m2, a), m1, lt1);
+        let new_m1 = _mm256_min_epi8(m1, a);
+        let new_mp = _mm256_blendv_epi8(mp, kv, lt1);
+        _mm256_storeu_si256(min1.as_mut_ptr().add(c) as *mut __m256i, new_m1);
+        _mm256_storeu_si256(min2.as_mut_ptr().add(c) as *mut __m256i, new_m2);
+        _mm256_storeu_si256(min_pos.as_mut_ptr().add(c) as *mut __m256i, new_mp);
+        let sv = _mm256_loadu_si256(signs.as_ptr().add(c) as *const __m256i);
+        let negm = _mm256_cmpgt_epi8(zero, v);
+        _mm256_storeu_si256(
+            signs.as_mut_ptr().add(c) as *mut __m256i,
+            _mm256_xor_si256(sv, negm),
+        );
+    }
+}
+
+/// AVX2 phase 2: 32 lanes per iteration, exact counterpart of the scalar
+/// loop in [`row_update`] (conditional negate via XOR/SUB against the
+/// 0xFF sign mask, saturating add, clamp).
+///
+/// # Safety
+/// Caller must ensure AVX2 support; all slices must share a length that
+/// is a multiple of 32.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn row_update_avx2(
+    t: &mut [i8],
+    msgs: &mut [i8],
+    min1: &[i8],
+    min2: &[i8],
+    min_pos: &[u8],
+    signs: &[u8],
+    k: u8,
+    offset: i8,
+) {
+    use core::arch::x86_64::*;
+    let floor = _mm256_set1_epi8(-I8_LLR_MAX);
+    let zero = _mm256_setzero_si256();
+    let off = _mm256_set1_epi8(offset);
+    let kv = _mm256_set1_epi8(k as i8);
+    let msg_max = _mm256_set1_epi8(I8_MSG_MAX);
+    for c in (0..t.len()).step_by(32) {
+        let m1 = _mm256_loadu_si256(min1.as_ptr().add(c) as *const __m256i);
+        let m2 = _mm256_loadu_si256(min2.as_ptr().add(c) as *const __m256i);
+        let mag1 = _mm256_min_epi8(_mm256_max_epi8(_mm256_subs_epi8(m1, off), zero), msg_max);
+        let mag2 = _mm256_min_epi8(_mm256_max_epi8(_mm256_subs_epi8(m2, off), zero), msg_max);
+        let mp = _mm256_loadu_si256(min_pos.as_ptr().add(c) as *const __m256i);
+        let is_min = _mm256_cmpeq_epi8(mp, kv);
+        let mag = _mm256_blendv_epi8(mag1, mag2, is_min);
+        let v = _mm256_loadu_si256(t.as_ptr().add(c) as *const __m256i);
+        let sv = _mm256_loadu_si256(signs.as_ptr().add(c) as *const __m256i);
+        let negm = _mm256_xor_si256(sv, _mm256_cmpgt_epi8(zero, v));
+        // Conditional two's-complement negate: (mag ^ m) - m for m in
+        // {0x00, 0xFF}; mag <= 127 so no overflow.
+        let msg = _mm256_sub_epi8(_mm256_xor_si256(mag, negm), negm);
+        _mm256_storeu_si256(msgs.as_mut_ptr().add(c) as *mut __m256i, msg);
+        let newt = _mm256_max_epi8(_mm256_adds_epi8(v, msg), floor);
+        _mm256_storeu_si256(t.as_mut_ptr().add(c) as *mut __m256i, newt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::{DecodeConfig, Decoder};
+    use crate::encoder::Encoder;
+
+    fn random_bits(n: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state & 1) as u8
+            })
+            .collect()
+    }
+
+    fn clean_llrs_i8(cw: &[u8], z: usize, amp: i8) -> Vec<i8> {
+        cw.iter()
+            .enumerate()
+            .map(|(i, &b)| if i < 2 * z { 0 } else if b == 0 { amp } else { -amp })
+            .collect()
+    }
+
+    fn noisy_llrs_f32(cw: &[u8], z: usize, snr_db: f32, seed: u64) -> Vec<f32> {
+        let sigma2 = 10.0f32.powf(-snr_db / 10.0);
+        let sigma = sigma2.sqrt();
+        let mut state = seed | 1;
+        let mut gauss = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u1 = ((state >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u2 = (state >> 11) as f64 / (1u64 << 53) as f64;
+            ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+        };
+        cw.iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                if i < 2 * z {
+                    return 0.0;
+                }
+                let x = if b == 0 { 1.0f32 } else { -1.0 };
+                2.0 * (x + sigma * gauss()) / sigma2
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantize_rounds_and_saturates() {
+        let src = [0.0f32, 0.1, -0.1, 1.0, -1.0, 100.0, -100.0, f32::INFINITY, f32::NEG_INFINITY];
+        let mut dst = vec![0i8; src.len()];
+        quantize_llrs(&src, &mut dst, 4.0);
+        assert_eq!(dst, [0, 0, 0, 4, -4, 127, -127, 127, -127]);
+    }
+
+    #[test]
+    fn decodes_clean_codeword_bg1() {
+        let z = 8;
+        let enc = Encoder::new(BaseGraphId::Bg1, z);
+        let mut dec = DecoderI8::new(BaseGraphId::Bg1, z);
+        let info = random_bits(enc.info_len(), 3);
+        let cw = enc.encode(&info);
+        let llr = clean_llrs_i8(&cw, z, 32);
+        let res = dec.decode(&llr, &DecodeConfigI8::default());
+        assert!(res.success);
+        assert_eq!(res.info_bits, info);
+        assert!(res.iterations <= 3, "took {} iterations", res.iterations);
+    }
+
+    #[test]
+    fn decodes_noisy_codeword_at_moderate_snr() {
+        let z = 16;
+        let enc = Encoder::new(BaseGraphId::Bg1, z);
+        let mut dec = DecoderI8::new(BaseGraphId::Bg1, z);
+        let info = random_bits(enc.info_len(), 11);
+        let cw = enc.encode(&info);
+        let f = noisy_llrs_f32(&cw, z, 4.0, 12345);
+        let mut q = vec![0i8; f.len()];
+        quantize_llrs(&f, &mut q, DEFAULT_LLR_SCALE);
+        let res = dec.decode(&q, &DecodeConfigI8 { max_iters: 20, ..Default::default() });
+        assert!(res.success, "i8 decode failed at 4 dB");
+        assert_eq!(res.info_bits, info);
+    }
+
+    #[test]
+    fn matches_f32_hard_decisions_on_noisy_input() {
+        // At a workable SNR both decoders must land on the same (correct)
+        // codeword — the quantisation must not change the outcome.
+        let z = 24;
+        let enc = Encoder::new(BaseGraphId::Bg1, z);
+        let mut dec_f = Decoder::new(BaseGraphId::Bg1, z);
+        let mut dec_q = DecoderI8::new(BaseGraphId::Bg1, z);
+        for seed in 0..8u64 {
+            let info = random_bits(enc.info_len(), 100 + seed);
+            let cw = enc.encode(&info);
+            let f = noisy_llrs_f32(&cw, z, 5.0, 900 + seed);
+            let mut q = vec![0i8; f.len()];
+            quantize_llrs(&f, &mut q, DEFAULT_LLR_SCALE);
+            let rf = dec_f.decode(&f, &DecodeConfig { max_iters: 10, ..Default::default() });
+            let rq = dec_q.decode(&q, &DecodeConfigI8 { max_iters: 10, ..Default::default() });
+            assert!(rf.success && rq.success, "seed {seed}: f32 {} i8 {}", rf.success, rq.success);
+            assert_eq!(rf.info_bits, rq.info_bits, "seed {seed}: hard decisions differ");
+        }
+    }
+
+    #[test]
+    fn saturated_input_is_handled() {
+        // All-saturated LLRs (including the forbidden -128) must not
+        // overflow abs/negate and must decode the implied codeword.
+        let z = 8;
+        let enc = Encoder::new(BaseGraphId::Bg2, z);
+        let mut dec = DecoderI8::new(BaseGraphId::Bg2, z);
+        let info = random_bits(enc.info_len(), 77);
+        let cw = enc.encode(&info);
+        let llr: Vec<i8> = cw
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| if i < 2 * z { 0 } else if b == 0 { 127 } else { -128 })
+            .collect();
+        let res = dec.decode(&llr, &DecodeConfigI8::default());
+        assert!(res.success);
+        assert_eq!(res.info_bits, info);
+    }
+
+    #[test]
+    fn early_termination_counts_iterations() {
+        let z = 8;
+        let enc = Encoder::new(BaseGraphId::Bg1, z);
+        let mut dec = DecoderI8::new(BaseGraphId::Bg1, z);
+        let info = random_bits(enc.info_len(), 41);
+        let cw = enc.encode(&info);
+        let llr = clean_llrs_i8(&cw, z, 40);
+        let with_et = dec.decode(&llr, &DecodeConfigI8::default());
+        let without = dec.decode(
+            &llr,
+            &DecodeConfigI8 { early_termination: false, max_iters: 5, ..Default::default() },
+        );
+        assert!(with_et.iterations < without.iterations);
+        assert_eq!(without.iterations, 5);
+        assert!(without.success);
+    }
+
+    #[test]
+    fn repeated_decodes_are_independent() {
+        let z = 8;
+        let enc = Encoder::new(BaseGraphId::Bg1, z);
+        let mut dec = DecoderI8::new(BaseGraphId::Bg1, z);
+        let info_a = random_bits(enc.info_len(), 61);
+        let info_b = random_bits(enc.info_len(), 62);
+        let llr_a = clean_llrs_i8(&enc.encode(&info_a), z, 32);
+        let llr_b = clean_llrs_i8(&enc.encode(&info_b), z, 32);
+        let ra1 = dec.decode(&llr_a, &DecodeConfigI8::default());
+        let rb = dec.decode(&llr_b, &DecodeConfigI8::default());
+        let ra2 = dec.decode(&llr_a, &DecodeConfigI8::default());
+        assert_eq!(ra1.info_bits, ra2.info_bits);
+        assert_eq!(rb.info_bits, info_b);
+    }
+
+    #[test]
+    fn active_rows_restricts_graph() {
+        let z = 8;
+        let enc = Encoder::new(BaseGraphId::Bg1, z);
+        let mut dec = DecoderI8::new(BaseGraphId::Bg1, z);
+        let info = random_bits(enc.info_len(), 51);
+        let cw = enc.encode(&info);
+        let llr = clean_llrs_i8(&cw, z, 32);
+        let res = dec.decode(&llr, &DecodeConfigI8 { active_rows: Some(10), ..Default::default() });
+        assert!(res.success);
+    }
+
+    #[test]
+    fn scalar_tier_decodes_identically_to_detected() {
+        let z = 40; // exercises both the 32-lane SIMD body and the tail
+        let enc = Encoder::new(BaseGraphId::Bg1, z);
+        let mut dec_a = DecoderI8::with_tier(BaseGraphId::Bg1, z, SimdTier::Scalar);
+        let mut dec_b = DecoderI8::with_tier(BaseGraphId::Bg1, z, SimdTier::detect());
+        let info = random_bits(enc.info_len(), 5);
+        let cw = enc.encode(&info);
+        let f = noisy_llrs_f32(&cw, z, 3.0, 31337);
+        let mut q = vec![0i8; f.len()];
+        quantize_llrs(&f, &mut q, DEFAULT_LLR_SCALE);
+        let cfg = DecodeConfigI8 { max_iters: 10, early_termination: false, ..Default::default() };
+        let ra = dec_a.decode(&q, &cfg);
+        let rb = dec_b.decode(&q, &cfg);
+        assert_eq!(ra.info_bits, rb.info_bits);
+        assert_eq!(ra.success, rb.success);
+        // Bit-exact internal state, not just matching hard decisions.
+        assert_eq!(dec_a.post, dec_b.post);
+        assert_eq!(dec_a.msgs, dec_b.msgs);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Lifting sizes the benches exercise: the paper's Z = 104/384 (BG1
+    /// Figure 12 points), the OTA Z = 56 (BG2), the tiny-test Z = 12, and
+    /// boundary shapes around the 32-lane vector width.
+    const BENCH_ZS: [(BaseGraphId, usize); 8] = [
+        (BaseGraphId::Bg1, 104),
+        (BaseGraphId::Bg1, 384),
+        (BaseGraphId::Bg1, 64),
+        (BaseGraphId::Bg2, 56),
+        (BaseGraphId::Bg2, 12),
+        (BaseGraphId::Bg2, 32),
+        (BaseGraphId::Bg2, 36),
+        (BaseGraphId::Bg1, 30),
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The AVX2 and scalar-i8 paths are bit-exact over random LLRs,
+        /// for every (base graph, Z) pair used by the benches: identical
+        /// hard decisions, syndrome outcomes, and full posterior/message
+        /// state.
+        #[test]
+        fn avx2_and_scalar_paths_are_bit_exact(
+            seed in any::<u64>(),
+            which in 0usize..BENCH_ZS.len(),
+            iters in 1usize..6,
+        ) {
+            let (bg, z) = BENCH_ZS[which];
+            let mut dec_s = DecoderI8::with_tier(bg, z, SimdTier::Scalar);
+            let mut dec_v = DecoderI8::with_tier(bg, z, SimdTier::detect());
+            let mut state = seed | 1;
+            let llr: Vec<i8> = (0..dec_s.codeword_len()).map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state & 0xFF) as u8 as i8
+            }).collect();
+            let cfg = DecodeConfigI8 {
+                max_iters: iters,
+                early_termination: false,
+                ..Default::default()
+            };
+            let rs = dec_s.decode(&llr, &cfg);
+            let rv = dec_v.decode(&llr, &cfg);
+            prop_assert_eq!(rs.info_bits, rv.info_bits);
+            prop_assert_eq!(rs.success, rv.success);
+            prop_assert_eq!(&dec_s.post, &dec_v.post);
+            prop_assert_eq!(&dec_s.msgs, &dec_v.msgs);
+        }
+
+        /// Round-trip through quantisation: any payload encodes and
+        /// decodes back through a clean channel at bench lifting sizes.
+        #[test]
+        fn encode_quantize_decode_roundtrip(
+            seed in any::<u64>(),
+            which in 0usize..BENCH_ZS.len(),
+        ) {
+            let (bg, z) = BENCH_ZS[which];
+            let enc = crate::encoder::Encoder::new(bg, z);
+            let mut dec = DecoderI8::new(bg, z);
+            let mut state = seed | 1;
+            let info: Vec<u8> = (0..enc.info_len()).map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state & 1) as u8
+            }).collect();
+            let cw = enc.encode(&info);
+            let f: Vec<f32> = cw.iter().enumerate().map(|(i, &b)| {
+                if i < 2 * z { 0.0 } else if b == 0 { 6.0 } else { -6.0 }
+            }).collect();
+            let mut q = vec![0i8; f.len()];
+            quantize_llrs(&f, &mut q, DEFAULT_LLR_SCALE);
+            let res = dec.decode(&q, &DecodeConfigI8 { max_iters: 10, ..Default::default() });
+            prop_assert!(res.success);
+            prop_assert_eq!(res.info_bits, info);
+        }
+    }
+}

@@ -10,6 +10,8 @@
 //! * [`lifting`]: the standard's 51 lifting sizes and set indices.
 //! * [`encoder`]: linear-time systematic encoder.
 //! * [`decoder`]: offset min-sum BP, layered and flooding schedules.
+//! * [`decoder_i8`]: fixed-point (i8) layered min-sum, Z-lane vectorised
+//!   with an AVX2 fast path and bit-exact scalar fallback.
 //! * [`rate_match`]: circular-buffer rate matching and LLR re-inflation.
 //! * [`crc`]: CRC-24A transport-block CRC.
 //! * [`metrics`]: BER/BLER accumulators.
@@ -17,6 +19,7 @@
 pub mod base_graph;
 pub mod crc;
 pub mod decoder;
+pub mod decoder_i8;
 pub mod encoder;
 pub mod lifting;
 pub mod metrics;
@@ -25,6 +28,7 @@ pub mod rate_match;
 pub use base_graph::{BaseEntry, BaseGraph, BaseGraphId};
 pub use crc::{attach_crc, check_crc, crc24a};
 pub use decoder::{DecodeConfig, DecodeResult, Decoder};
+pub use decoder_i8::{quantize_llrs, DecodeConfigI8, DecoderI8, DEFAULT_LLR_SCALE};
 pub use encoder::Encoder;
 pub use metrics::{count_bit_errors, ErrorStats};
 pub use rate_match::RateMatch;

@@ -93,10 +93,20 @@ impl RateMatch {
     /// Re-inflates received LLRs (length [`Self::tx_len`]) to mother-code
     /// length, zero-filling punctured and untransmitted positions.
     pub fn fill_llrs(&self, rx_llrs: &[f32]) -> Vec<f32> {
-        assert_eq!(rx_llrs.len(), self.tx_len(), "received LLR length mismatch");
         let mut full = vec![0.0f32; self.codeword_len()];
-        full[2 * self.z..self.used_cols * self.z].copy_from_slice(rx_llrs);
+        self.fill_llrs_into(rx_llrs, &mut full);
         full
+    }
+
+    /// Allocation-free [`Self::fill_llrs`] into a caller-owned buffer of
+    /// length [`Self::codeword_len`]. Generic over the LLR sample type so
+    /// the same plan serves the `f32` and quantised `i8` planes.
+    pub fn fill_llrs_into<T: Copy + Default>(&self, rx_llrs: &[T], full: &mut [T]) {
+        assert_eq!(rx_llrs.len(), self.tx_len(), "received LLR length mismatch");
+        assert_eq!(full.len(), self.codeword_len(), "full LLR length mismatch");
+        full[..2 * self.z].fill(T::default());
+        full[2 * self.z..self.used_cols * self.z].copy_from_slice(rx_llrs);
+        full[self.used_cols * self.z..].fill(T::default());
     }
 }
 
@@ -190,6 +200,25 @@ mod tests {
         assert!(full[..2 * z].iter().all(|&l| l == 0.0));
         // Tail beyond used columns is zero.
         assert!(full[rm.used_cols * z..].iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn fill_llrs_into_matches_allocating_version_and_clears_stale_state() {
+        let z = 8;
+        let rm = RateMatch::for_rate(BaseGraphId::Bg1, z, 2.0 / 3.0);
+        let rx: Vec<f32> = (0..rm.tx_len()).map(|i| i as f32 - 100.0).collect();
+        let expect = rm.fill_llrs(&rx);
+        // Poison the destination: every position must be overwritten.
+        let mut full = vec![55.0f32; rm.codeword_len()];
+        rm.fill_llrs_into(&rx, &mut full);
+        assert_eq!(full, expect);
+        // Same plan drives the i8 plane.
+        let rx_q: Vec<i8> = (0..rm.tx_len()).map(|i| (i % 251) as i8).collect();
+        let mut full_q = vec![99i8; rm.codeword_len()];
+        rm.fill_llrs_into(&rx_q, &mut full_q);
+        assert!(full_q[..2 * z].iter().all(|&l| l == 0));
+        assert_eq!(&full_q[2 * z..rm.used_cols * z], &rx_q[..]);
+        assert!(full_q[rm.used_cols * z..].iter().all(|&l| l == 0));
     }
 
     #[test]

@@ -268,6 +268,29 @@ pub fn demod_soft_simd(scheme: ModScheme, symbols: &[Cf32], noise_var: f32, out:
     demod_soft(scheme, symbols, noise_var, out);
 }
 
+/// Quantised demapper: runs the SIMD max-log demapper and emits
+/// saturating `i8` LLRs directly, feeding the engine's fixed-point
+/// decoding plane without a second pass over a stored `f32` buffer.
+///
+/// `scratch` is caller-owned reuse space for the intermediate float LLRs
+/// (cleared and refilled here; no allocation once warm). Output is
+/// appended to `out`, `bits_per_symbol` LLRs per input symbol, quantised
+/// as `round(llr * scale)` clamped to `[-127, 127]` (see
+/// [`agora_ldpc::quantize_llrs`]).
+pub fn demod_soft_i8(
+    scheme: ModScheme,
+    symbols: &[Cf32],
+    noise_var: f32,
+    scale: f32,
+    scratch: &mut Vec<f32>,
+    out: &mut Vec<i8>,
+) {
+    demod_soft_simd(scheme, symbols, noise_var, scratch);
+    let start = out.len();
+    out.resize(start + scratch.len(), 0);
+    agora_ldpc::quantize_llrs(scratch, &mut out[start..], scale);
+}
+
 /// Eight-lane 1-D max-log over a labelled PAM alphabet: for each axis
 /// bit, `out[k][lane] = min d(bit=1) - min d(bit=0)`.
 ///
@@ -365,5 +388,21 @@ mod simd_tests {
         let mut out = Vec::new();
         demod_soft_simd(ModScheme::Bpsk, &syms, 0.5, &mut out);
         assert!((out[0] - 4.0 * 0.5 / 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn i8_demod_is_quantized_simd_output() {
+        let syms: Vec<Cf32> = (0..21).map(|i| Cf32::cis(0.73 * i as f32).scale(0.9)).collect();
+        let mut f = Vec::new();
+        demod_soft_simd(ModScheme::Qam16, &syms, 0.1, &mut f);
+        let mut scratch = Vec::new();
+        let mut q = vec![7i8; 3]; // existing content must be preserved (append semantics)
+        demod_soft_i8(ModScheme::Qam16, &syms, 0.1, 4.0, &mut scratch, &mut q);
+        assert_eq!(q.len(), 3 + f.len());
+        assert_eq!(&q[..3], &[7, 7, 7]);
+        for (i, (&fi, &qi)) in f.iter().zip(q[3..].iter()).enumerate() {
+            let expect = (fi * 4.0).round().clamp(-127.0, 127.0) as i8;
+            assert_eq!(qi, expect, "llr {i}: f32 {fi}");
+        }
     }
 }

@@ -31,7 +31,7 @@ pub mod zf;
 
 pub use chanest::{ChannelEstimator, CsiBuffer, Interpolation};
 pub use cpe::{correct_cpe, estimate_and_correct, estimate_cpe};
-pub use demod::{demod_soft, demod_soft_exact};
+pub use demod::{demod_soft, demod_soft_exact, demod_soft_i8, demod_soft_simd};
 pub use detect::Detector;
 pub use frame::{CellConfig, FrameSchedule, LdpcParams, SymbolType};
 pub use modulation::{demodulate_hard, modulate, ModScheme};

@@ -14,6 +14,9 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test --workspace -q
 
+echo "== decoder parity smoke =="
+cargo run --release -q -p agora-bench --bin decoder_parity
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
