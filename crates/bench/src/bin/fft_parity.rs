@@ -1,0 +1,99 @@
+//! CI smoke: FFT tier parity. Deterministic (fixed xorshift inputs),
+//! fast (<1 s), exit code 1 on any violation — `scripts/ci.sh` runs it
+//! after the test suite as a release-build cross-check of the SIMD FFT
+//! engine's invariants:
+//!
+//! 1. The detected-tier kernel agrees with the forced-scalar kernel to
+//!    within accumulation tolerance, single and batched, both directions.
+//! 2. Batched execution is bit-identical to running the same transforms
+//!    one at a time on the same tier (the `batched_fft` ablation contract).
+//! 3. The pre-reversed entry point composed with the plan's own
+//!    bit-reversal is bit-identical to the fused `execute` path.
+
+use agora_fft::{Direction, FftPlan};
+use agora_math::{Cf32, SimdTier};
+
+const SIZES: &[usize] = &[64, 256, 2048];
+const BATCH: usize = 4;
+
+fn test_signal(len: usize, seed: u64) -> Vec<Cf32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+    };
+    (0..len).map(|_| Cf32::new(next(), next())).collect()
+}
+
+fn max_err(a: &[Cf32], b: &[Cf32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(x, y)| (*x - *y).norm_sqr().sqrt()).fold(0.0, f32::max)
+}
+
+fn bits_equal(a: &[Cf32], b: &[Cf32]) -> bool {
+    a.iter()
+        .zip(b.iter())
+        .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits())
+}
+
+fn main() {
+    let tier = SimdTier::detect();
+    println!("fft parity smoke (detected tier: {tier:?})");
+    let mut failures = 0usize;
+
+    for &n in SIZES {
+        let fast = FftPlan::new(n);
+        let scalar = FftPlan::with_tier(n, SimdTier::Scalar);
+        // Tolerance grows with accumulation depth, as in the proptests.
+        let tol = 1e-4 * (n as f32).sqrt();
+        let input = test_signal(BATCH * n, 0xF0F7 + n as u64);
+
+        for dir in [Direction::Forward, Direction::Inverse] {
+            // 1. Scalar vs detected tier, single transform.
+            let mut a = input[..n].to_vec();
+            let mut b = input[..n].to_vec();
+            fast.execute(&mut a, dir);
+            scalar.execute(&mut b, dir);
+            let err = max_err(&a, &b);
+            if err > tol {
+                println!("FAIL n={n} {dir:?}: tier divergence {err:e} > {tol:e}");
+                failures += 1;
+            }
+
+            // 2. Batched vs single-at-a-time on the detected tier:
+            // bit-identical, per the `batched_fft` ablation contract.
+            let mut batch = input.clone();
+            fast.execute_batch(&mut batch, dir);
+            let mut singles = input.clone();
+            for chunk in singles.chunks_exact_mut(n) {
+                fast.execute(chunk, dir);
+            }
+            if !bits_equal(&batch, &singles) {
+                println!("FAIL n={n} {dir:?}: batched execution not bit-identical to singles");
+                failures += 1;
+            }
+
+            // 3. Manual bit-reversal + pre-reversed entry vs fused
+            // execute: bit-identical (same butterflies, same data).
+            let mut pre = vec![Cf32::ZERO; n];
+            for (i, &j) in fast.bitrev().iter().enumerate() {
+                pre[i] = input[j as usize];
+            }
+            fast.execute_prereversed(&mut pre, dir);
+            let mut fused = input[..n].to_vec();
+            fast.execute(&mut fused, dir);
+            if !bits_equal(&pre, &fused) {
+                println!("FAIL n={n} {dir:?}: prereversed path diverges from execute");
+                failures += 1;
+            }
+        }
+        println!("  n={n:<5} ok (single + batch x{BATCH} + prereversed, fwd/inv)");
+    }
+
+    if failures > 0 {
+        println!("fft parity smoke: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("fft parity smoke: OK");
+}

@@ -69,7 +69,7 @@ pub fn calibrate(cell: &CellConfig, reps: usize) -> Calibration {
     let mut n = 0u64;
     for _ in 0..reps {
         for group in 0..cell.num_zf_groups() {
-            kernels.zf_task(fb, group);
+            kernels.zf_task(fb, &mut scratch, group);
             n += 1;
         }
     }

@@ -258,6 +258,22 @@ impl FrameBuffers {
         let base = (symbol * g.m + ant) * g.samples;
         base..base + g.samples
     }
+
+    /// Combined range of `count` consecutive antennas' downlink
+    /// time-domain blocks within one symbol — antennas are adjacent in
+    /// this plane, so a batched IFFT task writes all of its outputs
+    /// through a single view.
+    pub fn dl_time_run_range(
+        &self,
+        g: &BufferGeometry,
+        symbol: usize,
+        ant0: usize,
+        count: usize,
+    ) -> core::ops::Range<usize> {
+        debug_assert!(ant0 + count <= g.m, "antenna run exceeds array");
+        let base = (symbol * g.m + ant0) * g.samples;
+        base..base + count * g.samples
+    }
 }
 
 /// The window of in-flight frame buffers, indexed by `frame % window`.

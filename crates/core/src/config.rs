@@ -26,6 +26,13 @@ pub struct Ablation {
     /// §3.4 "Batching": multiple tasks per queue message. Disabled, every
     /// message carries exactly one task.
     pub batching: bool,
+    /// §3.4 batching, FFT flavour: when a queue message carries several
+    /// (I)FFT tasks, execute them as one batched transform
+    /// (`fft_batch_task`/`ifft_batch_task`) so the SIMD kernel amortises
+    /// twiddle loads across L1-resident tiles. Disabled, the worker loops
+    /// single-transform tasks. Output is bit-identical either way — this
+    /// flag isolates the batched-execution speedup.
+    pub batched_fft: bool,
     /// §4.1 "Improving memory access efficiency": lay FFT output out in
     /// antenna-blocks of 8 consecutive subcarriers so demodulation
     /// consumes whole cache lines. Disabled, the layout is subcarrier-
@@ -56,6 +63,7 @@ impl Default for Ablation {
     fn default() -> Self {
         Self {
             batching: true,
+            batched_fft: true,
             cache_layout: true,
             streaming_stores: true,
             pinv_method: PinvMethod::Direct,

@@ -824,13 +824,17 @@ fn execute(kernels: &Kernels, window: &FrameWindow, scratch: &mut WorkerScratch,
     let count = msg.count as usize;
     match msg.task {
         TaskType::Fft => {
-            for i in 0..count {
-                kernels.fft_task(fb, scratch, symbol, base + i);
+            if kernels.cfg.ablation.batched_fft && count > 1 {
+                kernels.fft_batch_task(fb, scratch, symbol, base, count);
+            } else {
+                for i in 0..count {
+                    kernels.fft_task(fb, scratch, symbol, base + i);
+                }
             }
         }
         TaskType::Zf => {
             for i in 0..count {
-                kernels.zf_task(fb, base + i);
+                kernels.zf_task(fb, scratch, base + i);
             }
         }
         TaskType::Demod => kernels.demod_task(fb, scratch, msg.frame, symbol, base, count),
@@ -854,8 +858,12 @@ fn execute(kernels: &Kernels, window: &FrameWindow, scratch: &mut WorkerScratch,
             }
         }
         TaskType::Ifft => {
-            for i in 0..count {
-                kernels.ifft_task(fb, scratch, symbol, base + i);
+            if kernels.cfg.ablation.batched_fft && count > 1 {
+                kernels.ifft_batch_task(fb, scratch, symbol, base, count);
+            } else {
+                for i in 0..count {
+                    kernels.ifft_task(fb, scratch, symbol, base + i);
+                }
             }
         }
         _ => {}

@@ -65,23 +65,45 @@ impl InlineProcessor {
             unsafe { fb.rx_payload.slice_mut(range) }.copy_from_slice(&payload);
         }
 
-        // 2. Pilot FFT + CSI, then interpolation and ZF.
+        // 2. Pilot FFT + CSI, then interpolation and ZF. FFT work runs in
+        // batch-sized antenna chunks through the same batched/single
+        // branch as the threaded engine, so the `batched_fft` ablation is
+        // exercised identically here.
+        let bf = self.kernels.cfg.batch.fft.max(1);
         for symbol in cell.schedule.pilot_indices() {
-            for ant in 0..g.m {
-                self.kernels.fft_task(fb, &mut self.scratch, symbol, ant);
+            let mut base = 0;
+            while base < g.m {
+                let count = bf.min(g.m - base);
+                if self.kernels.cfg.ablation.batched_fft && count > 1 {
+                    self.kernels.fft_batch_task(fb, &mut self.scratch, symbol, base, count);
+                } else {
+                    for ant in base..base + count {
+                        self.kernels.fft_task(fb, &mut self.scratch, symbol, ant);
+                    }
+                }
+                base += count;
             }
         }
         self.kernels.interpolate_csi(fb);
         for group in 0..cell.num_zf_groups() {
-            self.kernels.zf_task(fb, group);
+            self.kernels.zf_task(fb, &mut self.scratch, group);
         }
 
         // 3. Uplink data symbols: FFT -> demod -> decode.
         let mut decoded = vec![Vec::new(); cell.symbols_per_frame()];
         let mut decode_ok = vec![Vec::new(); cell.symbols_per_frame()];
         for symbol in cell.schedule.uplink_indices() {
-            for ant in 0..g.m {
-                self.kernels.fft_task(fb, &mut self.scratch, symbol, ant);
+            let mut base = 0;
+            while base < g.m {
+                let count = bf.min(g.m - base);
+                if self.kernels.cfg.ablation.batched_fft && count > 1 {
+                    self.kernels.fft_batch_task(fb, &mut self.scratch, symbol, base, count);
+                } else {
+                    for ant in base..base + count {
+                        self.kernels.fft_task(fb, &mut self.scratch, symbol, ant);
+                    }
+                }
+                base += count;
             }
             self.kernels.demod_task(fb, &mut self.scratch, frame, symbol, 0, g.q);
             for user in 0..g.k {
@@ -101,8 +123,20 @@ impl InlineProcessor {
                 self.kernels.encode_task(fb, frame, symbol, user);
             }
             self.kernels.precode_task(fb, &mut self.scratch, symbol, 0, g.q);
+            let bi = self.kernels.cfg.batch.ifft.max(1);
+            let mut base = 0;
+            while base < g.m {
+                let count = bi.min(g.m - base);
+                if self.kernels.cfg.ablation.batched_fft && count > 1 {
+                    self.kernels.ifft_batch_task(fb, &mut self.scratch, symbol, base, count);
+                } else {
+                    for ant in base..base + count {
+                        self.kernels.ifft_task(fb, &mut self.scratch, symbol, ant);
+                    }
+                }
+                base += count;
+            }
             for ant in 0..g.m {
-                self.kernels.ifft_task(fb, &mut self.scratch, symbol, ant);
                 let t = unsafe { fb.dl_time.slice(fb.dl_time_range(&g, symbol, ant)) }.to_vec();
                 dl_time[symbol].push(t);
             }
@@ -206,6 +240,50 @@ mod tests {
         for user in 0..2 {
             assert_eq!(rf.decoded[symbol][user], gt.info_bits[symbol][user]);
             assert_eq!(rf.decoded[symbol][user], rs.decoded[symbol][user]);
+        }
+    }
+
+    /// The `batched_fft` ablation only changes task granularity — batched
+    /// and single-transform execution must produce bit-identical uplink
+    /// decodes and downlink time-domain samples.
+    #[test]
+    fn batched_fft_ablation_is_bit_identical() {
+        use agora_phy::frame::FrameSchedule;
+
+        let mut cell = CellConfig::tiny_test(2);
+        // Mixed frame: pilot + uplink + downlink so both the FFT and the
+        // IFFT batched paths run.
+        cell.schedule = FrameSchedule::parse("PUUDD").unwrap();
+        cell.validate().unwrap();
+        let rc = RruConfig { snr_db: 25.0, seed: 17, ..Default::default() };
+        let mut rru = RruEmulator::new(cell.clone(), rc);
+        let (packets, _gt) = rru.generate_frame(0);
+
+        let mut cfg_on = EngineConfig::new(cell.clone(), 1);
+        cfg_on.noise_power = rru.noise_power();
+        let mut cfg_off = cfg_on.clone();
+        cfg_off.ablation.batched_fft = false;
+        assert!(cfg_on.batch.fft > 1, "batch size must exercise the batched path");
+
+        let mut on = InlineProcessor::new(cfg_on);
+        let mut off = InlineProcessor::new(cfg_off);
+        let ron = on.process_frame(0, &packets);
+        let roff = off.process_frame(0, &packets);
+
+        for symbol in cell.schedule.uplink_indices() {
+            assert_eq!(ron.decoded[symbol], roff.decoded[symbol]);
+            assert_eq!(ron.decode_ok[symbol], roff.decode_ok[symbol]);
+        }
+        for symbol in cell.schedule.downlink_indices() {
+            for ant in 0..cell.num_antennas {
+                let a = &ron.dl_time[symbol][ant];
+                let b = &roff.dl_time[symbol][ant];
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert_eq!(x.re.to_bits(), y.re.to_bits(), "symbol {symbol} ant {ant}");
+                    assert_eq!(x.im.to_bits(), y.im.to_bits(), "symbol {symbol} ant {ant}");
+                }
+            }
         }
     }
 

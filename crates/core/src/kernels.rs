@@ -12,10 +12,12 @@ use crate::config::EngineConfig;
 use agora_fft::{Direction, FftPlan, SubcarrierMap};
 use agora_ldpc::{DecodeConfig, DecodeConfigI8, Decoder, DecoderI8, Encoder, RateMatch};
 use agora_math::simd::{stream_copy, SimdTier};
-use agora_math::{pinv, CMat, Cf32, Gemm};
+use agora_math::{
+    normalize_precoder_in_place, pinv_into, CMat, Cf32, Gemm, PinvScratch,
+};
 use agora_phy::demod::{demod_soft_i8, demod_soft_simd};
 use agora_phy::frame::SymbolType;
-use agora_phy::iq::unpack_samples;
+use agora_phy::iq::{unpack_sample, BYTES_PER_SAMPLE};
 use agora_phy::modulation::{map_symbol, ModScheme};
 use agora_phy::pilots::PilotPlan;
 
@@ -45,8 +47,11 @@ pub struct WorkerScratch {
     /// Fixed-point decoder for the quantised plane (`ablation.
     /// quantized_decoder`); carries its own message/posterior scratch.
     decoder_i8: DecoderI8,
-    time: Vec<Cf32>,
     grid: Vec<Cf32>,
+    /// Staging for batched (I)FFT execution: up to
+    /// `max(batch.fft, batch.ifft)` transform-sized grids back to back, so
+    /// one `execute_batch_prereversed` call covers a whole task batch.
+    batch_grid: Vec<Cf32>,
     active: Vec<Cf32>,
     ant_block: Vec<Cf32>,
     user_block: Vec<Cf32>,
@@ -64,6 +69,13 @@ pub struct WorkerScratch {
     /// Frame the CPE seed belongs to (drift restarts at each frame's
     /// pilot, so the tracker resets on frame changes).
     cpe_frame: u32,
+    /// ZF scratch: channel matrix (`M x K`), detector (`K x M`), precoder
+    /// (`M x K`) and pseudo-inverse intermediates, reused across groups so
+    /// the ZF task never allocates on the direct path.
+    zf_h: CMat,
+    zf_det: CMat,
+    zf_pre: CMat,
+    zf_pinv: PinvScratch,
 }
 
 impl Kernels {
@@ -120,8 +132,11 @@ impl Kernels {
         WorkerScratch {
             decoder: Decoder::new(self.cfg.cell.ldpc.base_graph, self.cfg.cell.ldpc.z),
             decoder_i8: DecoderI8::new(self.cfg.cell.ldpc.base_graph, self.cfg.cell.ldpc.z),
-            time: vec![Cf32::ZERO; g.samples],
             grid: vec![Cf32::ZERO; self.cfg.cell.fft_size],
+            batch_grid: vec![
+                Cf32::ZERO;
+                self.cfg.batch.fft.max(self.cfg.batch.ifft).max(1) * self.cfg.cell.fft_size
+            ],
             active: vec![Cf32::ZERO; g.q],
             ant_block: vec![Cf32::ZERO; g.m * g.block],
             user_block: vec![Cf32::ZERO; g.k * g.block],
@@ -132,6 +147,10 @@ impl Kernels {
             full_llr_i8: vec![0; self.rate_match.codeword_len()],
             cpe_seed: 0.0,
             cpe_frame: u32::MAX,
+            zf_h: CMat::zeros(g.m, g.k),
+            zf_det: CMat::zeros(g.k, g.m),
+            zf_pre: CMat::zeros(g.m, g.k),
+            zf_pinv: PinvScratch::new(g.m, g.k),
         }
     }
 
@@ -166,24 +185,67 @@ impl Kernels {
     /// estimate CSI (pilot symbols — the FFT+CSI fusion of Table 2) or
     /// store frequency-domain data for demodulation.
     ///
+    /// The front of the task is fused: IQ unpack, cyclic-prefix skip and
+    /// the FFT's bit-reversal permutation collapse into one gather-on-copy
+    /// pass ([`unpack_bitrev`]), after which the transform runs its
+    /// butterfly stages directly ([`FftPlan::execute_prereversed`]).
+    ///
     /// # Safety contract
     /// Requires exclusive ownership of this (symbol, antenna)'s output
     /// regions, guaranteed by the scheduler.
     pub fn fft_task(&self, fb: &FrameBuffers, s: &mut WorkerScratch, symbol: usize, ant: usize) {
         let g = &self.geom;
         let payload = unsafe { fb.rx_payload.slice(fb.payload_range(g, symbol, ant)) };
-        unpack_samples(payload, &mut s.time);
-        // CP removal would go here; the emulated RRU sends CP-less symbols.
-        s.grid.copy_from_slice(&s.time[s.time.len() - self.cfg.cell.fft_size..]);
-        self.fft.execute(&mut s.grid, Direction::Forward);
+        // The emulated RRU sends CP-less symbols; any leading samples
+        // beyond the FFT size are the (empty) prefix and are skipped by
+        // the fused gather.
+        let skip = g.samples - self.cfg.cell.fft_size;
+        unpack_bitrev(payload, skip, self.fft.bitrev(), &mut s.grid);
+        self.fft.execute_prereversed(&mut s.grid, Direction::Forward);
         self.map.demap_symbols(&s.grid, &mut s.active);
+        self.fft_store(fb, symbol, ant, &s.active);
+    }
 
+    /// Batched FFT task: the same per-antenna work as [`Self::fft_task`]
+    /// for `count` consecutive antennas, with all transforms executed in
+    /// one [`FftPlan::execute_batch_prereversed`] call so the SIMD kernel
+    /// amortises twiddle loads and keeps L1-resident tiles hot across
+    /// transforms. Output is bit-identical to `count` single tasks.
+    pub fn fft_batch_task(
+        &self,
+        fb: &FrameBuffers,
+        s: &mut WorkerScratch,
+        symbol: usize,
+        base: usize,
+        count: usize,
+    ) {
+        let g = &self.geom;
+        let n = self.cfg.cell.fft_size;
+        assert!(count * n <= s.batch_grid.len(), "batch exceeds scratch capacity");
+        let skip = g.samples - n;
+        for i in 0..count {
+            let payload =
+                unsafe { fb.rx_payload.slice(fb.payload_range(g, symbol, base + i)) };
+            unpack_bitrev(payload, skip, self.fft.bitrev(), &mut s.batch_grid[i * n..(i + 1) * n]);
+        }
+        self.fft.execute_batch_prereversed(&mut s.batch_grid[..count * n], Direction::Forward);
+        for i in 0..count {
+            self.map.demap_symbols(&s.batch_grid[i * n..(i + 1) * n], &mut s.active);
+            self.fft_store(fb, symbol, base + i, &s.active);
+        }
+    }
+
+    /// Post-FFT store: CSI estimation for pilots, frequency-plane write
+    /// for uplink data. `active` holds the demapped data subcarriers of
+    /// `(symbol, ant)`.
+    fn fft_store(&self, fb: &FrameBuffers, symbol: usize, ant: usize, active: &[Cf32]) {
+        let g = &self.geom;
         match self.cfg.cell.schedule.symbol(symbol) {
             SymbolType::Pilot => {
                 // Fused channel estimation: LS divide by the known pilot.
                 let ordinal = self.pilot_ordinal(symbol);
                 let k = g.k;
-                for (sc, &y) in s.active.iter().enumerate() {
+                for (sc, &y) in active.iter().enumerate() {
                     if let Some((user, p)) = self.pilots.owner(ordinal, sc) {
                         let h = y * p.inv();
                         // Element-precise write: concurrent FFT tasks for
@@ -201,7 +263,7 @@ impl Kernels {
                     // this antenna's 8-sample window of each block so
                     // concurrent antennas never alias.
                     let b = g.block;
-                    for (blk, chunk) in s.active.chunks_exact(b).enumerate() {
+                    for (blk, chunk) in active.chunks_exact(b).enumerate() {
                         let off = sym_base + fb.freq_block_offset(g, blk, ant);
                         let out = unsafe { fb.freq.slice_mut(off..off + b) };
                         if self.cfg.ablation.streaming_stores {
@@ -216,9 +278,9 @@ impl Kernels {
                     let off = sym_base + fb.freq_strided_offset(g, ant, 0);
                     let out = unsafe { fb.freq.slice_mut(off..off + g.q) };
                     if self.cfg.ablation.streaming_stores {
-                        stream_copy(&s.active, out, self.simd);
+                        stream_copy(active, out, self.simd);
                     } else {
-                        out.copy_from_slice(&s.active);
+                        out.copy_from_slice(active);
                     }
                 }
             }
@@ -257,24 +319,50 @@ impl Kernels {
     /// The detector family is configurable ([`crate::config::DetectorKind`]);
     /// zero-forcing additionally honours the pseudo-inverse ablation
     /// (direct Gram inversion vs SVD).
-    pub fn zf_task(&self, fb: &FrameBuffers, group: usize) {
+    ///
+    /// The hot path (zero-forcing with the direct Gram inverse) is
+    /// allocation-free: the channel copy, pseudo-inverse intermediates,
+    /// detector and precoder all live in `WorkerScratch`. The SVD
+    /// fallback and the MMSE/conjugate detectors still allocate — they
+    /// are ablation/degraded paths, not the per-group steady state.
+    pub fn zf_task(&self, fb: &FrameBuffers, s: &mut WorkerScratch, group: usize) {
         use crate::config::DetectorKind;
         let g = &self.geom;
         let sc = group * g.zf_group;
         let csi = unsafe { fb.csi.slice(fb.csi_range(sc)) };
-        let h = CMat::from_slice(g.m, g.k, csi);
-        let det = match self.cfg.ablation.detector {
-            DetectorKind::ZeroForcing => pinv(&h, self.cfg.ablation.pinv_method),
-            DetectorKind::Mmse => agora_phy::Detector::Mmse {
-                noise_power: self.cfg.noise_power,
+        s.zf_h.as_mut_slice().copy_from_slice(csi);
+        match self.cfg.ablation.detector {
+            DetectorKind::ZeroForcing => {
+                pinv_into(&s.zf_h, self.cfg.ablation.pinv_method, &mut s.zf_pinv, &mut s.zf_det);
             }
-            .compute(&h),
-            DetectorKind::Conjugate => agora_phy::Detector::Conjugate.compute(&h),
-        };
-        let pre = agora_math::normalize_precoder(&det.transpose());
+            DetectorKind::Mmse => {
+                let det = agora_phy::Detector::Mmse {
+                    noise_power: self.cfg.noise_power,
+                }
+                .compute(&s.zf_h);
+                s.zf_det.copy_from(&det);
+            }
+            DetectorKind::Conjugate => {
+                // Row-normalised matched filter, matching
+                // `agora_phy::Detector::Conjugate` bit for bit.
+                s.zf_h.hermitian_into(&mut s.zf_det);
+                let (rows, m) = s.zf_det.shape();
+                for u in 0..rows {
+                    let gain: f32 = (0..m).map(|a| s.zf_det[(u, a)].norm_sqr()).sum();
+                    if gain > 0.0 {
+                        let inv = 1.0 / gain;
+                        for a in 0..m {
+                            s.zf_det[(u, a)] = s.zf_det[(u, a)].scale(inv);
+                        }
+                    }
+                }
+            }
+        }
+        s.zf_det.transpose_into(&mut s.zf_pre);
+        normalize_precoder_in_place(&mut s.zf_pre);
         unsafe {
-            fb.det.slice_mut(fb.det_range(group)).copy_from_slice(det.as_slice());
-            fb.pre.slice_mut(fb.pre_range(group)).copy_from_slice(pre.as_slice());
+            fb.det.slice_mut(fb.det_range(group)).copy_from_slice(s.zf_det.as_slice());
+            fb.pre.slice_mut(fb.pre_range(group)).copy_from_slice(s.zf_pre.as_slice());
         }
     }
 
@@ -563,7 +651,10 @@ impl Kernels {
     }
 
     /// IFFT task (downlink): gather one antenna's subcarriers, inverse
-    /// transform, write time-domain samples.
+    /// transform, write time-domain samples. The subcarrier scatter is
+    /// fused with the transform's bit-reversal permutation
+    /// ([`SubcarrierMap::map_symbols_bitrev`]) so the grid is built
+    /// pre-reversed and the butterflies run directly on it.
     pub fn ifft_task(&self, fb: &FrameBuffers, s: &mut WorkerScratch, symbol: usize, ant: usize) {
         let g = &self.geom;
         let freq = unsafe { fb.dl_freq.slice(fb.freq_symbol_range(symbol)) };
@@ -572,16 +663,71 @@ impl Kernels {
             s.active[blk * g.block..(blk + 1) * g.block]
                 .copy_from_slice(&freq[off..off + g.block]);
         }
-        self.map.map_symbols(&s.active, &mut s.grid);
-        self.fft.execute(&mut s.grid, Direction::Inverse);
+        self.map.map_symbols_bitrev(&s.active, &mut s.grid, self.fft.bitrev());
+        self.fft.execute_prereversed(&mut s.grid, Direction::Inverse);
         let out = unsafe { fb.dl_time.slice_mut(fb.dl_time_range(g, symbol, ant)) };
         // CP-less symbols, as in the uplink path.
         out.copy_from_slice(&s.grid[..g.samples]);
     }
 
+    /// Batched IFFT task: [`Self::ifft_task`] for `count` consecutive
+    /// antennas through one batched inverse transform. Output is
+    /// bit-identical to `count` single tasks.
+    pub fn ifft_batch_task(
+        &self,
+        fb: &FrameBuffers,
+        s: &mut WorkerScratch,
+        symbol: usize,
+        base: usize,
+        count: usize,
+    ) {
+        let g = &self.geom;
+        let n = self.cfg.cell.fft_size;
+        assert!(count * n <= s.batch_grid.len(), "batch exceeds scratch capacity");
+        let freq = unsafe { fb.dl_freq.slice(fb.freq_symbol_range(symbol)) };
+        for i in 0..count {
+            let ant = base + i;
+            for blk in 0..g.q / g.block {
+                let off = fb.freq_block_offset(g, blk, ant);
+                s.active[blk * g.block..(blk + 1) * g.block]
+                    .copy_from_slice(&freq[off..off + g.block]);
+            }
+            self.map.map_symbols_bitrev(
+                &s.active,
+                &mut s.batch_grid[i * n..(i + 1) * n],
+                self.fft.bitrev(),
+            );
+        }
+        self.fft.execute_batch_prereversed(&mut s.batch_grid[..count * n], Direction::Inverse);
+        let out = unsafe { fb.dl_time.slice_mut(fb.dl_time_run_range(g, symbol, base, count)) };
+        for i in 0..count {
+            out[i * g.samples..(i + 1) * g.samples]
+                .copy_from_slice(&s.batch_grid[i * n..i * n + g.samples]);
+        }
+    }
+
     /// Modulation scheme shortcut.
     pub fn modulation(&self) -> ModScheme {
         self.cfg.cell.modulation
+    }
+}
+
+/// Fused IQ unpack + cyclic-prefix skip + bit-reversal: reads the packed
+/// 12-bit IQ samples of one symbol payload and writes the FFT-sized tail
+/// (samples `skip..`) into `out` in bit-reversed order, ready for
+/// [`FftPlan::execute_prereversed`]. One gather-on-copy pass replaces the
+/// previous unpack → tail copy → in-place permutation sequence — the
+/// samples are touched once instead of three times.
+pub fn unpack_bitrev(payload: &[u8], skip: usize, bitrev: &[u32], out: &mut [Cf32]) {
+    assert_eq!(out.len(), bitrev.len(), "output must be transform-sized");
+    assert!(
+        payload.len() >= (skip + out.len()) * BYTES_PER_SAMPLE,
+        "payload too short for skip + transform"
+    );
+    for (o, &j) in out.iter_mut().zip(bitrev.iter()) {
+        let b = (skip + j as usize) * BYTES_PER_SAMPLE;
+        let bytes: &[u8; 3] = payload[b..b + BYTES_PER_SAMPLE].try_into().unwrap();
+        *o = unpack_sample(bytes);
     }
 }
 
@@ -635,7 +781,53 @@ mod tests {
         let k = Kernels::new(EngineConfig::new(CellConfig::tiny_test(2), 2));
         let s = k.scratch();
         assert_eq!(s.grid.len(), k.cfg.cell.fft_size);
+        assert_eq!(
+            s.batch_grid.len(),
+            k.cfg.batch.fft.max(k.cfg.batch.ifft).max(1) * k.cfg.cell.fft_size
+        );
         assert_eq!(s.active.len(), k.geom.q);
         assert_eq!(s.full_llr.len(), k.rate_match().codeword_len());
+        assert_eq!(s.zf_h.shape(), (k.geom.m, k.geom.k));
+        assert_eq!(s.zf_det.shape(), (k.geom.k, k.geom.m));
+        assert_eq!(s.zf_pre.shape(), (k.geom.m, k.geom.k));
+    }
+
+    /// The fused unpack → bit-reversal gather plus `execute_prereversed`
+    /// must be bit-identical to the naive pipeline it replaced: unpack
+    /// everything, copy the FFT-sized tail, run the full transform.
+    #[test]
+    fn fused_unpack_bitrev_matches_naive_pipeline() {
+        use agora_fft::FftPlan;
+        use agora_phy::iq::{pack_samples, unpack_samples};
+
+        let n = 64;
+        let skip = 16; // emulate a cyclic prefix ahead of the window
+        let samples: Vec<Cf32> = (0..skip + n)
+            .map(|i| {
+                let t = i as f32 * 0.37;
+                Cf32::new((t.sin() * 0.4 * 2048.0).round() / 2048.0, (t.cos() * 0.4 * 2048.0).round() / 2048.0)
+            })
+            .collect();
+        let mut payload = Vec::new();
+        pack_samples(&samples, &mut payload);
+
+        let plan = FftPlan::new(n);
+
+        // Naive path: unpack all, copy tail, full execute (with its own
+        // bit-reversal pass).
+        let mut time = Vec::new();
+        unpack_samples(&payload, &mut time);
+        let mut naive: Vec<Cf32> = time[skip..].to_vec();
+        plan.execute(&mut naive, Direction::Forward);
+
+        // Fused path.
+        let mut fused = vec![Cf32::ZERO; n];
+        unpack_bitrev(&payload, skip, plan.bitrev(), &mut fused);
+        plan.execute_prereversed(&mut fused, Direction::Forward);
+
+        for (a, b) in naive.iter().zip(fused.iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
     }
 }

@@ -8,6 +8,7 @@
 pub mod dft_ref;
 pub mod ofdm;
 pub mod plan;
+pub mod simd;
 
 pub use ofdm::{Ofdm, SubcarrierMap};
-pub use plan::{Direction, FftPlan};
+pub use plan::{Direction, FftBatchPlan, FftPlan};

@@ -54,6 +54,21 @@ impl SubcarrierMap {
         }
     }
 
+    /// Like [`Self::map_symbols`], but scatters through a bit-reversal
+    /// table (`grid[bitrev[bin]] = value`) so the following inverse
+    /// transform can use [`FftPlan::execute_prereversed`] and skip its
+    /// permutation pass — the downlink IFFT's fusion of the uplink's
+    /// gather-on-copy trick.
+    pub fn map_symbols_bitrev(&self, data: &[Cf32], grid: &mut [Cf32], bitrev: &[u32]) {
+        assert_eq!(data.len(), self.num_data);
+        assert_eq!(grid.len(), self.fft_size);
+        assert_eq!(bitrev.len(), self.fft_size);
+        grid.fill(Cf32::ZERO);
+        for (i, bin) in self.active_bins().enumerate() {
+            grid[bitrev[bin] as usize] = data[i];
+        }
+    }
+
     /// Gathers the active bins out of a full FFT-size grid.
     pub fn demap_symbols(&self, grid: &[Cf32], data: &mut [Cf32]) {
         assert_eq!(data.len(), self.num_data);
@@ -158,6 +173,23 @@ mod tests {
         let mut back = vec![Cf32::ZERO; 96];
         map.demap_symbols(&grid, &mut back);
         assert_eq!(data, back);
+    }
+
+    #[test]
+    fn map_symbols_bitrev_plus_prereversed_ifft_matches_two_pass() {
+        let n = 256;
+        let map = SubcarrierMap::new(n, 180);
+        let plan = FftPlan::new(n);
+        let data: Vec<Cf32> = (0..180).map(|i| Cf32::cis(0.31 * i as f32).scale(0.5)).collect();
+        let mut two_pass = vec![Cf32::ZERO; n];
+        map.map_symbols(&data, &mut two_pass);
+        plan.execute(&mut two_pass, Direction::Inverse);
+        let mut fused = vec![Cf32::ZERO; n];
+        map.map_symbols_bitrev(&data, &mut fused, plan.bitrev());
+        plan.execute_prereversed(&mut fused, Direction::Inverse);
+        for (a, b) in two_pass.iter().zip(fused.iter()) {
+            assert!((*a - *b).abs() < 1e-6);
+        }
     }
 
     #[test]

@@ -5,7 +5,17 @@
 //! step that does no allocation. Every FFT task in the engine executes
 //! against a shared, immutable [`FftPlan`], so plans are `Sync` and can be
 //! stored in an `Arc` next to the cell configuration.
+//!
+//! Execution is [`SimdTier`]-dispatched: on AVX2 hosts the butterflies run
+//! four complex values per 256-bit vector with the first two stages fused
+//! (see [`crate::simd`]); everywhere else the scalar radix-2 loop is the
+//! reference. Callers that can produce their input in bit-reversed order
+//! (the engine's fused IQ-unpack gather) use the `*_prereversed` entry
+//! points and skip the permutation pass entirely, and [`FftBatchPlan`] /
+//! [`FftPlan::execute_batch`] run several independent transforms through
+//! each stage together so twiddle loads amortize across the batch.
 
+use agora_math::simd::SimdTier;
 use agora_math::Cf32;
 
 /// Transform direction.
@@ -20,25 +30,55 @@ pub enum Direction {
 /// A radix-2 decimation-in-time FFT plan for one power-of-two size.
 ///
 /// Twiddles are stored per stage in natural access order so the butterfly
-/// inner loop streams them contiguously.
+/// inner loop streams them contiguously; the AVX2 path additionally keeps
+/// a pre-splatted copy (see [`FftPlan::new`]).
 #[derive(Debug, Clone)]
 pub struct FftPlan {
     n: usize,
     log2n: u32,
     /// Bit-reversal permutation of indices `0..n`.
     bitrev: Vec<u32>,
+    /// The `(i, j)` index pairs with `i < bitrev[i] = j`: exactly the swaps
+    /// the in-place permutation performs. Streaming this list avoids the
+    /// branch-per-element of walking `bitrev` and skipping fixed points.
+    swaps: Vec<(u32, u32)>,
     /// Forward-direction twiddles, concatenated per stage: stage `s`
-    /// (butterfly half-width `w = 2^s`) contributes `w` twiddles
-    /// `e^{-i pi j / w}`, `j = 0..w`.
+    /// (butterfly half-width `w = 2^s`) contributes the `w` twiddles
+    /// `e^{-i pi j / w}` for `j` in `0..w` — exclusive of `w` itself
+    /// (the half-turn `e^{-i pi}` is the negated `j = 0` twiddle and
+    /// never stored).
     twiddles: Vec<Cf32>,
+    /// AVX2 twiddle layout for the stages with `w >= 4`, concatenated per
+    /// stage: each twiddle's real part duplicated per complex slot
+    /// (`[re0 re0 re1 re1 ...]`) so a plain 256-bit load lines four
+    /// twiddles up against four interleaved `Cf32` — no broadcasts in the
+    /// butterfly loop.
+    tw_re_dup: Vec<f32>,
+    /// Companion imaginary parts with alternating sign
+    /// (`[-im0 +im0 -im1 +im1 ...]`), matching the swap-multiply-add
+    /// complex product in `simd::butterflies_avx2`.
+    tw_im_alt: Vec<f32>,
+    /// Dispatch tier, clamped to what the host supports.
+    tier: SimdTier,
 }
 
 impl FftPlan {
-    /// Builds a plan for a power-of-two transform size.
+    /// Builds a plan for a power-of-two transform size, dispatching to the
+    /// best SIMD tier the host supports.
     ///
     /// # Panics
     /// Panics if `n` is zero or not a power of two.
     pub fn new(n: usize) -> Self {
+        Self::with_tier(n, SimdTier::detect())
+    }
+
+    /// Builds a plan pinned to a specific SIMD tier (clamped to what the
+    /// host actually supports, so forcing `Avx2` on a scalar-only machine
+    /// degrades safely). Used by the tier-parity tests and benches.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or not a power of two.
+    pub fn with_tier(n: usize, tier: SimdTier) -> Self {
         assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two, got {n}");
         let log2n = n.trailing_zeros();
         // Bit-reversal table.
@@ -49,6 +89,12 @@ impl FftPlan {
         if n == 1 {
             bitrev[0] = 0;
         }
+        let swaps: Vec<(u32, u32)> = bitrev
+            .iter()
+            .enumerate()
+            .filter(|&(i, &j)| (i as u32) < j)
+            .map(|(i, &j)| (i as u32, j))
+            .collect();
         // Twiddles per stage, computed in f64 for accuracy.
         let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
         let mut w = 1usize;
@@ -59,7 +105,33 @@ impl FftPlan {
             }
             w *= 2;
         }
-        Self { n, log2n, bitrev, twiddles }
+        // Pre-splatted AVX2 layout for the w >= 4 stages.
+        let simd_len = 2 * n.saturating_sub(4);
+        let mut tw_re_dup = Vec::with_capacity(simd_len);
+        let mut tw_im_alt = Vec::with_capacity(simd_len);
+        let mut w = 4usize;
+        let mut off = 3usize; // stages 0 (1 twiddle) and 1 (2) are fused
+        while w <= n / 2 {
+            for j in 0..w {
+                let tw = twiddles[off + j];
+                tw_re_dup.push(tw.re);
+                tw_re_dup.push(tw.re);
+                tw_im_alt.push(-tw.im);
+                tw_im_alt.push(tw.im);
+            }
+            off += w;
+            w *= 2;
+        }
+        Self {
+            n,
+            log2n,
+            bitrev,
+            swaps,
+            twiddles,
+            tw_re_dup,
+            tw_im_alt,
+            tier: tier.min(SimdTier::detect()),
+        }
     }
 
     /// Transform size.
@@ -68,9 +140,24 @@ impl FftPlan {
         self.n
     }
 
-    /// True only for the degenerate size-1 plan... which still "is" a plan.
+    /// Always `false`: construction enforces `n >= 1`, so a plan never
+    /// covers zero points. Kept for `len`/`is_empty` API symmetry.
     pub fn is_empty(&self) -> bool {
-        false
+        self.n == 0
+    }
+
+    /// The SIMD tier this plan dispatches to.
+    pub fn tier(&self) -> SimdTier {
+        self.tier
+    }
+
+    /// The bit-reversal permutation table (`out[i] = in[bitrev[i]]` puts
+    /// input in the order the butterfly stages expect). Callers that
+    /// gather their input through this table can use the `*_prereversed`
+    /// execute variants and skip the in-place permutation pass.
+    #[inline(always)]
+    pub fn bitrev(&self) -> &[u32] {
+        &self.bitrev
     }
 
     /// In-place transform of exactly `self.len()` samples.
@@ -79,22 +166,41 @@ impl FftPlan {
     /// Panics if `data.len() != self.len()`.
     pub fn execute(&self, data: &mut [Cf32], dir: Direction) {
         assert_eq!(data.len(), self.n, "buffer length must equal plan size");
-        if self.n == 1 {
-            return;
-        }
-        // Conjugate trick for the inverse: IFFT(x) = conj(FFT(conj(x)))/N.
-        if dir == Direction::Inverse {
-            for z in data.iter_mut() {
-                *z = z.conj();
-            }
-        }
-        self.forward_in_place(data);
-        if dir == Direction::Inverse {
-            let inv_n = 1.0 / self.n as f32;
-            for z in data.iter_mut() {
-                *z = z.conj().scale(inv_n);
-            }
-        }
+        self.run(data, dir, false);
+    }
+
+    /// In-place transform of input already in bit-reversed order (e.g.
+    /// written through [`Self::bitrev`] by a fused gather). Identical
+    /// output to [`Self::execute`] on naturally-ordered input, minus the
+    /// permutation pass.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn execute_prereversed(&self, data: &mut [Cf32], dir: Direction) {
+        assert_eq!(data.len(), self.n, "buffer length must equal plan size");
+        self.run(data, dir, true);
+    }
+
+    /// In-place transform of `data.len() / self.len()` independent,
+    /// back-to-back transforms. All transforms advance through each
+    /// butterfly stage together, so per-stage twiddle loads are shared
+    /// across the batch (the engine's per-symbol antenna batch).
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of the plan size.
+    pub fn execute_batch(&self, data: &mut [Cf32], dir: Direction) {
+        assert_eq!(data.len() % self.n, 0, "buffer length must be a multiple of plan size");
+        self.run(data, dir, false);
+    }
+
+    /// Batched variant of [`Self::execute_prereversed`]: every transform
+    /// in the batch must already be bit-reversed.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of the plan size.
+    pub fn execute_batch_prereversed(&self, data: &mut [Cf32], dir: Direction) {
+        assert_eq!(data.len() % self.n, 0, "buffer length must be a multiple of plan size");
+        self.run(data, dir, true);
     }
 
     /// Out-of-place transform: copies `src` into `dst` then runs in place.
@@ -108,15 +214,93 @@ impl FftPlan {
         self.execute(dst, dir);
     }
 
-    fn forward_in_place(&self, data: &mut [Cf32]) {
-        let n = self.n;
-        // Bit-reversal permutation (swap once per pair).
-        for i in 0..n {
-            let j = self.bitrev[i] as usize;
-            if j > i {
-                data.swap(i, j);
-            }
+    /// Shared body for all execute variants; `data` holds one or more
+    /// transforms.
+    fn run(&self, data: &mut [Cf32], dir: Direction, prereversed: bool) {
+        if self.n == 1 || data.is_empty() {
+            return;
         }
+        // Conjugate trick for the inverse: IFFT(x) = conj(FFT(conj(x)))/N.
+        // Conjugation is elementwise, so it commutes with the bit-reversal
+        // permutation and is valid on pre-reversed input too.
+        if dir == Direction::Inverse {
+            self.conj_pass(data);
+        }
+        if !prereversed {
+            // Permute and butterfly tile by tile, so a transform's data is
+            // still cache-resident when its butterflies start. With large
+            // batches a permute-everything-then-butterfly-everything order
+            // would evict each transform between the two passes.
+            let tile = self.tile_transforms() * self.n;
+            for slice in data.chunks_mut(tile) {
+                for chunk in slice.chunks_exact_mut(self.n) {
+                    self.bit_reverse(chunk);
+                }
+                self.butterflies(slice);
+            }
+        } else {
+            self.butterflies(data);
+        }
+        if dir == Direction::Inverse {
+            self.conj_scale_pass(data, 1.0 / self.n as f32);
+        }
+    }
+
+    /// Transforms the SIMD tier processes per cache tile (1 for scalar,
+    /// which has no cross-transform twiddle sharing to exploit).
+    fn tile_transforms(&self) -> usize {
+        #[cfg(target_arch = "x86_64")]
+        if self.tier == SimdTier::Avx2 {
+            return crate::simd::tile_transforms(self.n);
+        }
+        1
+    }
+
+    /// In-place bit-reversal permutation of one transform (swap once per
+    /// pair, streaming the precomputed swap list).
+    fn bit_reverse(&self, data: &mut [Cf32]) {
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
+        }
+    }
+
+    /// All butterfly stages over one or more bit-reversed transforms.
+    fn butterflies(&self, data: &mut [Cf32]) {
+        #[cfg(target_arch = "x86_64")]
+        if self.tier == SimdTier::Avx2 && self.n >= 4 {
+            unsafe { crate::simd::butterflies_avx2(data, self.n, &self.tw_re_dup, &self.tw_im_alt) };
+            return;
+        }
+        for chunk in data.chunks_exact_mut(self.n) {
+            self.butterflies_scalar(chunk);
+        }
+    }
+
+    fn conj_pass(&self, data: &mut [Cf32]) {
+        #[cfg(target_arch = "x86_64")]
+        if self.tier == SimdTier::Avx2 {
+            unsafe { crate::simd::conj_avx2(data) };
+            return;
+        }
+        for z in data.iter_mut() {
+            *z = z.conj();
+        }
+    }
+
+    fn conj_scale_pass(&self, data: &mut [Cf32], scale: f32) {
+        #[cfg(target_arch = "x86_64")]
+        if self.tier == SimdTier::Avx2 {
+            unsafe { crate::simd::conj_scale_avx2(data, scale) };
+            return;
+        }
+        for z in data.iter_mut() {
+            *z = z.conj().scale(scale);
+        }
+    }
+
+    /// Scalar reference butterflies for one bit-reversed transform.
+    fn butterflies_scalar(&self, data: &mut [Cf32]) {
+        let n = self.n;
         // Iterative DIT butterflies.
         let mut w = 1usize; // half-width of the current butterfly
         let mut tw_off = 0usize;
@@ -136,6 +320,75 @@ impl FftPlan {
             tw_off += w;
             w = stride;
         }
+    }
+}
+
+/// A fixed-batch handle over an [`FftPlan`]: `batch` independent size-`n`
+/// transforms, laid out back to back, executed through each stage
+/// together. This is the engine's "one symbol, B antennas" granularity —
+/// twiddle vectors are loaded once per butterfly block and applied to
+/// every antenna before moving on.
+#[derive(Debug, Clone)]
+pub struct FftBatchPlan {
+    plan: FftPlan,
+    batch: usize,
+}
+
+impl FftBatchPlan {
+    /// Builds a batch plan for `batch` transforms of size `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two or `batch` is zero.
+    pub fn new(n: usize, batch: usize) -> Self {
+        Self::with_tier(n, batch, SimdTier::detect())
+    }
+
+    /// Tier-pinned variant (see [`FftPlan::with_tier`]).
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two or `batch` is zero.
+    pub fn with_tier(n: usize, batch: usize, tier: SimdTier) -> Self {
+        assert!(batch > 0, "batch must be at least one transform");
+        Self { plan: FftPlan::with_tier(n, tier), batch }
+    }
+
+    /// The underlying single-transform plan.
+    pub fn plan(&self) -> &FftPlan {
+        &self.plan
+    }
+
+    /// Transforms per execution.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Total samples per execution (`batch * n`).
+    pub fn len(&self) -> usize {
+        self.batch * self.plan.len()
+    }
+
+    /// True only for a degenerate size-1, batch-amount-of-nothing plan;
+    /// construction enforces `batch >= 1` and `n >= 1`, so always `false`.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// In-place transform of exactly `batch` back-to-back transforms.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn execute(&self, data: &mut [Cf32], dir: Direction) {
+        assert_eq!(data.len(), self.len(), "buffer length must equal batch * plan size");
+        self.plan.execute_batch(data, dir);
+    }
+
+    /// Batched transform of input already in bit-reversed order.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn execute_prereversed(&self, data: &mut [Cf32], dir: Direction) {
+        assert_eq!(data.len(), self.len(), "buffer length must equal batch * plan size");
+        self.plan.execute_batch_prereversed(data, dir);
     }
 }
 
@@ -164,6 +417,19 @@ mod tests {
             let x = signal(n);
             let mut y = x.clone();
             FftPlan::new(n).execute(&mut y, Direction::Forward);
+            let y_ref = dft(&x);
+            let tol = 1e-3 * (n as f32).sqrt();
+            assert!(max_err(&y, &y_ref) < tol, "size {n} error too large");
+        }
+    }
+
+    #[test]
+    fn scalar_tier_matches_reference_dft_all_small_sizes() {
+        for log2 in 0..=10 {
+            let n = 1usize << log2;
+            let x = signal(n);
+            let mut y = x.clone();
+            FftPlan::with_tier(n, SimdTier::Scalar).execute(&mut y, Direction::Forward);
             let y_ref = dft(&x);
             let tol = 1e-3 * (n as f32).sqrt();
             assert!(max_err(&y, &y_ref) < tol, "size {n} error too large");
@@ -258,6 +524,64 @@ mod tests {
     }
 
     #[test]
+    fn plans_are_never_empty() {
+        assert!(!FftPlan::new(1).is_empty());
+        assert!(!FftPlan::new(2048).is_empty());
+        assert!(!FftBatchPlan::new(8, 4).is_empty());
+    }
+
+    #[test]
+    fn prereversed_matches_two_pass_execute() {
+        for &n in &[8usize, 64, 2048] {
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let plan = FftPlan::new(n);
+                let x = signal(n);
+                // Two-pass path: natural order in, permutation inside.
+                let mut two_pass = x.clone();
+                plan.execute(&mut two_pass, dir);
+                // Fused path: gather through the table, skip the pass.
+                let mut gathered: Vec<Cf32> =
+                    plan.bitrev().iter().map(|&j| x[j as usize]).collect();
+                plan.execute_prereversed(&mut gathered, dir);
+                assert!(
+                    max_err(&two_pass, &gathered) < 1e-6,
+                    "prereversed diverged at n={n} {dir:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_independent_transforms() {
+        let n = 256;
+        let batch = 5;
+        for dir in [Direction::Forward, Direction::Inverse] {
+            let plan = FftPlan::new(n);
+            let mut data: Vec<Cf32> = Vec::new();
+            for t in 0..batch {
+                data.extend(signal(n).iter().map(|z| z.scale(1.0 + t as f32 * 0.3)));
+            }
+            let mut expect = data.clone();
+            for chunk in expect.chunks_exact_mut(n) {
+                plan.execute(chunk, dir);
+            }
+            plan.execute_batch(&mut data, dir);
+            assert!(max_err(&expect, &data) < 1e-5, "batch diverged ({dir:?})");
+        }
+    }
+
+    #[test]
+    fn batch_plan_validates_length() {
+        let bp = FftBatchPlan::new(64, 3);
+        assert_eq!(bp.len(), 192);
+        assert_eq!(bp.batch(), 3);
+        assert_eq!(bp.plan().len(), 64);
+        let mut data = vec![Cf32::ONE; 192];
+        bp.execute(&mut data, Direction::Forward);
+        bp.execute_prereversed(&mut data, Direction::Inverse);
+    }
+
+    #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_rejected() {
         let _ = FftPlan::new(48);
@@ -270,12 +594,39 @@ mod tests {
         let mut x = vec![Cf32::ZERO; 4];
         plan.execute(&mut x, Direction::Forward);
     }
+
+    #[test]
+    #[should_panic(expected = "multiple of plan size")]
+    fn batch_length_must_be_multiple() {
+        let plan = FftPlan::new(8);
+        let mut x = vec![Cf32::ZERO; 12];
+        plan.execute_batch(&mut x, Direction::Forward);
+    }
 }
 
 #[cfg(test)]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Cf32> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                let mut next = || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    ((state >> 11) as f32 / (1u64 << 53) as f32) - 0.25
+                };
+                Cf32::new(next(), next())
+            })
+            .collect()
+    }
+
+    fn max_err(a: &[Cf32], b: &[Cf32]) -> f32 {
+        a.iter().zip(b.iter()).map(|(x, y)| (*x - *y).abs()).fold(0.0, f32::max)
+    }
 
     proptest! {
         #[test]
@@ -284,22 +635,80 @@ mod proptests {
             seed in any::<u64>(),
         ) {
             let n = 1usize << log2;
-            let mut state = seed | 1;
-            let x: Vec<Cf32> = (0..n).map(|_| {
-                let mut next = || {
-                    state ^= state << 13;
-                    state ^= state >> 7;
-                    state ^= state << 17;
-                    ((state >> 11) as f32 / (1u64 << 53) as f32) - 0.25
-                };
-                Cf32::new(next(), next())
-            }).collect();
+            let x = rand_signal(n, seed);
             let plan = FftPlan::new(n);
             let mut y = x.clone();
             plan.execute(&mut y, Direction::Forward);
             plan.execute(&mut y, Direction::Inverse);
             let err = x.iter().zip(y.iter()).map(|(a, b)| (*a - *b).abs()).fold(0.0f32, f32::max);
             prop_assert!(err < 1e-3);
+        }
+
+        /// Scalar-vs-detected-tier parity for single transforms, sizes
+        /// 8..=4096, both directions. On a scalar-only host this
+        /// degenerates to scalar-vs-scalar and trivially holds.
+        #[test]
+        fn tier_parity_single(
+            log2 in 3u32..13,
+            seed in any::<u64>(),
+            forward in any::<bool>(),
+        ) {
+            let n = 1usize << log2;
+            let dir = if forward { Direction::Forward } else { Direction::Inverse };
+            let x = rand_signal(n, seed);
+            let mut scalar = x.clone();
+            FftPlan::with_tier(n, SimdTier::Scalar).execute(&mut scalar, dir);
+            let mut simd = x;
+            FftPlan::with_tier(n, SimdTier::Avx2).execute(&mut simd, dir);
+            // Near-bit-exact: the vector stages do the same IEEE ops in the
+            // same order; only the multiply-free fused stages can differ in
+            // signed-zero handling.
+            let tol = 1e-4 * (n as f32).sqrt().max(1.0);
+            prop_assert!(max_err(&scalar, &simd) < tol, "tier divergence at n={n} {dir:?}");
+        }
+
+        /// Scalar-vs-detected-tier parity for the batched path, sizes
+        /// 8..=4096, both directions.
+        #[test]
+        fn tier_parity_batch(
+            log2 in 3u32..13,
+            batch in 1usize..5,
+            seed in any::<u64>(),
+            forward in any::<bool>(),
+        ) {
+            let n = 1usize << log2;
+            let dir = if forward { Direction::Forward } else { Direction::Inverse };
+            let x = rand_signal(n * batch, seed);
+            let mut scalar = x.clone();
+            FftBatchPlan::with_tier(n, batch, SimdTier::Scalar).execute(&mut scalar, dir);
+            let mut simd = x;
+            FftBatchPlan::with_tier(n, batch, SimdTier::Avx2).execute(&mut simd, dir);
+            let tol = 1e-4 * (n as f32).sqrt().max(1.0);
+            prop_assert!(
+                max_err(&scalar, &simd) < tol,
+                "batched tier divergence at n={n} b={batch} {dir:?}"
+            );
+        }
+
+        /// The batched executor must agree with running each transform
+        /// alone on the same tier (loop reordering, not math changes).
+        #[test]
+        fn batch_parity_with_single(
+            log2 in 3u32..12,
+            batch in 1usize..5,
+            seed in any::<u64>(),
+            forward in any::<bool>(),
+        ) {
+            let n = 1usize << log2;
+            let dir = if forward { Direction::Forward } else { Direction::Inverse };
+            let plan = FftPlan::new(n);
+            let mut batched = rand_signal(n * batch, seed);
+            let mut single = batched.clone();
+            for chunk in single.chunks_exact_mut(n) {
+                plan.execute(chunk, dir);
+            }
+            plan.execute_batch(&mut batched, dir);
+            prop_assert!(max_err(&single, &batched) < 1e-5);
         }
     }
 }

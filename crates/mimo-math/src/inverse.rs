@@ -52,12 +52,37 @@ pub fn invert(a: &CMat) -> Result<CMat, InvError> {
         return Err(InvError::NotSquare);
     }
     let n = a.rows();
-    if n == 0 {
-        return Ok(CMat::zeros(0, 0));
+    let mut work = CMat::zeros(n, n);
+    let mut out = CMat::zeros(n, n);
+    invert_into(a, &mut work, &mut out)?;
+    Ok(out)
+}
+
+/// [`invert`] into caller-owned storage: `work` is clobbered with the
+/// eliminated copy of `a`, `out` receives the inverse. Neither allocates,
+/// so hot paths (the per-subcarrier-group ZF task) can reuse scratch
+/// matrices across calls.
+///
+/// # Panics
+/// Panics if `work` or `out` is not the same shape as `a`.
+pub fn invert_into(a: &CMat, work: &mut CMat, out: &mut CMat) -> Result<(), InvError> {
+    if a.rows() != a.cols() {
+        return Err(InvError::NotSquare);
     }
-    // Augmented [A | I] in one buffer, eliminated in place.
-    let mut m = a.clone();
-    let mut inv = CMat::identity(n);
+    let n = a.rows();
+    assert_eq!(work.shape(), (n, n), "work matrix shape mismatch");
+    assert_eq!(out.shape(), (n, n), "output matrix shape mismatch");
+    if n == 0 {
+        return Ok(());
+    }
+    // Augmented [A | I] across the two buffers, eliminated in place.
+    work.copy_from(a);
+    let m = work;
+    let inv = out;
+    inv.as_mut_slice().fill(Cf32::ZERO);
+    for i in 0..n {
+        inv[(i, i)] = Cf32::ONE;
+    }
     let scale = m.as_slice().iter().map(|z| z.norm_sqr()).fold(0.0f32, f32::max).sqrt().max(1.0);
 
     for col in 0..n {
@@ -76,8 +101,8 @@ pub fn invert(a: &CMat) -> Result<CMat, InvError> {
             return Err(InvError::Singular { step: col });
         }
         if pivot_row != col {
-            swap_rows(&mut m, col, pivot_row);
-            swap_rows(&mut inv, col, pivot_row);
+            swap_rows(m, col, pivot_row);
+            swap_rows(inv, col, pivot_row);
         }
         // Normalise the pivot row.
         let pinv = m[(col, col)].inv();
@@ -104,7 +129,7 @@ pub fn invert(a: &CMat) -> Result<CMat, InvError> {
             }
         }
     }
-    Ok(inv)
+    Ok(())
 }
 
 /// Solves `A X = B` for `X` via LU decomposition with partial pivoting,
@@ -239,6 +264,18 @@ mod tests {
         assert!(prod.max_abs_diff(&CMat::identity(16)) < 1e-3);
         let prod2 = inv.matmul(&a);
         assert!(prod2.max_abs_diff(&CMat::identity(16)) < 1e-3);
+    }
+
+    #[test]
+    fn invert_into_matches_invert_and_reuses_scratch() {
+        let mut work = CMat::zeros(8, 8);
+        let mut out = CMat::zeros(8, 8);
+        for seed in [7u64, 21, 63] {
+            let a = well_conditioned(8, seed);
+            invert_into(&a, &mut work, &mut out).unwrap();
+            let expect = invert(&a).unwrap();
+            assert!(out.max_abs_diff(&expect) < 1e-6, "seed {seed}");
+        }
     }
 
     #[test]

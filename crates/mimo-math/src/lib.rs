@@ -31,9 +31,12 @@ pub mod svd;
 pub use cholesky::Cholesky;
 pub use complex::{Cf32, Cf64};
 pub use gemm::{gemm, gemm_fixed, gemv, Gemm, GemmKernel};
-pub use inverse::{invert, solve, InvError};
+pub use inverse::{invert, invert_into, solve, InvError};
 pub use matrix::CMat;
-pub use pinv::{cond_estimate, normalize_precoder, pinv, pinv_direct, pinv_svd, PinvMethod};
+pub use pinv::{
+    cond_estimate, normalize_precoder, normalize_precoder_in_place, pinv, pinv_direct, pinv_into,
+    pinv_svd, PinvMethod, PinvScratch,
+};
 pub use qr::{qr, Qr};
 pub use simd::SimdTier;
 pub use svd::{svd, Svd};

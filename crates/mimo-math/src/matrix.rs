@@ -111,9 +111,44 @@ impl CMat {
         CMat::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
     }
 
+    /// Transpose into a caller-owned matrix (no allocation).
+    ///
+    /// # Panics
+    /// Panics if `out` is not `cols x rows`.
+    pub fn transpose_into(&self, out: &mut CMat) {
+        assert_eq!(out.shape(), (self.cols, self.rows), "transpose_into shape mismatch");
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+    }
+
     /// Conjugate (Hermitian) transpose `A^H`.
     pub fn hermitian(&self) -> CMat {
         CMat::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
+    }
+
+    /// Hermitian transpose into a caller-owned matrix (no allocation).
+    ///
+    /// # Panics
+    /// Panics if `out` is not `cols x rows`.
+    pub fn hermitian_into(&self, out: &mut CMat) {
+        assert_eq!(out.shape(), (self.cols, self.rows), "hermitian_into shape mismatch");
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c].conj();
+            }
+        }
+    }
+
+    /// Copies another matrix's elements into this one (no allocation).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, src: &CMat) {
+        assert_eq!(self.shape(), src.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Element-wise conjugate `A*`.
@@ -166,8 +201,20 @@ impl CMat {
     /// # Panics
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &CMat) -> CMat {
-        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
         let mut out = CMat::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Self::matmul`] into a caller-owned output matrix (no allocation).
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.rows` or `out` is not
+    /// `self.rows x other.cols`.
+    pub fn matmul_into(&self, other: &CMat, out: &mut CMat) {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul_into shape mismatch");
+        out.data.fill(Cf32::ZERO);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
@@ -178,7 +225,6 @@ impl CMat {
                 }
             }
         }
-        out
     }
 
     /// Matrix-vector product `A x`.
@@ -220,20 +266,30 @@ impl CMat {
 
     /// Gram matrix `A^H A` (`cols x cols`, Hermitian positive semidefinite).
     pub fn gram(&self) -> CMat {
+        let mut g = CMat::zeros(self.cols, self.cols);
+        self.gram_into(&mut g);
+        g
+    }
+
+    /// [`Self::gram`] into a caller-owned output matrix (no allocation).
+    ///
+    /// # Panics
+    /// Panics if `out` is not `cols x cols`.
+    pub fn gram_into(&self, out: &mut CMat) {
         let n = self.cols;
-        let mut g = CMat::zeros(n, n);
+        assert_eq!(out.shape(), (n, n), "gram_into shape mismatch");
+        out.data.fill(Cf32::ZERO);
         // Accumulate row-by-row so the inner loops stream contiguously.
         for r in 0..self.rows {
             let row = self.row(r);
             for i in 0..n {
                 let ai = row[i].conj();
-                let grow = g.row_mut(i);
+                let grow = out.row_mut(i);
                 for (j, &aj) in row.iter().enumerate() {
                     grow[j] = ai.mul_add(aj, grow[j]);
                 }
             }
         }
-        g
     }
 }
 
@@ -350,6 +406,35 @@ mod tests {
         let a = CMat::zeros(2, 3);
         let b = CMat::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions() {
+        let a = sample();
+        let b = CMat::from_fn(2, 4, |r, c| Cf32::new(c as f32 - r as f32, 0.5));
+        let mut t = CMat::zeros(2, 3);
+        a.transpose_into(&mut t);
+        assert!(t.max_abs_diff(&a.transpose()) < 1e-7);
+        let mut h = CMat::zeros(2, 3);
+        a.hermitian_into(&mut h);
+        assert!(h.max_abs_diff(&a.hermitian()) < 1e-7);
+        let mut p = CMat::from_fn(3, 4, |_, _| Cf32::new(9.0, 9.0)); // stale contents
+        a.matmul_into(&b, &mut p);
+        assert!(p.max_abs_diff(&a.matmul(&b)) < 1e-6);
+        let mut g = CMat::from_fn(2, 2, |_, _| Cf32::ONE);
+        a.gram_into(&mut g);
+        assert!(g.max_abs_diff(&a.gram()) < 1e-6);
+        let mut c = CMat::zeros(3, 2);
+        c.copy_from(&a);
+        assert!(c.max_abs_diff(&a) < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn transpose_into_rejects_wrong_shape() {
+        let a = sample();
+        let mut out = CMat::zeros(3, 2);
+        a.transpose_into(&mut out);
     }
 
     #[test]

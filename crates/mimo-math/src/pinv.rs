@@ -13,7 +13,7 @@
 //! Both return a `K x M` matrix `W` such that `W H ≈ I_K`.
 
 use crate::complex::Cf32;
-use crate::inverse::{invert, InvError};
+use crate::inverse::{invert, invert_into, InvError};
 use crate::matrix::CMat;
 use crate::svd::svd;
 
@@ -58,20 +58,79 @@ pub fn pinv(h: &CMat, method: PinvMethod) -> CMat {
     }
 }
 
+/// Reusable scratch for [`pinv_into`]: the Hermitian transpose, Gram
+/// matrix, and Gauss-Jordan working set for one `M x K` channel shape.
+/// One instance per worker lets every ZF task run without touching the
+/// allocator (the SVD *fallback* still allocates — it is the degraded
+/// path for singular channels, not the steady state).
+#[derive(Debug, Clone)]
+pub struct PinvScratch {
+    /// `K x M` Hermitian transpose `H^H`.
+    hh: CMat,
+    /// `K x K` Gram matrix `H^H H`.
+    gram: CMat,
+    /// Gauss-Jordan elimination workspace.
+    gram_work: CMat,
+    /// `K x K` Gram inverse.
+    gram_inv: CMat,
+}
+
+impl PinvScratch {
+    /// Allocates scratch for `M x K` channels.
+    pub fn new(m: usize, k: usize) -> Self {
+        Self {
+            hh: CMat::zeros(k, m),
+            gram: CMat::zeros(k, k),
+            gram_work: CMat::zeros(k, k),
+            gram_inv: CMat::zeros(k, k),
+        }
+    }
+}
+
+/// [`pinv`] into a caller-owned `K x M` output through reusable scratch —
+/// the allocation-free route for hot paths. Semantics match [`pinv`]:
+/// the direct method falls back to SVD on a singular Gram matrix.
+///
+/// # Panics
+/// Panics if `out` or the scratch shapes don't match `h` (`M x K`).
+pub fn pinv_into(h: &CMat, method: PinvMethod, s: &mut PinvScratch, out: &mut CMat) {
+    let (m, k) = h.shape();
+    assert_eq!(out.shape(), (k, m), "pinv output must be K x M");
+    assert_eq!(s.hh.shape(), (k, m), "scratch shape mismatch");
+    if method == PinvMethod::Direct {
+        h.hermitian_into(&mut s.hh);
+        h.gram_into(&mut s.gram);
+        if invert_into(&s.gram, &mut s.gram_work, &mut s.gram_inv).is_ok() {
+            s.gram_inv.matmul_into(&s.hh, out);
+            return;
+        }
+    }
+    out.copy_from(&pinv_svd(h, 1e-5));
+}
+
 /// Normalises a downlink precoder so that no antenna (row of `W^H`, i.e.
 /// column of `W`) exceeds unit transmit power — the constant `c` in the
 /// paper's `W_zf = c * H^* (H^T H^*)^{-1}`.
 pub fn normalize_precoder(w: &CMat) -> CMat {
+    let mut out = w.clone();
+    normalize_precoder_in_place(&mut out);
+    out
+}
+
+/// [`normalize_precoder`] without the copy.
+pub fn normalize_precoder_in_place(w: &mut CMat) {
     // Per-antenna power = sum over users of |w_{k,m}|^2 for column m.
     let mut max_power = 0.0f32;
     for m in 0..w.cols() {
         let p: f32 = (0..w.rows()).map(|k| w[(k, m)].norm_sqr()).sum();
         max_power = max_power.max(p);
     }
-    if max_power <= 0.0 {
-        return w.clone();
+    if max_power > 0.0 {
+        let s = 1.0 / max_power.sqrt();
+        for z in w.as_mut_slice().iter_mut() {
+            *z = z.scale(s);
+        }
     }
-    w.scale(1.0 / max_power.sqrt())
 }
 
 /// Estimates the 2-norm condition number of `H` via its Gram matrix using
@@ -176,6 +235,38 @@ mod tests {
         let w = pinv(&h, PinvMethod::Direct); // falls back to SVD
         assert_eq!(w.shape(), (2, 8));
         assert!(w.all_finite());
+    }
+
+    #[test]
+    fn pinv_into_matches_pinv_both_methods_and_fallback() {
+        let h = rand_channel(16, 4, 8);
+        let mut s = PinvScratch::new(16, 4);
+        let mut out = CMat::zeros(4, 16);
+        for method in [PinvMethod::Direct, PinvMethod::Svd] {
+            pinv_into(&h, method, &mut s, &mut out);
+            assert!(out.max_abs_diff(&pinv(&h, method)) < 1e-6, "{method:?}");
+        }
+        // Rank-deficient channel: the scratch route must degrade to SVD
+        // exactly like the allocating route.
+        let base = rand_channel(8, 1, 4);
+        let bad = CMat::from_fn(8, 2, |r, _| base[(r, 0)]);
+        let mut s = PinvScratch::new(8, 2);
+        let mut out = CMat::zeros(2, 8);
+        pinv_into(&bad, PinvMethod::Direct, &mut s, &mut out);
+        assert!(out.max_abs_diff(&pinv(&bad, PinvMethod::Direct)) < 1e-6);
+    }
+
+    #[test]
+    fn normalize_in_place_matches_copying() {
+        let h = rand_channel(12, 3, 13);
+        let w = pinv_direct(&h).unwrap();
+        let mut inplace = w.clone();
+        normalize_precoder_in_place(&mut inplace);
+        assert!(inplace.max_abs_diff(&normalize_precoder(&w)) < 1e-7);
+        // All-zero precoder: no-op, no NaNs.
+        let mut z = CMat::zeros(3, 12);
+        normalize_precoder_in_place(&mut z);
+        assert!(z.all_finite());
     }
 
     #[test]

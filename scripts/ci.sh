@@ -17,6 +17,9 @@ cargo test --workspace -q
 echo "== decoder parity smoke =="
 cargo run --release -q -p agora-bench --bin decoder_parity
 
+echo "== fft parity smoke =="
+cargo run --release -q -p agora-bench --bin fft_parity
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
