@@ -1,0 +1,112 @@
+//! CI smoke: complex-GEMM tier parity. Deterministic (fixed seeds), fast
+//! (<1 s), exit code 1 on any violation — `scripts/ci.sh` runs it after
+//! the test suite as a release-build cross-check of the AVX2 GEMM plane's
+//! contract: `gemm`, `gemv`, and `gram` produce **bit-identical** results
+//! on the detected SIMD tier and the forced-scalar tier, for every shape
+//! class the kernels dispatch on (4-row blocks, masked column tails,
+//! scalar row remainders, packed k-tails).
+
+use agora_math::{Cf32, Gemm, SimdTier};
+
+fn fill(seed: u64, buf: &mut [Cf32]) {
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 11) as f32 / (1u64 << 53) as f32) - 0.25
+    };
+    for v in buf.iter_mut() {
+        *v = Cf32::new(next(), next());
+    }
+}
+
+fn bits(v: &[Cf32]) -> Vec<(u32, u32)> {
+    v.iter().map(|c| (c.re.to_bits(), c.im.to_bits())).collect()
+}
+
+fn main() {
+    let tier = SimdTier::detect();
+    println!("complex GEMM parity smoke (detected tier: {tier:?})");
+    let mut failures = 0usize;
+
+    // Shape sweep: engine shapes plus odd sizes that exercise every tail
+    // path (m%4 row remainders, n%4 masked columns, k%4 packed tails,
+    // n==1 gemv delegation).
+    let shapes: &[(usize, usize, usize)] = &[
+        (16, 64, 8),  // paper equalize (K, M, B)
+        (64, 16, 8),  // paper precode (M, K, B)
+        (8, 32, 8),
+        (4, 16, 8),
+        (16, 64, 1),  // gemv delegation
+        (5, 7, 3),    // everything-tail
+        (3, 9, 1),
+        (13, 13, 13),
+        (1, 1, 1),
+        (2, 33, 6),
+        (17, 4, 5),
+        (33, 65, 9),
+    ];
+    for &(m, k, n) in shapes {
+        let mut a = vec![Cf32::ZERO; m * k];
+        let mut b = vec![Cf32::ZERO; k * n];
+        fill((m * 131 + k * 17 + n) as u64, &mut a);
+        fill((m * 7 + k * 311 + n * 5) as u64, &mut b);
+        let mut c_scal = vec![Cf32::ZERO; m * n];
+        let mut c_simd = vec![Cf32::ZERO; m * n];
+        agora_math::gemm_with_tier(m, k, n, &a, &b, &mut c_scal, SimdTier::Scalar);
+        agora_math::gemm_with_tier(m, k, n, &a, &b, &mut c_simd, tier);
+        if bits(&c_scal) != bits(&c_simd) {
+            println!("FAIL gemm ({m},{k},{n}): tiers diverge");
+            failures += 1;
+        }
+        // The planned path must agree with the free function bit-for-bit.
+        let plan = Gemm::plan_with_tier(m, k, n, tier);
+        let mut c_plan = vec![Cf32::ZERO; m * n];
+        plan.run(&a, &b, &mut c_plan);
+        if bits(&c_plan) != bits(&c_scal) {
+            println!("FAIL plan ({m},{k},{n}) kernel {:?}: diverges from scalar", plan.kernel());
+            failures += 1;
+        }
+    }
+
+    // GEMV over shapes hitting the packed-panel TK tiling and tails.
+    for &(m, k) in
+        &[(16usize, 64usize), (64, 16), (4, 4), (5, 67), (1, 1), (3, 129), (31, 70), (8, 256)]
+    {
+        let mut a = vec![Cf32::ZERO; m * k];
+        let mut x = vec![Cf32::ZERO; k];
+        fill((m * 997 + k) as u64, &mut a);
+        fill((k * 13 + m) as u64, &mut x);
+        let mut y_scal = vec![Cf32::ZERO; m];
+        let mut y_simd = vec![Cf32::ZERO; m];
+        agora_math::gemv_with_tier(m, k, &a, &x, &mut y_scal, SimdTier::Scalar);
+        agora_math::gemv_with_tier(m, k, &a, &x, &mut y_simd, tier);
+        if bits(&y_scal) != bits(&y_simd) {
+            println!("FAIL gemv ({m},{k}): tiers diverge");
+            failures += 1;
+        }
+    }
+
+    // Gram (A^H A) over ZF shapes plus tails.
+    for &(rows, cols) in
+        &[(64usize, 16usize), (32, 8), (16, 4), (7, 5), (64, 15), (9, 9), (1, 3)]
+    {
+        let mut a = vec![Cf32::ZERO; rows * cols];
+        fill((rows * 53 + cols) as u64, &mut a);
+        let mut g_scal = vec![Cf32::ZERO; cols * cols];
+        let mut g_simd = vec![Cf32::ZERO; cols * cols];
+        agora_math::gram_with_tier(rows, cols, &a, &mut g_scal, SimdTier::Scalar);
+        agora_math::gram_with_tier(rows, cols, &a, &mut g_simd, tier);
+        if bits(&g_scal) != bits(&g_simd) {
+            println!("FAIL gram ({rows},{cols}): tiers diverge");
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        println!("gemm parity smoke: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("gemm parity smoke: OK ({} gemm, 8 gemv, 7 gram shapes)", shapes.len());
+}

@@ -46,6 +46,13 @@ pub struct Ablation {
     /// §4.2 "Matrix multiplication": shape-specialised GEMM kernels
     /// (the MKL-JIT analogue) vs the generic loop kernel.
     pub jit_gemm: bool,
+    /// AVX2 complex-GEMM plane: routes every beamforming product — the ZF
+    /// Gram/inverse chain, equalization GEMM/GEMV, downlink precoding —
+    /// through the register-tiled vector kernels in `agora-math`.
+    /// Disabled, the same products run the scalar kernels (planned or
+    /// generic per `jit_gemm`). The kernels are bit-identical across
+    /// tiers, so this toggles speed only — `FrameResult`s do not change.
+    pub simd_gemm: bool,
     /// Detector family computed by the ZF block.
     pub detector: DetectorKind,
     /// §4.3 "Real-time process": when *disabled*, the simulator injects
@@ -68,6 +75,7 @@ impl Default for Ablation {
             streaming_stores: true,
             pinv_method: PinvMethod::Direct,
             jit_gemm: true,
+            simd_gemm: true,
             detector: DetectorKind::ZeroForcing,
             realtime_process: true,
             quantized_decoder: false,

@@ -37,6 +37,9 @@ pub struct Kernels {
     /// Planned GEMM for precoding (`M x K x block`).
     pre_gemm: Gemm,
     simd: SimdTier,
+    /// Tier the beamforming matrix kernels (ZF pinv, equalize GEMV,
+    /// precode) dispatch to — `Scalar` when `ablation.simd_gemm` is off.
+    gemm_tier: SimdTier,
     /// Coded bits actually carried per (symbol, user).
     coded_bits: usize,
 }
@@ -99,10 +102,15 @@ impl Kernels {
         let pilots = PilotPlan::new(cell.pilot_scheme, cell.num_users, cell.num_data_sc);
         let rate_match = cell.ldpc.rate_match();
         let encoder = Encoder::new(cell.ldpc.base_graph, cell.ldpc.z);
+        // `simd_gemm` picks the SIMD tier of every beamforming product
+        // (bit-identical across tiers); `jit_gemm` keeps its Table 4
+        // meaning of dropping the planned equalize/precode kernels to the
+        // generic scalar loop.
+        let gemm_tier = if cfg.ablation.simd_gemm { SimdTier::cached() } else { SimdTier::Scalar };
         let (eq_gemm, pre_gemm) = if cfg.ablation.jit_gemm {
             (
-                Gemm::plan(geom.k, geom.m, geom.block),
-                Gemm::plan(geom.m, geom.k, geom.block),
+                Gemm::plan_with_tier(geom.k, geom.m, geom.block, gemm_tier),
+                Gemm::plan_with_tier(geom.m, geom.k, geom.block, gemm_tier),
             )
         } else {
             (
@@ -122,6 +130,7 @@ impl Kernels {
             eq_gemm,
             pre_gemm,
             simd: SimdTier::detect(),
+            gemm_tier,
             coded_bits,
         }
     }
@@ -150,7 +159,7 @@ impl Kernels {
             zf_h: CMat::zeros(g.m, g.k),
             zf_det: CMat::zeros(g.k, g.m),
             zf_pre: CMat::zeros(g.m, g.k),
-            zf_pinv: PinvScratch::new(g.m, g.k),
+            zf_pinv: PinvScratch::with_tier(g.m, g.k, self.gemm_tier),
         }
     }
 
@@ -422,12 +431,13 @@ impl Kernels {
                     for ant in 0..g.m {
                         s.ant_block[ant] = freq[fb.freq_strided_offset(g, ant, sc)];
                     }
-                    agora_math::gemv(
+                    agora_math::gemv_with_tier(
                         g.k,
                         g.m,
                         det_slice,
                         &s.ant_block[..g.m],
                         &mut s.user_block[..g.k],
+                        self.gemm_tier,
                     );
                     for user in 0..g.k {
                         s.strided_rows[user * g.zf_group + i] = s.user_block[user];

@@ -3,26 +3,66 @@
 //! Equalization and precoding multiply a fixed-size detector/precoder matrix
 //! against every data subcarrier of every symbol, so GEMM dominates the
 //! per-subcarrier cost after LDPC. The paper accelerates this with Intel
-//! MKL's JIT GEMM, which emits code specialised for the one `(M, K)` problem
-//! size the cell uses. Our analogue of "JIT" is monomorphisation:
-//! [`gemm_fixed`] is a const-generic kernel the compiler fully unrolls for
-//! the given shape, and [`Gemm`] caches the dispatch decision, falling back
-//! to the generic blocked kernel [`gemm`] for unusual shapes. The
-//! generic-vs-specialised gap is what Table 4's "JIT matrix multiplication"
-//! ablation row measures.
+//! MKL's JIT GEMM, which emits vectorized code specialised for the one
+//! `(M, K)` problem size the cell uses. This module reproduces both halves
+//! of that trick:
+//!
+//! * **Shape specialisation** ("JIT" analogue): [`gemm_fixed`] is a
+//!   const-generic kernel the compiler fully unrolls for the given shape,
+//!   and [`Gemm`] caches the dispatch decision at plan time. The
+//!   generic-vs-specialised gap is what Table 4's "JIT matrix
+//!   multiplication" ablation row measures.
+//! * **Vectorization**: on the AVX2 [`SimdTier`], [`gemm`], [`gemv`] and
+//!   [`gram`] route to the register-tiled kernels in `gemm_simd`, which are
+//!   bit-identical to the scalar references ([`gemm_scalar`],
+//!   [`gemv_scalar`], [`gram_scalar`]) — the engine's `simd_gemm` ablation
+//!   toggles speed, never results.
+//!
+//! The free functions dispatch on [`SimdTier::cached`]; `_with_tier`
+//! variants pin the tier for parity tests and ablations.
 
 use crate::complex::Cf32;
 use crate::matrix::CMat;
+use crate::simd::SimdTier;
 
-/// Generic row-major complex GEMM: `C = A * B`.
+/// Generic row-major complex GEMM: `C = A * B`, dispatched to the best
+/// kernel for the detected SIMD tier.
 ///
-/// `a` is `m x k`, `b` is `k x n`, `c` is `m x n`; all row-major. The loop
-/// order (i, p, j) streams `b` and `c` rows contiguously, which
-/// auto-vectorises well.
+/// `a` is `m x k`, `b` is `k x n`, `c` is `m x n`; all row-major.
 ///
 /// # Panics
 /// Panics if slice lengths do not match the shapes.
+#[inline]
 pub fn gemm(m: usize, k: usize, n: usize, a: &[Cf32], b: &[Cf32], c: &mut [Cf32]) {
+    gemm_with_tier(m, k, n, a, b, c, SimdTier::cached());
+}
+
+/// [`gemm`] with the dispatch tier pinned by the caller.
+pub fn gemm_with_tier(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[Cf32],
+    b: &[Cf32],
+    c: &mut [Cf32],
+    tier: SimdTier,
+) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(c.len(), m * n, "C shape mismatch");
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { crate::gemm_simd::gemm_avx2(m, k, n, a, b, c) },
+        _ => gemm_scalar(m, k, n, a, b, c),
+    }
+}
+
+/// Scalar reference GEMM. The loop order (i, p, j) streams `b` and `c`
+/// rows contiguously; the AVX2 kernels reproduce its results bit for bit.
+///
+/// # Panics
+/// Panics if slice lengths do not match the shapes.
+pub fn gemm_scalar(m: usize, k: usize, n: usize, a: &[Cf32], b: &[Cf32], c: &mut [Cf32]) {
     assert_eq!(a.len(), m * k, "A shape mismatch");
     assert_eq!(b.len(), k * n, "B shape mismatch");
     assert_eq!(c.len(), m * n, "C shape mismatch");
@@ -42,6 +82,7 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[Cf32], b: &[Cf32], c: &mut [Cf32]
 /// Shape-specialised GEMM. The compiler monomorphises one copy per `(M, K,
 /// N)` triple used in the program and unrolls the inner loops — the moral
 /// equivalent of MKL's JIT-generated kernel for a fixed problem size.
+/// Accumulation order matches [`gemm_scalar`], so results are bit-equal.
 ///
 /// # Panics
 /// Panics if slice lengths do not match the const shapes.
@@ -70,9 +111,33 @@ pub fn gemm_fixed<const M: usize, const K: usize, const N: usize>(
 
 /// GEMV specialised for the equalizer hot path: `y = A x` where `A` is
 /// `m x k` row-major. Used when the "B" operand is a single subcarrier's
-/// antenna vector.
+/// antenna vector. Dispatches on the detected SIMD tier.
 #[inline]
 pub fn gemv(m: usize, k: usize, a: &[Cf32], x: &[Cf32], y: &mut [Cf32]) {
+    gemv_with_tier(m, k, a, x, y, SimdTier::cached());
+}
+
+/// [`gemv`] with the dispatch tier pinned by the caller.
+pub fn gemv_with_tier(
+    m: usize,
+    k: usize,
+    a: &[Cf32],
+    x: &[Cf32],
+    y: &mut [Cf32],
+    tier: SimdTier,
+) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(x.len(), k, "x length mismatch");
+    assert_eq!(y.len(), m, "y length mismatch");
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { crate::gemm_simd::gemv_avx2(m, k, a, x, y) },
+        _ => gemv_scalar(m, k, a, x, y),
+    }
+}
+
+/// Scalar reference GEMV (one sequential dot product per row).
+pub fn gemv_scalar(m: usize, k: usize, a: &[Cf32], x: &[Cf32], y: &mut [Cf32]) {
     assert_eq!(a.len(), m * k, "A shape mismatch");
     assert_eq!(x.len(), k, "x length mismatch");
     assert_eq!(y.len(), m, "y length mismatch");
@@ -86,18 +151,59 @@ pub fn gemv(m: usize, k: usize, a: &[Cf32], x: &[Cf32], y: &mut [Cf32]) {
     }
 }
 
+/// Gram matrix `out = A^H A` over row-major slices: `a` is `rows x cols`,
+/// `out` is `cols x cols`. This is the ZF pseudo-inverse's first product.
+/// Dispatches on the detected SIMD tier.
+#[inline]
+pub fn gram(rows: usize, cols: usize, a: &[Cf32], out: &mut [Cf32]) {
+    gram_with_tier(rows, cols, a, out, SimdTier::cached());
+}
+
+/// [`gram`] with the dispatch tier pinned by the caller.
+pub fn gram_with_tier(rows: usize, cols: usize, a: &[Cf32], out: &mut [Cf32], tier: SimdTier) {
+    assert_eq!(a.len(), rows * cols, "A shape mismatch");
+    assert_eq!(out.len(), cols * cols, "Gram output shape mismatch");
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { crate::gemm_simd::gram_avx2(rows, cols, a, out) },
+        _ => gram_scalar(rows, cols, a, out),
+    }
+}
+
+/// Scalar reference Gram product. Accumulates row-by-row so the inner
+/// loops stream contiguously.
+pub fn gram_scalar(rows: usize, cols: usize, a: &[Cf32], out: &mut [Cf32]) {
+    assert_eq!(a.len(), rows * cols, "A shape mismatch");
+    assert_eq!(out.len(), cols * cols, "Gram output shape mismatch");
+    out.fill(Cf32::ZERO);
+    for r in 0..rows {
+        let row = &a[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            let ai = row[i].conj();
+            let grow = &mut out[i * cols..(i + 1) * cols];
+            for (gj, &aj) in grow.iter_mut().zip(row.iter()) {
+                *gj = ai.mul_add(aj, *gj);
+            }
+        }
+    }
+}
+
 /// Which kernel a [`Gemm`] plan selected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GemmKernel {
-    /// Generic three-loop kernel, any shape.
+    /// Generic three-loop scalar kernel, any shape.
     Generic,
-    /// Monomorphised fixed-shape kernel ("JIT" analogue).
+    /// Monomorphised fixed-shape scalar kernel ("JIT" analogue).
     Specialized,
+    /// Register-tiled AVX2 kernel (any shape, bit-equal to the others).
+    Avx2,
 }
 
-/// A small "planned GEMM" wrapper: resolves at construction whether a
-/// specialised kernel exists for the problem shape, mirroring MKL's
-/// `mkl_jit_create_cgemm` + `mkl_jit_get_cgemm_ptr` flow.
+/// A small "planned GEMM" wrapper: resolves at construction which kernel
+/// serves the problem shape — mirroring MKL's `mkl_jit_create_cgemm` +
+/// `mkl_jit_get_cgemm_ptr` flow — *and* pins the SIMD tier, so the
+/// equalize/precode inner loops pay no per-call feature detection or
+/// shape-table probe.
 #[derive(Debug, Clone, Copy)]
 pub struct Gemm {
     m: usize,
@@ -107,22 +213,33 @@ pub struct Gemm {
     /// Allows ablations to force the generic path even when a specialised
     /// kernel exists (Table 4, "JIT matmul disabled").
     force_generic: bool,
+    tier: SimdTier,
 }
 
 impl Gemm {
-    /// Plans a GEMM for `m x k times k x n`.
+    /// Plans a GEMM for `m x k times k x n` on the detected tier.
     pub fn plan(m: usize, k: usize, n: usize) -> Self {
-        let kernel = if dispatch_fixed(m, k, n, None, None, None).is_some() {
+        Self::plan_with_tier(m, k, n, SimdTier::cached())
+    }
+
+    /// Plans a GEMM with the dispatch tier pinned by the caller: AVX2
+    /// takes the vector kernel; the scalar tier picks the monomorphised
+    /// kernel when the shape is in the table, the generic loop otherwise.
+    pub fn plan_with_tier(m: usize, k: usize, n: usize, tier: SimdTier) -> Self {
+        let kernel = if tier == SimdTier::Avx2 && cfg!(target_arch = "x86_64") {
+            GemmKernel::Avx2
+        } else if dispatch_fixed(m, k, n, None, None, None).is_some() {
             GemmKernel::Specialized
         } else {
             GemmKernel::Generic
         };
-        Self { m, k, n, kernel, force_generic: false }
+        Self { m, k, n, kernel, force_generic: false, tier }
     }
 
-    /// Plans a GEMM but pins it to the generic kernel (for ablations).
+    /// Plans a GEMM but pins it to the generic scalar kernel (the Table 4
+    /// "JIT matmul disabled" floor).
     pub fn plan_generic(m: usize, k: usize, n: usize) -> Self {
-        Self { m, k, n, kernel: GemmKernel::Generic, force_generic: true }
+        Self { m, k, n, kernel: GemmKernel::Generic, force_generic: true, tier: SimdTier::Scalar }
     }
 
     /// The kernel this plan resolved to.
@@ -134,15 +251,28 @@ impl Gemm {
         }
     }
 
+    /// The SIMD tier this plan was built for.
+    pub fn tier(&self) -> SimdTier {
+        self.tier
+    }
+
     /// Executes `C = A * B`.
     #[inline]
     pub fn run(&self, a: &[Cf32], b: &[Cf32], c: &mut [Cf32]) {
+        #[cfg(target_arch = "x86_64")]
+        if self.kernel() == GemmKernel::Avx2 {
+            assert_eq!(a.len(), self.m * self.k, "A shape mismatch");
+            assert_eq!(b.len(), self.k * self.n, "B shape mismatch");
+            assert_eq!(c.len(), self.m * self.n, "C shape mismatch");
+            unsafe { crate::gemm_simd::gemm_avx2(self.m, self.k, self.n, a, b, c) };
+            return;
+        }
         if self.kernel() == GemmKernel::Specialized
             && dispatch_fixed(self.m, self.k, self.n, Some(a), Some(b), Some(c)).is_some()
         {
             return;
         }
-        gemm(self.m, self.k, self.n, a, b, c);
+        gemm_scalar(self.m, self.k, self.n, a, b, c);
     }
 
     /// Convenience wrapper over [`CMat`] operands.
@@ -237,6 +367,10 @@ mod tests {
         })
     }
 
+    fn bits(c: &[Cf32]) -> Vec<(u32, u32)> {
+        c.iter().map(|z| (z.re.to_bits(), z.im.to_bits())).collect()
+    }
+
     #[test]
     fn generic_matches_naive() {
         let a = rand_mat(5, 7, 1);
@@ -254,24 +388,36 @@ mod tests {
         let b = rand_mat(64, 8, 4);
         let mut c1 = vec![Cf32::ZERO; 16 * 8];
         let mut c2 = vec![Cf32::ZERO; 16 * 8];
-        gemm(16, 64, 8, a.as_slice(), b.as_slice(), &mut c1);
+        gemm_scalar(16, 64, 8, a.as_slice(), b.as_slice(), &mut c1);
         gemm_fixed::<16, 64, 8>(a.as_slice(), b.as_slice(), &mut c2);
-        for (x, y) in c1.iter().zip(c2.iter()) {
-            assert!((*x - *y).abs() < 1e-3);
-        }
+        // The monomorphised kernel shares the scalar association: bit-equal.
+        assert_eq!(bits(&c1), bits(&c2));
     }
 
     #[test]
     fn plan_selects_specialized_for_known_shapes() {
-        assert_eq!(Gemm::plan(16, 64, 8).kernel(), GemmKernel::Specialized);
-        assert_eq!(Gemm::plan(16, 64, 1).kernel(), GemmKernel::Specialized);
-        assert_eq!(Gemm::plan(17, 64, 8).kernel(), GemmKernel::Generic);
+        let t = SimdTier::Scalar;
+        assert_eq!(Gemm::plan_with_tier(16, 64, 8, t).kernel(), GemmKernel::Specialized);
+        assert_eq!(Gemm::plan_with_tier(16, 64, 1, t).kernel(), GemmKernel::Specialized);
+        assert_eq!(Gemm::plan_with_tier(17, 64, 8, t).kernel(), GemmKernel::Generic);
+    }
+
+    #[test]
+    fn plan_caches_tier_at_plan_time() {
+        let g = Gemm::plan_with_tier(16, 64, 8, SimdTier::Scalar);
+        assert_eq!(g.tier(), SimdTier::Scalar);
+        let auto = Gemm::plan(16, 64, 8);
+        assert_eq!(auto.tier(), SimdTier::cached());
+        if SimdTier::cached() == SimdTier::Avx2 {
+            assert_eq!(auto.kernel(), GemmKernel::Avx2);
+        }
     }
 
     #[test]
     fn plan_generic_forces_generic() {
         let g = Gemm::plan_generic(16, 64, 8);
         assert_eq!(g.kernel(), GemmKernel::Generic);
+        assert_eq!(g.tier(), SimdTier::Scalar);
     }
 
     #[test]
@@ -281,6 +427,20 @@ mod tests {
         let plan = Gemm::plan(16, 64, 8);
         let c = plan.run_mat(&a, &b);
         assert!(c.max_abs_diff(&a.matmul(&b)) < 1e-3);
+    }
+
+    #[test]
+    fn all_plan_kernels_bit_agree() {
+        let a = rand_mat(16, 64, 9);
+        let b = rand_mat(64, 8, 10);
+        let mut generic = vec![Cf32::ZERO; 16 * 8];
+        let mut special = vec![Cf32::ZERO; 16 * 8];
+        let mut tiered = vec![Cf32::ZERO; 16 * 8];
+        Gemm::plan_generic(16, 64, 8).run(a.as_slice(), b.as_slice(), &mut generic);
+        Gemm::plan_with_tier(16, 64, 8, SimdTier::Scalar).run(a.as_slice(), b.as_slice(), &mut special);
+        Gemm::plan(16, 64, 8).run(a.as_slice(), b.as_slice(), &mut tiered);
+        assert_eq!(bits(&generic), bits(&special));
+        assert_eq!(bits(&generic), bits(&tiered));
     }
 
     #[test]
@@ -296,11 +456,100 @@ mod tests {
     }
 
     #[test]
+    fn gram_free_fn_matches_method() {
+        let a = rand_mat(12, 5, 11);
+        let mut g = vec![Cf32::ZERO; 25];
+        gram(12, 5, a.as_slice(), &mut g);
+        let g_ref = a.gram();
+        assert_eq!(bits(&g), bits(g_ref.as_slice()));
+    }
+
+    #[test]
     fn zero_inputs_give_zero_output() {
         let a = vec![Cf32::ZERO; 4 * 4];
         let b = vec![Cf32::ZERO; 4 * 4];
         let mut c = vec![Cf32::ONE; 16];
         gemm(4, 4, 4, &a, &b, &mut c);
         assert!(c.iter().all(|z| *z == Cf32::ZERO));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fill(len: usize, seed: u64) -> Vec<Cf32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                let mut next = || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    ((state >> 11) as f32 / (1u64 << 53) as f32) * 4.0 - 1.0
+                };
+                Cf32::new(next(), next())
+            })
+            .collect()
+    }
+
+    fn bits(c: &[Cf32]) -> Vec<(u32, u32)> {
+        c.iter().map(|z| (z.re.to_bits(), z.im.to_bits())).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Scalar and AVX2 GEMM agree to the bit over the engine's shape
+        /// range, including non-multiple-of-4 row/column tails.
+        #[test]
+        fn gemm_tier_parity(m in 4usize..64, k in 4usize..64, n in 1usize..12, seed in 0u64..1024) {
+            let a = fill(m * k, seed);
+            let b = fill(k * n, seed ^ 0xABCD);
+            let mut c_scalar = vec![Cf32::ZERO; m * n];
+            let mut c_simd = vec![Cf32::ONE; m * n]; // stale contents must be overwritten
+            gemm_with_tier(m, k, n, &a, &b, &mut c_scalar, SimdTier::Scalar);
+            gemm_with_tier(m, k, n, &a, &b, &mut c_simd, SimdTier::detect());
+            prop_assert_eq!(bits(&c_scalar), bits(&c_simd));
+        }
+
+        /// Scalar and AVX2 GEMV agree to the bit, including `m % 4` tail
+        /// rows and packing-tile (`k > 64`) boundaries.
+        #[test]
+        fn gemv_tier_parity(m in 1usize..80, k in 1usize..80, seed in 0u64..1024) {
+            let a = fill(m * k, seed);
+            let x = fill(k, seed ^ 0x5u64);
+            let mut y_scalar = vec![Cf32::ZERO; m];
+            let mut y_simd = vec![Cf32::ONE; m];
+            gemv_with_tier(m, k, &a, &x, &mut y_scalar, SimdTier::Scalar);
+            gemv_with_tier(m, k, &a, &x, &mut y_simd, SimdTier::detect());
+            prop_assert_eq!(bits(&y_scalar), bits(&y_simd));
+        }
+
+        /// Scalar and AVX2 Gram products agree to the bit (conjugation via
+        /// sign-flipped broadcast).
+        #[test]
+        fn gram_tier_parity(rows in 4usize..64, cols in 4usize..64, seed in 0u64..1024) {
+            let a = fill(rows * cols, seed);
+            let mut g_scalar = vec![Cf32::ZERO; cols * cols];
+            let mut g_simd = vec![Cf32::ONE; cols * cols];
+            gram_with_tier(rows, cols, &a, &mut g_scalar, SimdTier::Scalar);
+            gram_with_tier(rows, cols, &a, &mut g_simd, SimdTier::detect());
+            prop_assert_eq!(bits(&g_scalar), bits(&g_simd));
+        }
+
+        /// Planned AVX2 execution equals the scalar planned kernel bit for
+        /// bit on arbitrary (unspecialised) shapes too.
+        #[test]
+        fn plan_tier_parity(m in 1usize..40, k in 1usize..40, n in 1usize..12, seed in 0u64..1024) {
+            let a = fill(m * k, seed);
+            let b = fill(k * n, seed ^ 0xF00D);
+            let mut c_scalar = vec![Cf32::ZERO; m * n];
+            let mut c_simd = vec![Cf32::ZERO; m * n];
+            Gemm::plan_with_tier(m, k, n, SimdTier::Scalar).run(&a, &b, &mut c_scalar);
+            Gemm::plan_with_tier(m, k, n, SimdTier::detect()).run(&a, &b, &mut c_simd);
+            prop_assert_eq!(bits(&c_scalar), bits(&c_simd));
+        }
     }
 }

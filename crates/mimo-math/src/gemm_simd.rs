@@ -1,0 +1,325 @@
+//! AVX2 complex-GEMM microkernels: the vectorized plane behind
+//! [`crate::gemm`]'s tier dispatch.
+//!
+//! The paper serves the beamforming matrix work (ZF Gram products,
+//! per-subcarrier equalization, downlink precoding) with MKL's JIT cgemm,
+//! which emits AVX-512 code for the one shape a cell uses. These kernels
+//! are the AVX2 analogue: interleaved `[re im re im ...]` `__m256` lanes (4
+//! complex samples per register), register-tiled over 4 rows x 8 columns,
+//! with `vmaskmov` tails for non-multiple-of-4 column counts and the PR 3
+//! in-register 4x4 transpose microkernel packing GEMV row panels.
+//!
+//! **Bit parity contract.** Every kernel reproduces the scalar reference
+//! ([`crate::gemm::gemm_scalar`] / [`gemv_scalar`](crate::gemm::gemv_scalar)
+//! / [`gram_scalar`](crate::gemm::gram_scalar)) *bit for bit*, so the
+//! engine's `simd_gemm` ablation is a pure speed toggle. That pins three
+//! choices:
+//!
+//! * no hardware FMA — [`Cf32::mul_add`] is an unfused multiply-then-add,
+//!   so the vector path uses separate `vmulps` + `vaddsubps`/`vaddps`;
+//! * the complex MAC is `addsub(b * re(a), swap(b) * im(a))`, whose even
+//!   lanes compute `a.re*b.re - a.im*b.im` and odd lanes
+//!   `a.re*b.im + a.im*b.re` — the exact products (and, up to the
+//!   commutativity of IEEE addition, the exact sums) of the scalar path;
+//! * accumulation over the inner dimension is strictly sequential — one
+//!   accumulator per output element, never a lane reduction — matching the
+//!   scalar loop's association.
+
+#![cfg(target_arch = "x86_64")]
+// The microkernels are written in the classic register-tile idiom:
+// pointer-and-stride arguments and `0..R` index loops over const-generic
+// accumulator arrays, which clippy's iterator/argument lints dislike but
+// which keeps the code shaped like the registers it allocates.
+#![allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+
+use crate::complex::Cf32;
+use core::arch::x86_64::*;
+
+/// Rows per register tile.
+const MR: usize = 4;
+/// Complex columns per `__m256`.
+const NR: usize = 4;
+/// GEMV packing depth: the 4-row panel is transposed into an L1-resident
+/// scratch this many columns at a time.
+const TK: usize = 64;
+
+/// `_mm256_permute_ps` immediate that swaps re/im within each pair.
+const SWAP_RE_IM: i32 = 0b1011_0001;
+
+/// Broadcasts one complex sample (8 bytes) to all four pairs of a
+/// `__m256`. Goes through an integer load so no unaligned `f64` reference
+/// is ever formed (`Cf32` is only 4-byte aligned).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn bcast_pair(p: *const Cf32) -> __m256 {
+    _mm256_castsi256_ps(_mm256_broadcastq_epi64(_mm_loadu_si64(p as *const u8)))
+}
+
+/// Lane mask selecting the first `t` complex samples (`2t` f32 lanes) of a
+/// register; `t = 0` selects nothing.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn tail_mask(t: usize) -> __m256i {
+    let idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    _mm256_cmpgt_epi32(_mm256_set1_epi32((2 * t) as i32), idx)
+}
+
+/// One complex multiply-accumulate: `acc + broadcast(a) * bv`, where `bv`
+/// holds 4 complex samples, `bs` is `bv` with re/im swapped, and
+/// `ar`/`ai` are the broadcast real/imaginary parts of the scalar operand.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn cmac(acc: __m256, bv: __m256, bs: __m256, ar: __m256, ai: __m256) -> __m256 {
+    let t = _mm256_addsub_ps(_mm256_mul_ps(bv, ar), _mm256_mul_ps(bs, ai));
+    _mm256_add_ps(acc, t)
+}
+
+/// Register tile: `R` rows of A (row stride `lda`) times `4*C` columns of
+/// B (row stride `ldb`), accumulated over `k` and stored to C (row stride
+/// `ldc`). `R <= 4`, `C <= 2` keeps `R*C + 2*C` accumulator/operand
+/// registers inside the 16-register budget.
+#[target_feature(enable = "avx2")]
+unsafe fn tile<const R: usize, const C: usize>(
+    a: *const Cf32,
+    lda: usize,
+    b: *const Cf32,
+    ldb: usize,
+    k: usize,
+    c: *mut Cf32,
+    ldc: usize,
+) {
+    let mut acc = [[_mm256_setzero_ps(); C]; R];
+    for p in 0..k {
+        let mut bv = [_mm256_setzero_ps(); C];
+        let mut bs = [_mm256_setzero_ps(); C];
+        for q in 0..C {
+            bv[q] = _mm256_loadu_ps(b.add(p * ldb + NR * q) as *const f32);
+            bs[q] = _mm256_permute_ps(bv[q], SWAP_RE_IM);
+        }
+        for r in 0..R {
+            let pair = bcast_pair(a.add(r * lda + p));
+            let ar = _mm256_moveldup_ps(pair);
+            let ai = _mm256_movehdup_ps(pair);
+            for q in 0..C {
+                acc[r][q] = cmac(acc[r][q], bv[q], bs[q], ar, ai);
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        for (q, v) in row.iter().enumerate() {
+            _mm256_storeu_ps(c.add(r * ldc + NR * q) as *mut f32, *v);
+        }
+    }
+}
+
+/// Masked column-tail tile: like [`tile`] with `C = 1`, but loads/stores
+/// only the `n % 4` live columns through `vmaskmov`.
+#[target_feature(enable = "avx2")]
+unsafe fn tile_masked<const R: usize>(
+    a: *const Cf32,
+    lda: usize,
+    b: *const Cf32,
+    ldb: usize,
+    k: usize,
+    c: *mut Cf32,
+    ldc: usize,
+    mask: __m256i,
+) {
+    let mut acc = [_mm256_setzero_ps(); R];
+    for p in 0..k {
+        let bv = _mm256_maskload_ps(b.add(p * ldb) as *const f32, mask);
+        let bs = _mm256_permute_ps(bv, SWAP_RE_IM);
+        for r in 0..R {
+            let pair = bcast_pair(a.add(r * lda + p));
+            let ar = _mm256_moveldup_ps(pair);
+            let ai = _mm256_movehdup_ps(pair);
+            acc[r] = cmac(acc[r], bv, bs, ar, ai);
+        }
+    }
+    for (r, v) in acc.iter().enumerate() {
+        _mm256_maskstore_ps(c.add(r * ldc) as *mut f32, mask, *v);
+    }
+}
+
+/// AVX2 `C = A * B` for row-major complex operands, bit-identical to
+/// [`crate::gemm::gemm_scalar`].
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and that slice lengths match
+/// the `m x k * k x n` shapes (checked by the public dispatch wrappers).
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn gemm_avx2(m: usize, k: usize, n: usize, a: &[Cf32], b: &[Cf32], c: &mut [Cf32]) {
+    if n == 1 {
+        // Column vector: B is contiguous, so this is exactly a GEMV.
+        gemv_avx2(m, k, a, b, c);
+        return;
+    }
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let cp = c.as_mut_ptr();
+    let tail = n % NR;
+    let n4 = n - tail;
+    let mask = tail_mask(tail);
+    let mut i = 0;
+    while i + MR <= m {
+        let arow = ap.add(i * k);
+        let crow = cp.add(i * n);
+        let mut j = 0;
+        while j + 2 * NR <= n4 {
+            tile::<MR, 2>(arow, k, bp.add(j), n, k, crow.add(j), n);
+            j += 2 * NR;
+        }
+        while j + NR <= n4 {
+            tile::<MR, 1>(arow, k, bp.add(j), n, k, crow.add(j), n);
+            j += NR;
+        }
+        if tail != 0 {
+            tile_masked::<MR>(arow, k, bp.add(j), n, k, crow.add(j), n, mask);
+        }
+        i += MR;
+    }
+    while i < m {
+        let arow = ap.add(i * k);
+        let crow = cp.add(i * n);
+        let mut j = 0;
+        while j + 2 * NR <= n4 {
+            tile::<1, 2>(arow, k, bp.add(j), n, k, crow.add(j), n);
+            j += 2 * NR;
+        }
+        while j + NR <= n4 {
+            tile::<1, 1>(arow, k, bp.add(j), n, k, crow.add(j), n);
+            j += NR;
+        }
+        if tail != 0 {
+            tile_masked::<1>(arow, k, bp.add(j), n, k, crow.add(j), n, mask);
+        }
+        i += 1;
+    }
+}
+
+/// Transposes an `MR x tk` panel of A (row stride `lda`) into `tk x MR`
+/// column-interleaved scratch, via the 4x4 in-register transpose
+/// microkernel for full blocks and scalar moves for the `tk % 4` edge.
+#[target_feature(enable = "avx2")]
+unsafe fn pack_panel(a: *const Cf32, lda: usize, tk: usize, dst: *mut Cf32) {
+    let full = tk & !3;
+    let mut p = 0;
+    while p < full {
+        crate::simd::transpose_4x4_avx2(a.add(p), lda, dst.add(p * MR), MR);
+        p += 4;
+    }
+    while p < tk {
+        for r in 0..MR {
+            *dst.add(p * MR + r) = *a.add(r * lda + p);
+        }
+        p += 1;
+    }
+}
+
+/// AVX2 `y = A x`, bit-identical to [`crate::gemm::gemv_scalar`].
+///
+/// Vectorizes *across* four output rows (the sequential-accumulation
+/// parity contract forbids splitting the dot product over lanes): each
+/// 4-row panel of A is transposed into column-interleaved scratch, after
+/// which every step of the dot product is one contiguous load + complex
+/// MAC for all four rows at once. Leftover rows run the scalar loop.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and that slice lengths match
+/// (checked by the public dispatch wrappers).
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn gemv_avx2(m: usize, k: usize, a: &[Cf32], x: &[Cf32], y: &mut [Cf32]) {
+    let ap = a.as_ptr();
+    let xp = x.as_ptr();
+    let mut pack = [Cf32::ZERO; MR * TK];
+    let mut i = 0;
+    while i + MR <= m {
+        let mut acc = _mm256_setzero_ps();
+        let mut p0 = 0;
+        while p0 < k {
+            let tk = TK.min(k - p0);
+            pack_panel(ap.add(i * k + p0), k, tk, pack.as_mut_ptr());
+            for p in 0..tk {
+                let av = _mm256_loadu_ps(pack.as_ptr().add(p * MR) as *const f32);
+                let asw = _mm256_permute_ps(av, SWAP_RE_IM);
+                let pair = bcast_pair(xp.add(p0 + p));
+                let xr = _mm256_moveldup_ps(pair);
+                let xi = _mm256_movehdup_ps(pair);
+                acc = cmac(acc, av, asw, xr, xi);
+            }
+            p0 += tk;
+        }
+        _mm256_storeu_ps(y.as_mut_ptr().add(i) as *mut f32, acc);
+        i += MR;
+    }
+    for r in i..m {
+        let row = &a[r * k..(r + 1) * k];
+        let mut s = Cf32::ZERO;
+        for (&aij, &xj) in row.iter().zip(x.iter()) {
+            s = aij.mul_add(xj, s);
+        }
+        y[r] = s;
+    }
+}
+
+/// AVX2 Gram matrix `out = A^H A` (`cols x cols`), bit-identical to
+/// [`crate::gemm::gram_scalar`]. Conjugation costs one sign flip on the
+/// broadcast imaginary part; the column loads stay contiguous.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and that slice lengths match
+/// (checked by the public dispatch wrappers).
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn gram_avx2(rows: usize, cols: usize, a: &[Cf32], out: &mut [Cf32]) {
+    let ap = a.as_ptr();
+    let op = out.as_mut_ptr();
+    let tail = cols % NR;
+    let n4 = cols - tail;
+    let mask = tail_mask(tail);
+    for i in 0..cols {
+        let orow = op.add(i * cols);
+        let mut j = 0;
+        while j + NR <= n4 {
+            let acc = gram_col(ap, rows, cols, i, j, false, mask);
+            _mm256_storeu_ps(orow.add(j) as *mut f32, acc);
+            j += NR;
+        }
+        if tail != 0 {
+            let acc = gram_col(ap, rows, cols, i, j, true, mask);
+            _mm256_maskstore_ps(orow.add(j) as *mut f32, mask, acc);
+        }
+    }
+}
+
+/// One 4-column strip of the Gram matrix row `i`, accumulated over all
+/// `rows` of A in the scalar kernel's row-major order.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn gram_col(
+    a: *const Cf32,
+    rows: usize,
+    cols: usize,
+    i: usize,
+    j: usize,
+    masked: bool,
+    mask: __m256i,
+) -> __m256 {
+    let neg = _mm256_set1_ps(-0.0);
+    let mut acc = _mm256_setzero_ps();
+    for r in 0..rows {
+        let base = a.add(r * cols);
+        let bv = if masked {
+            _mm256_maskload_ps(base.add(j) as *const f32, mask)
+        } else {
+            _mm256_loadu_ps(base.add(j) as *const f32)
+        };
+        let bs = _mm256_permute_ps(bv, SWAP_RE_IM);
+        let pair = bcast_pair(base.add(i));
+        let ar = _mm256_moveldup_ps(pair);
+        // conj(a[r][i]): negating the broadcast imaginary reproduces the
+        // scalar path's `row[i].conj()` products exactly.
+        let ai = _mm256_xor_ps(_mm256_movehdup_ps(pair), neg);
+        acc = cmac(acc, bv, bs, ar, ai);
+    }
+    acc
+}

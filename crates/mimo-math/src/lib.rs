@@ -5,7 +5,9 @@
 //!
 //! * [`complex`]: `Cf32`/`Cf64` scalar complex arithmetic.
 //! * [`matrix`]: dense row-major complex matrices ([`CMat`]).
-//! * [`gemm`]: generic and shape-specialised ("JIT"-analogue) GEMM kernels.
+//! * [`gemm`]: generic, shape-specialised ("JIT"-analogue), and AVX2
+//!   register-tiled complex GEMM/GEMV/Gram kernels behind runtime tier
+//!   dispatch; all tiers are bit-identical.
 //! * [`inverse`]: Gauss-Jordan inversion and LU solves.
 //! * [`cholesky`]: Hermitian positive-definite factorisation.
 //! * [`qr`]: modified Gram-Schmidt thin QR (the middle pseudo-inverse
@@ -21,6 +23,7 @@
 pub mod cholesky;
 pub mod complex;
 pub mod gemm;
+pub(crate) mod gemm_simd;
 pub mod inverse;
 pub mod matrix;
 pub mod pinv;
@@ -30,7 +33,10 @@ pub mod svd;
 
 pub use cholesky::Cholesky;
 pub use complex::{Cf32, Cf64};
-pub use gemm::{gemm, gemm_fixed, gemv, Gemm, GemmKernel};
+pub use gemm::{
+    gemm, gemm_fixed, gemm_scalar, gemm_with_tier, gemv, gemv_scalar, gemv_with_tier, gram,
+    gram_scalar, gram_with_tier, Gemm, GemmKernel,
+};
 pub use inverse::{invert, invert_into, solve, InvError};
 pub use matrix::CMat;
 pub use pinv::{

@@ -206,25 +206,31 @@ impl CMat {
         out
     }
 
-    /// [`Self::matmul`] into a caller-owned output matrix (no allocation).
+    /// [`Self::matmul`] into a caller-owned output matrix (no allocation),
+    /// through the tier-dispatched GEMM kernels.
     ///
     /// # Panics
     /// Panics if `self.cols != other.rows` or `out` is not
     /// `self.rows x other.cols`.
     pub fn matmul_into(&self, other: &CMat, out: &mut CMat) {
+        self.matmul_into_tier(other, out, crate::simd::SimdTier::cached());
+    }
+
+    /// [`Self::matmul_into`] with the SIMD dispatch tier pinned by the
+    /// caller (ablations and parity tests). All tiers produce bit-equal
+    /// results.
+    pub fn matmul_into_tier(&self, other: &CMat, out: &mut CMat, tier: crate::simd::SimdTier) {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
         assert_eq!(out.shape(), (self.rows, other.cols), "matmul_into shape mismatch");
-        out.data.fill(Cf32::ZERO);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                let orow = other.row(k);
-                let crow = out.row_mut(i);
-                for (cc, &b) in crow.iter_mut().zip(orow.iter()) {
-                    *cc = a.mul_add(b, *cc);
-                }
-            }
-        }
+        crate::gemm::gemm_with_tier(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            tier,
+        );
     }
 
     /// Matrix-vector product `A x`.
@@ -271,25 +277,21 @@ impl CMat {
         g
     }
 
-    /// [`Self::gram`] into a caller-owned output matrix (no allocation).
+    /// [`Self::gram`] into a caller-owned output matrix (no allocation),
+    /// through the tier-dispatched Gram kernel.
     ///
     /// # Panics
     /// Panics if `out` is not `cols x cols`.
     pub fn gram_into(&self, out: &mut CMat) {
+        self.gram_into_tier(out, crate::simd::SimdTier::cached());
+    }
+
+    /// [`Self::gram_into`] with the SIMD dispatch tier pinned by the
+    /// caller. All tiers produce bit-equal results.
+    pub fn gram_into_tier(&self, out: &mut CMat, tier: crate::simd::SimdTier) {
         let n = self.cols;
         assert_eq!(out.shape(), (n, n), "gram_into shape mismatch");
-        out.data.fill(Cf32::ZERO);
-        // Accumulate row-by-row so the inner loops stream contiguously.
-        for r in 0..self.rows {
-            let row = self.row(r);
-            for i in 0..n {
-                let ai = row[i].conj();
-                let grow = out.row_mut(i);
-                for (j, &aj) in row.iter().enumerate() {
-                    grow[j] = ai.mul_add(aj, grow[j]);
-                }
-            }
-        }
+        crate::gemm::gram_with_tier(self.rows, n, &self.data, &mut out.data, tier);
     }
 }
 

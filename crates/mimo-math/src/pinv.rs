@@ -15,6 +15,7 @@
 use crate::complex::Cf32;
 use crate::inverse::{invert, invert_into, InvError};
 use crate::matrix::CMat;
+use crate::simd::SimdTier;
 use crate::svd::svd;
 
 /// Method selector for pseudo-inverse computation, wired to the engine's
@@ -73,16 +74,26 @@ pub struct PinvScratch {
     gram_work: CMat,
     /// `K x K` Gram inverse.
     gram_inv: CMat,
+    /// SIMD tier the Gram/product kernels dispatch to.
+    tier: SimdTier,
 }
 
 impl PinvScratch {
-    /// Allocates scratch for `M x K` channels.
+    /// Allocates scratch for `M x K` channels on the detected SIMD tier.
     pub fn new(m: usize, k: usize) -> Self {
+        Self::with_tier(m, k, SimdTier::cached())
+    }
+
+    /// Allocates scratch with the kernel dispatch tier pinned by the
+    /// caller (the engine's `simd_gemm` ablation; results are bit-equal
+    /// across tiers).
+    pub fn with_tier(m: usize, k: usize, tier: SimdTier) -> Self {
         Self {
             hh: CMat::zeros(k, m),
             gram: CMat::zeros(k, k),
             gram_work: CMat::zeros(k, k),
             gram_inv: CMat::zeros(k, k),
+            tier,
         }
     }
 }
@@ -99,9 +110,9 @@ pub fn pinv_into(h: &CMat, method: PinvMethod, s: &mut PinvScratch, out: &mut CM
     assert_eq!(s.hh.shape(), (k, m), "scratch shape mismatch");
     if method == PinvMethod::Direct {
         h.hermitian_into(&mut s.hh);
-        h.gram_into(&mut s.gram);
+        h.gram_into_tier(&mut s.gram, s.tier);
         if invert_into(&s.gram, &mut s.gram_work, &mut s.gram_inv).is_ok() {
-            s.gram_inv.matmul_into(&s.hh, out);
+            s.gram_inv.matmul_into_tier(&s.hh, out, s.tier);
             return;
         }
     }

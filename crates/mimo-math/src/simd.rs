@@ -34,6 +34,15 @@ impl SimdTier {
         }
         SimdTier::Scalar
     }
+
+    /// [`Self::detect`] computed once per process. Plan constructors and
+    /// auto-dispatching kernels use this so hot loops never repeat the
+    /// feature probe.
+    pub fn cached() -> SimdTier {
+        use std::sync::OnceLock;
+        static CACHE: OnceLock<SimdTier> = OnceLock::new();
+        *CACHE.get_or_init(SimdTier::detect)
+    }
 }
 
 /// Converts packed `i16` IQ components to `f32`, scaling by `1/scale`
@@ -258,13 +267,14 @@ unsafe fn transpose_8x8_avx2(
     }
 }
 
-/// 4x4 `Cf32` in-register transpose (each row one `__m256d`).
+/// 4x4 `Cf32` in-register transpose (each row one `__m256d`). Shared with
+/// the GEMV panel-packing step in `gemm_simd`.
 ///
 /// # Safety
 /// Same contract as [`transpose_8x8_avx2`] with 4x4 tiles.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-unsafe fn transpose_4x4_avx2(
+pub(crate) unsafe fn transpose_4x4_avx2(
     src: *const Cf32,
     src_stride: usize,
     dst: *mut Cf32,

@@ -7,6 +7,12 @@
 //! lives here. Batched variants process 8 consecutive subcarriers per
 //! call so one task consumes a whole cache line of each antenna's data —
 //! the paper's §4.1 "memory access efficiency" optimisation.
+//!
+//! Both entry points run vectorized on AVX2 hardware: [`equalize_one`]'s
+//! GEMV and the planned GEMM behind [`equalize_batch`] dispatch through
+//! `agora-math`'s SIMD tier (the plan pins the tier at construction, so
+//! the per-subcarrier inner loop pays no dispatch). The scalar and vector
+//! kernels are bit-identical.
 
 use crate::zf::ZfBuffer;
 use agora_math::{gemm, Cf32, Gemm};
@@ -147,6 +153,38 @@ mod tests {
         equalize_batch_generic(&zf, 0, b, &ant_block, &mut g);
         for (x, y) in a.iter().zip(g.iter()) {
             assert!((*x - *y).abs() < 1e-4);
+        }
+    }
+
+    /// Scalar and AVX2 plans must equalize to the same bits — the engine's
+    /// `simd_gemm` ablation depends on it.
+    #[test]
+    fn tier_parity_is_bit_exact() {
+        use agora_math::SimdTier;
+        let (m, k, b) = (16usize, 4usize, 8usize);
+        let (_csi, zf) = setup(m, k, 16, 17);
+        let ant_block: Vec<Cf32> =
+            (0..m * b).map(|i| Cf32::new((i % 11) as f32 * 0.3, (i % 5) as f32 * -0.4)).collect();
+        let mut scalar_out = vec![Cf32::ZERO; k * b];
+        let mut simd_out = vec![Cf32::ZERO; k * b];
+        let scalar_plan = Gemm::plan_with_tier(k, m, b, SimdTier::Scalar);
+        let simd_plan = Gemm::plan_with_tier(k, m, b, SimdTier::detect());
+        equalize_batch(&zf, 0, b, &scalar_plan, &ant_block, &mut scalar_out);
+        equalize_batch(&zf, 0, b, &simd_plan, &ant_block, &mut simd_out);
+        for (x, y) in scalar_out.iter().zip(simd_out.iter()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+        // Single-subcarrier GEMV path too.
+        let y: Vec<Cf32> = (0..m).map(|a| ant_block[a * b]).collect();
+        let mut one_scalar = vec![Cf32::ZERO; k];
+        let mut one_simd = vec![Cf32::ZERO; k];
+        let w = zf.detector_for(0);
+        agora_math::gemv_with_tier(k, m, w.as_slice(), &y, &mut one_scalar, SimdTier::Scalar);
+        equalize_one(&zf, 0, &y, &mut one_simd);
+        for (x, v) in one_scalar.iter().zip(one_simd.iter()) {
+            assert_eq!(x.re.to_bits(), v.re.to_bits());
+            assert_eq!(x.im.to_bits(), v.im.to_bits());
         }
     }
 

@@ -3,7 +3,9 @@
 //! The dual of equalization: for each data subcarrier the `K` modulated
 //! user symbols are multiplied by the `M x K` ZF precoder to produce the
 //! `M` antenna samples: `y = W_dl x`. The engine fuses modulation into
-//! this block (Table 2); this module holds the linear kernel.
+//! this block (Table 2); this module holds the linear kernel. Like
+//! equalization, both entry points dispatch through `agora-math`'s SIMD
+//! tier and are bit-identical between the scalar and AVX2 kernels.
 
 use crate::zf::ZfBuffer;
 use agora_math::{gemm, Cf32, Gemm};
@@ -125,6 +127,26 @@ mod tests {
         precode_batch_generic(&zf, 0, b, &users, &mut g);
         for (x, y) in a.iter().zip(g.iter()) {
             assert!((*x - *y).abs() < 1e-4);
+        }
+    }
+
+    /// Scalar and AVX2 plans must precode to the same bits.
+    #[test]
+    fn tier_parity_is_bit_exact() {
+        use agora_math::SimdTier;
+        let (m, k, b) = (16usize, 4usize, 8usize);
+        let (_csi, zf) = setup(m, k, 19);
+        let users: Vec<Cf32> =
+            (0..k * b).map(|i| Cf32::new(i as f32 * 0.03, -(i as f32) * 0.05)).collect();
+        let mut scalar_out = vec![Cf32::ZERO; m * b];
+        let mut simd_out = vec![Cf32::ZERO; m * b];
+        let scalar_plan = Gemm::plan_with_tier(m, k, b, SimdTier::Scalar);
+        let simd_plan = Gemm::plan_with_tier(m, k, b, SimdTier::detect());
+        precode_batch(&zf, 0, b, &scalar_plan, &users, &mut scalar_out);
+        precode_batch(&zf, 0, b, &simd_plan, &users, &mut simd_out);
+        for (x, y) in scalar_out.iter().zip(simd_out.iter()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
         }
     }
 

@@ -20,6 +20,9 @@ cargo run --release -q -p agora-bench --bin decoder_parity
 echo "== fft parity smoke =="
 cargo run --release -q -p agora-bench --bin fft_parity
 
+echo "== gemm parity smoke =="
+cargo run --release -q -p agora-bench --bin gemm_parity
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
