@@ -16,7 +16,7 @@ use agora_ldpc::{BaseGraphId, DecodeConfig, Decoder, Encoder};
 use agora_math::{pinv_direct, pinv_svd, CMat, Cf32, Gemm};
 use agora_phy::demod::demod_soft;
 use agora_phy::modulation::ModScheme;
-use agora_queue::{Msg, MpmcQueue, TaskType};
+use agora_queue::{MpmcQueue, Msg, TaskType};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
@@ -53,9 +53,7 @@ fn bench_zf(c: &mut Criterion) {
     c.bench_function("zf/pinv_direct_64x16", |b| {
         b.iter(|| black_box(pinv_direct(black_box(&h)).unwrap()))
     });
-    c.bench_function("zf/pinv_svd_64x16", |b| {
-        b.iter(|| black_box(pinv_svd(black_box(&h), 1e-6)))
-    });
+    c.bench_function("zf/pinv_svd_64x16", |b| b.iter(|| black_box(pinv_svd(black_box(&h), 1e-6))));
 }
 
 fn bench_gemm(c: &mut Criterion) {
@@ -97,14 +95,20 @@ fn bench_ldpc(c: &mut Criterion) {
     let llr: Vec<f32> = cw
         .iter()
         .enumerate()
-        .map(|(i, &b)| if i < 2 * z { 0.0 } else if b == 0 { 4.0 } else { -4.0 })
+        .map(|(i, &b)| {
+            if i < 2 * z {
+                0.0
+            } else if b == 0 {
+                4.0
+            } else {
+                -4.0
+            }
+        })
         .collect();
     let mut dec = Decoder::new(BaseGraphId::Bg1, z);
     let cfg = DecodeConfig { max_iters: 5, early_termination: false, ..Default::default() };
     c.bench_function("ldpc/encode_bg1_z104", |b| b.iter(|| black_box(enc.encode(&info))));
-    c.bench_function("ldpc/decode_bg1_z104_5it", |b| {
-        b.iter(|| black_box(dec.decode(&llr, &cfg)))
-    });
+    c.bench_function("ldpc/decode_bg1_z104_5it", |b| b.iter(|| black_box(dec.decode(&llr, &cfg))));
 }
 
 fn bench_queue(c: &mut Criterion) {
@@ -126,8 +130,7 @@ fn bench_full_frame(c: &mut Criterion) {
     use agora_fronthaul::{RruConfig, RruEmulator};
     use agora_phy::CellConfig;
     let cell = CellConfig::tiny_test(2);
-    let mut rru =
-        RruEmulator::new(cell.clone(), RruConfig { snr_db: 28.0, ..Default::default() });
+    let mut rru = RruEmulator::new(cell.clone(), RruConfig { snr_db: 28.0, ..Default::default() });
     let mut cfg = EngineConfig::new(cell.clone(), 1);
     cfg.noise_power = rru.noise_power();
     let mut proc = InlineProcessor::new(cfg);

@@ -19,8 +19,14 @@ use rand::{Rng, SeedableRng};
 
 /// The (base graph, Z) points the benches sweep, plus tail shapes that
 /// exercise the scalar remainder of the Z-lane kernels.
-const CASES: &[(BaseGraphId, usize)] =
-    &[(BaseGraphId::Bg1, 384), (BaseGraphId::Bg1, 104), (BaseGraphId::Bg1, 64), (BaseGraphId::Bg2, 56), (BaseGraphId::Bg2, 36), (BaseGraphId::Bg1, 30)];
+const CASES: &[(BaseGraphId, usize)] = &[
+    (BaseGraphId::Bg1, 384),
+    (BaseGraphId::Bg1, 104),
+    (BaseGraphId::Bg1, 64),
+    (BaseGraphId::Bg2, 56),
+    (BaseGraphId::Bg2, 36),
+    (BaseGraphId::Bg1, 30),
+];
 
 fn awgn_llrs(tx: &[u8], snr_db: f32, rng: &mut StdRng) -> Vec<f32> {
     let sigma2 = 10.0f32.powf(-snr_db / 10.0);

@@ -67,8 +67,7 @@ fn main() {
         let mut fails = 0usize;
         let mut elapsed = 0.0f64;
         for _ in 0..blocks {
-            let info: Vec<u8> =
-                (0..enc.info_len()).map(|_| rng.gen::<bool>() as u8).collect();
+            let info: Vec<u8> = (0..enc.info_len()).map(|_| rng.gen::<bool>() as u8).collect();
             let cw = enc.encode(&info);
             let llr: Vec<f32> = rm
                 .extract(&cw)
@@ -77,8 +76,8 @@ fn main() {
                     let x = if b == 0 { 1.0f32 } else { -1.0 };
                     let u1: f64 = rng.gen::<f64>().max(1e-12);
                     let u2: f64 = rng.gen();
-                    let n = ((-2.0 * u1.ln()).sqrt()
-                        * (2.0 * std::f64::consts::PI * u2).cos()) as f32;
+                    let n =
+                        ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32;
                     2.0 * (x + sigma2.sqrt() * n) / sigma2
                 })
                 .collect();

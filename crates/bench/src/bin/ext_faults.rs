@@ -32,12 +32,7 @@ fn cell_64x16() -> CellConfig {
         modulation: ModScheme::Qpsk,
         pilot_scheme: PilotScheme::FrequencyOrthogonal,
         zf_group: 16,
-        ldpc: LdpcParams {
-            base_graph: BaseGraphId::Bg2,
-            z: 4,
-            rate: 1.0 / 3.0,
-            max_iters: 8,
-        },
+        ldpc: LdpcParams { base_graph: BaseGraphId::Bg2, z: 4, rate: 1.0 / 3.0, max_iters: 8 },
         schedule: FrameSchedule::uplink(1, 2),
         symbol_duration_ns: 71_000,
     };
@@ -116,12 +111,11 @@ fn run_point(cell: &CellConfig, frames: u32, loss: LossModel, seed: u64) -> Poin
 }
 
 fn main() {
-    let frames: u32 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let frames: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
     let cell = cell_64x16();
-    let pkts_per_frame =
-        (cell.schedule.pilot_indices().len() + cell.schedule.uplink_indices().len())
-            * cell.num_antennas;
+    let pkts_per_frame = (cell.schedule.pilot_indices().len()
+        + cell.schedule.uplink_indices().len())
+        * cell.num_antennas;
 
     println!("Extension — frame survival under fronthaul faults (64x16, {frames} frames/point)");
     println!("model  p        completed  dropped  pred_ratio  lost  late  dup   bler");
@@ -157,8 +151,19 @@ fn main() {
         );
         rows.push(format!(
             "{},{:.5},{},{},{},{:.5},{:.5},{},{},{},{},{},{:.5}",
-            name, rate, frames, r.completed, r.dropped, ratio, pred, r.offered,
-            r.lost, r.late, r.dup, r.reordered, r.bler
+            name,
+            rate,
+            frames,
+            r.completed,
+            r.dropped,
+            ratio,
+            pred,
+            r.offered,
+            r.lost,
+            r.late,
+            r.dup,
+            r.reordered,
+            r.bler
         ));
     }
 

@@ -69,7 +69,10 @@ fn time_batch(plan: &FftBatchPlan, src: &[Cf32], reps: usize) -> f64 {
 fn main() {
     let tier = SimdTier::detect();
     println!("FFT SIMD sweep (detected tier: {tier:?}, batch B={BATCH})");
-    println!("{:>6} {:>14} {:>12} {:>12} {:>8} {:>8}", "n", "scalar_ns", "simd_ns", "batch_ns", "1x", "Bx");
+    println!(
+        "{:>6} {:>14} {:>12} {:>12} {:>8} {:>8}",
+        "n", "scalar_ns", "simd_ns", "batch_ns", "1x", "Bx"
+    );
     let mut rows = Vec::new();
     let mut n2048 = (0.0f64, 0.0f64);
     for log2 in [6u32, 8, 10, 11, 12] {
@@ -79,17 +82,12 @@ fn main() {
         let src_b = signal(n * BATCH);
         let scalar = time_single(&FftPlan::with_tier(n, SimdTier::Scalar), &src, reps);
         let simd = time_single(&FftPlan::with_tier(n, tier), &src, reps);
-        let batch = time_batch(
-            &FftBatchPlan::with_tier(n, BATCH, tier),
-            &src_b,
-            (reps / BATCH).max(16),
-        );
+        let batch =
+            time_batch(&FftBatchPlan::with_tier(n, BATCH, tier), &src_b, (reps / BATCH).max(16));
         let su1 = scalar / simd;
         let sub = scalar / batch;
         println!("{n:>6} {scalar:>14.0} {simd:>12.0} {batch:>12.0} {su1:>7.1}x {sub:>7.1}x");
-        rows.push(format!(
-            "{n},{BATCH},{scalar:.0},{simd:.0},{batch:.0},{su1:.2},{sub:.2}"
-        ));
+        rows.push(format!("{n},{BATCH},{scalar:.0},{simd:.0},{batch:.0},{su1:.2},{sub:.2}"));
         if n == 2048 {
             n2048 = (su1, sub);
         }

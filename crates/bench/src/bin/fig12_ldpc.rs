@@ -81,7 +81,14 @@ struct SimdPoint {
 /// Runs the `f32` layered decoder and the `i8` decoder (detected tier and
 /// forced scalar) over the *same* noisy words, so BLER differences are
 /// purely quantisation and time differences purely the decoder plane.
-fn run_simd_point(z: usize, iters: usize, rate: f32, snr_db: f32, blocks: usize, seed: u64) -> SimdPoint {
+fn run_simd_point(
+    z: usize,
+    iters: usize,
+    rate: f32,
+    snr_db: f32,
+    blocks: usize,
+    seed: u64,
+) -> SimdPoint {
     let bg = BaseGraphId::Bg1;
     let enc = Encoder::new(bg, z);
     let rm = RateMatch::for_rate(bg, z, rate);
@@ -184,7 +191,10 @@ fn main() {
     for (z, iters) in [(384usize, 10usize), (384, 5), (104, 10), (104, 5)] {
         for &snr in &snrs {
             let p = run_point(z, iters, 1.0 / 3.0, snr, blocks, 7);
-            println!("Z={z:<4} it={iters:<3}  {snr:>6.1}  {:>8.2e}  {:>7.3}  {:>8.1}", p.ber, p.bler, p.time_us);
+            println!(
+                "Z={z:<4} it={iters:<3}  {snr:>6.1}  {:>8.2e}  {:>7.3}  {:>8.1}",
+                p.ber, p.bler, p.time_us
+            );
             rows.push(format!("a,{z},{iters},0.333,{snr},{},{},{}", p.ber, p.bler, p.time_us));
         }
     }
@@ -194,7 +204,10 @@ fn main() {
     for rate in [1.0f32 / 3.0, 2.0 / 3.0, 8.0 / 9.0] {
         for &snr in &snrs {
             let p = run_point(104, 5, rate, snr, blocks, 9);
-            println!("{rate:<5.2} {snr:>6.1}  {:>8.2e}  {:>7.3}  {:>8.1}", p.ber, p.bler, p.time_us);
+            println!(
+                "{rate:<5.2} {snr:>6.1}  {:>8.2e}  {:>7.3}  {:>8.1}",
+                p.ber, p.bler, p.time_us
+            );
             rows.push(format!("b,104,5,{rate},{snr},{},{},{}", p.ber, p.bler, p.time_us));
         }
     }

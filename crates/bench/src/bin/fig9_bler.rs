@@ -60,8 +60,7 @@ fn main() {
             }
         }
         let worst = per_user.iter().map(|s| s.bler()).fold(0.0f64, f64::max);
-        let mean =
-            per_user.iter().map(|s| s.bler()).sum::<f64>() / num_users as f64;
+        let mean = per_user.iter().map(|s| s.bler()).sum::<f64>() / num_users as f64;
         let blocks: u64 = per_user.iter().map(|s| s.blocks).sum();
         println!("{num_users:>5}  {worst:>10.4}  {mean:>9.4}  {blocks:>6}");
         rows.push(format!("{num_users},{worst},{mean},{blocks}"));

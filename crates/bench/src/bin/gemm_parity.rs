@@ -34,12 +34,12 @@ fn main() {
     // path (m%4 row remainders, n%4 masked columns, k%4 packed tails,
     // n==1 gemv delegation).
     let shapes: &[(usize, usize, usize)] = &[
-        (16, 64, 8),  // paper equalize (K, M, B)
-        (64, 16, 8),  // paper precode (M, K, B)
+        (16, 64, 8), // paper equalize (K, M, B)
+        (64, 16, 8), // paper precode (M, K, B)
         (8, 32, 8),
         (4, 16, 8),
-        (16, 64, 1),  // gemv delegation
-        (5, 7, 3),    // everything-tail
+        (16, 64, 1), // gemv delegation
+        (5, 7, 3),   // everything-tail
         (3, 9, 1),
         (13, 13, 13),
         (1, 1, 1),
@@ -89,9 +89,7 @@ fn main() {
     }
 
     // Gram (A^H A) over ZF shapes plus tails.
-    for &(rows, cols) in
-        &[(64usize, 16usize), (32, 8), (16, 4), (7, 5), (64, 15), (9, 9), (1, 3)]
-    {
+    for &(rows, cols) in &[(64usize, 16usize), (32, 8), (16, 4), (7, 5), (64, 15), (9, 9), (1, 3)] {
         let mut a = vec![Cf32::ZERO; rows * cols];
         fill((rows * 53 + cols) as u64, &mut a);
         let mut g_scal = vec![Cf32::ZERO; cols * cols];

@@ -78,7 +78,17 @@ fn main() {
     println!("complex GEMM sweep (detected tier: {tier:?}, equalize batch B={BATCH})");
     println!(
         "{:>8} {:>6} | {:>11} {:>9} {:>6} | {:>11} {:>9} {:>6} | {:>11} {:>9} {:>6}",
-        "M", "K", "eq_scal_ns", "eq_simd", "x", "gv_scal_ns", "gv_simd", "x", "zf_scal_ns", "zf_simd", "x"
+        "M",
+        "K",
+        "eq_scal_ns",
+        "eq_simd",
+        "x",
+        "gv_scal_ns",
+        "gv_simd",
+        "x",
+        "zf_scal_ns",
+        "zf_simd",
+        "x"
     );
     let mut rows = Vec::new();
     let mut eq64 = 0.0f64;

@@ -81,6 +81,7 @@ fn main() {
         cal.demod_sc_ns / 1000.0,
         cal.decode_ns / 1000.0
     ));
-    let p = write_csv("table3_blocks", "block,tasks_per_frame,time_per_task_us,batch,total_ms", &rows);
+    let p =
+        write_csv("table3_blocks", "block,tasks_per_frame,time_per_task_us,batch,total_ms", &rows);
     println!("\nwrote {}", p.display());
 }

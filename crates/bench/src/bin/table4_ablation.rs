@@ -93,23 +93,20 @@ fn main() {
     println!("Table 4 — optimisation ablations (64x16, 1 ms frame, 26 cores, uplink)");
     println!("configuration                    median_ms  x     p99.9_ms  x");
     println!("baseline (all optimisations on)  {b_med:>9.2}  1.00  {b_999:>8.2}  1.00");
-    let mut rows =
-        vec![format!("baseline,{b_med},1.0,{b_999},1.0")];
+    let mut rows = vec![format!("baseline,{b_med},1.0,{b_999},1.0")];
 
     let rows_ref = &mut rows;
-    let mut report = move |name: &str,
-                           rep: &agora_core::sim::SimReport,
-                           ref_med: f64,
-                           ref_999: f64| {
-        let med = rep.median_latency_ms();
-        let p999 = rep.percentile_latency_ms(99.9);
-        println!(
-            "{name:<36} {med:>9.2}  {:<4.2}  {p999:>8.2}  {:<4.2}",
-            med / ref_med,
-            p999 / ref_999
-        );
-        rows_ref.push(format!("{name},{med},{},{p999},{}", med / ref_med, p999 / ref_999));
-    };
+    let mut report =
+        move |name: &str, rep: &agora_core::sim::SimReport, ref_med: f64, ref_999: f64| {
+            let med = rep.median_latency_ms();
+            let p999 = rep.percentile_latency_ms(99.9);
+            println!(
+                "{name:<36} {med:>9.2}  {:<4.2}  {p999:>8.2}  {:<4.2}",
+                med / ref_med,
+                p999 / ref_999
+            );
+            rows_ref.push(format!("{name},{med},{},{p999},{}", med / ref_med, p999 / ref_999));
+        };
 
     // Batching off: one task per message.
     let mut cfg = base_cfg.clone();
@@ -152,12 +149,7 @@ fn main() {
     let mut cfg = base_cfg.clone();
     cfg.costs.demod_sc_ns *= scale;
     cfg.costs.precode_sc_ns *= scale;
-    report(
-        &format!("JIT matmul disabled ({paper_gemm:.1}x GEMM)"),
-        &simulate(&cfg),
-        b_med,
-        b_999,
-    );
+    report(&format!("JIT matmul disabled ({paper_gemm:.1}x GEMM)"), &simulate(&cfg), b_med, b_999);
     println!("    (this machine's generic/specialised GEMM ratio: {measured_gemm:.1}x)");
 
     // Real-time process off: inject OS preemption jitter (Linux CFS

@@ -1,0 +1,94 @@
+//! Measured ZF solve comparison: Gauss-Jordan inverse vs Cholesky solve.
+//!
+//! PR 4's `gemm_simd` sweep showed the equalize GEMM at 3.6x but the
+//! *full ZF task* at only 1.4x — the Gram product and detector product
+//! vectorized while the Gauss-Jordan `K x K` inverse stayed serial scalar
+//! code. This bench times the complete `pinv_into` chain (`H^H H`, solve,
+//! detector product) for the PR 4 baseline (`PinvMethod::Direct`,
+//! Gauss-Jordan) against the blocked Cholesky solve route
+//! (`PinvMethod::Cholesky`), which factors the Gram matrix with
+//! GEMM-tiled panel updates and solves `(H^H H) W = H^H` directly without
+//! ever forming the inverse.
+//!
+//! The 64x16 row is the paper configuration; its Cholesky time feeds the
+//! simulator calibration constant `agora_core::sim::MEASURED_ZF_NS`.
+//! Writes `results/zf_cholesky.csv` and exits non-zero if the 64x16
+//! speedup falls below the PR's >=3x acceptance floor.
+
+use agora_bench::csv::write_csv;
+use agora_math::simd::SimdTier;
+use agora_math::{pinv_into, CMat, Cf32, PinvMethod, PinvScratch};
+use std::time::Instant;
+
+/// Timing trials per configuration; the minimum is reported (anything
+/// above the minimum is scheduler or frequency noise).
+const TRIALS: usize = 5;
+
+/// Per-call nanoseconds for `pinv_into` with the given method.
+fn time_pinv(
+    h: &CMat,
+    method: PinvMethod,
+    s: &mut PinvScratch,
+    out: &mut CMat,
+    reps: usize,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            pinv_into(std::hint::black_box(h), method, s, out);
+            std::hint::black_box(&out);
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / reps as f64);
+    }
+    best
+}
+
+fn main() {
+    let tier = SimdTier::detect();
+    println!("ZF solve comparison (detected tier: {tier:?})");
+    println!(
+        "{:>8} {:>6} | {:>11} {:>11} {:>6} | {:>12}",
+        "M", "K", "gj_ns", "chol_ns", "x", "max|dW|"
+    );
+    let mut rows = Vec::new();
+    let mut paper_x = 0.0f64;
+    let mut paper_chol = 0.0f64;
+    for (m, k) in [(64usize, 16usize), (32, 8), (16, 4), (64, 15), (24, 7)] {
+        let h = CMat::from_fn(m, k, |r, c| {
+            let i = (r * k + c) as u64;
+            Cf32::new(
+                ((i * 2654435761 % 1000) as f32 / 1000.0) - 0.5,
+                ((i * 40503 % 1000) as f32 / 1000.0) - 0.5,
+            )
+        });
+        let mut out_gj = CMat::zeros(k, m);
+        let mut out_ch = CMat::zeros(k, m);
+        let reps = ((1usize << 24) / (m * k * k)).max(64);
+        let mut s = PinvScratch::with_tier(m, k, tier);
+        let gj = time_pinv(&h, PinvMethod::Direct, &mut s, &mut out_gj, reps);
+        let ch = time_pinv(&h, PinvMethod::Cholesky, &mut s, &mut out_ch, reps);
+        let x = gj / ch;
+        // The two routes solve the same system; they must agree to f32
+        // rounding (they associate differently, so not bit-exact).
+        let diff = out_gj.max_abs_diff(&out_ch) as f64;
+        println!("{m:>8} {k:>6} | {gj:>11.0} {ch:>11.0} {x:>5.1}x | {diff:>12.2e}");
+        if diff > 1e-3 {
+            println!("FAIL: Gauss-Jordan and Cholesky detectors diverge ({diff:.2e})");
+            std::process::exit(1);
+        }
+        rows.push(format!("{m},{k},{gj:.0},{ch:.0},{x:.2}"));
+        if (m, k) == (64, 16) {
+            paper_x = x;
+            paper_chol = ch;
+        }
+    }
+    let p = write_csv("zf_cholesky", "m,k,gauss_jordan_ns,cholesky_ns,speedup", &rows);
+    println!("\nwrote {}", p.display());
+    println!("64x16 (paper config): full ZF task {paper_x:.1}x, Cholesky chain {paper_chol:.0} ns");
+    // The PR's acceptance floor — fail loudly if the solve regresses.
+    if paper_x < 3.0 {
+        println!("FAIL: below the >=3x floor for the 64x16 ZF task");
+        std::process::exit(1);
+    }
+}

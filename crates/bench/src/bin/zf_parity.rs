@@ -1,0 +1,143 @@
+//! CI smoke: ZF Cholesky-solve correctness and tier parity.
+//! Deterministic (fixed seeds), fast (<1 s), exit code 1 on any
+//! violation — `scripts/ci.sh` runs it after the test suite as a
+//! release-build cross-check of the Cholesky ZF plane's contracts:
+//!
+//! * the Cholesky-solved detector `(H^H H)^{-1} H^H` agrees with the
+//!   Gauss-Jordan detector to f32 accuracy on every engine shape;
+//! * the Cholesky chain (Gram, factor, solve) is **bit-identical** on
+//!   the detected SIMD tier and the forced-scalar tier;
+//! * the iterative equalizer's CG solve recovers the direct solution;
+//! * a nearly-singular channel (duplicated user column) is rejected by
+//!   the factorisation's pivot test instead of returning garbage.
+
+use agora_math::{pinv_into, CMat, Cf32, CholScratch, Cholesky, PinvMethod, PinvScratch, SimdTier};
+use agora_phy::equalize::{cg_solve_gram, CgScratch};
+
+fn fill(seed: u64, buf: &mut [Cf32]) {
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 11) as f32 / (1u64 << 53) as f32) - 0.25
+    };
+    for v in buf.iter_mut() {
+        *v = Cf32::new(next(), next());
+    }
+}
+
+fn channel(m: usize, k: usize, seed: u64) -> CMat {
+    let mut h = CMat::zeros(m, k);
+    fill(seed, h.as_mut_slice());
+    h
+}
+
+fn bits(v: &[Cf32]) -> Vec<(u32, u32)> {
+    v.iter().map(|c| (c.re.to_bits(), c.im.to_bits())).collect()
+}
+
+fn main() {
+    let tier = SimdTier::detect();
+    println!("ZF Cholesky parity smoke (detected tier: {tier:?})");
+    let mut failures = 0usize;
+
+    let shapes: &[(usize, usize)] = &[(64, 16), (32, 8), (16, 4), (64, 15), (24, 7), (8, 1)];
+
+    // Cholesky detector vs Gauss-Jordan detector (f32 agreement), and
+    // tier parity of the Cholesky route (bit-exactness).
+    for &(m, k) in shapes {
+        let h = channel(m, k, (m * 131 + k) as u64);
+        let mut gj = CMat::zeros(k, m);
+        let mut ch = CMat::zeros(k, m);
+        let mut ch_scalar = CMat::zeros(k, m);
+        let mut s = PinvScratch::with_tier(m, k, tier);
+        pinv_into(&h, PinvMethod::Direct, &mut s, &mut gj);
+        pinv_into(&h, PinvMethod::Cholesky, &mut s, &mut ch);
+        let mut s_scalar = PinvScratch::with_tier(m, k, SimdTier::Scalar);
+        pinv_into(&h, PinvMethod::Cholesky, &mut s_scalar, &mut ch_scalar);
+        let diff = ch.max_abs_diff(&gj);
+        if diff > 1e-3 {
+            println!("FAIL detector ({m},{k}): Cholesky vs Gauss-Jordan diff {diff:.3e}");
+            failures += 1;
+        }
+        if bits(ch.as_slice()) != bits(ch_scalar.as_slice()) {
+            println!("FAIL detector ({m},{k}): Cholesky tiers diverge");
+            failures += 1;
+        }
+        // CG on the Gram system must land on the direct solve.
+        let hh = h.hermitian();
+        let gram = hh.matmul(&h);
+        let chol = match Cholesky::factor(&gram) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("FAIL factor ({m},{k}): {e:?}");
+                failures += 1;
+                continue;
+            }
+        };
+        let mut x_true = vec![Cf32::ZERO; k];
+        fill((k * 977 + m) as u64, &mut x_true);
+        let b = gram.matvec(&x_true);
+        let bm = CMat::from_fn(k, 1, |r, _| b[r]);
+        let direct = chol.solve(&bm);
+        let mut cg = CgScratch::new(k);
+        let mut x = vec![Cf32::ZERO; k];
+        cg_solve_gram(gram.as_slice(), k, &b, &mut x, 16, 1e-5, &mut cg);
+        let scale = direct.as_slice().iter().map(|z| z.abs()).fold(1.0f32, f32::max);
+        let cg_diff = x
+            .iter()
+            .zip(direct.as_slice().iter())
+            .map(|(a, e)| (*a - *e).abs())
+            .fold(0.0f32, f32::max);
+        if cg_diff > 1e-3 * scale {
+            println!("FAIL cg ({m},{k}): diff {cg_diff:.3e} vs direct solve");
+            failures += 1;
+        }
+    }
+
+    // Factor tier parity is bit-exact on odd sizes too.
+    for &k in &[1usize, 3, 5, 7, 11, 15, 16] {
+        let h = channel(4 * k.max(2), k, (k * 7919) as u64);
+        let hh = h.hermitian();
+        let gram = hh.matmul(&h);
+        let mut l_simd = CMat::zeros(k, k);
+        let mut l_scal = CMat::zeros(k, k);
+        let mut sc = CholScratch::new(k);
+        if Cholesky::factor_into(&gram, &mut l_simd, &mut sc, tier).is_err()
+            || Cholesky::factor_into(&gram, &mut l_scal, &mut sc, SimdTier::Scalar).is_err()
+        {
+            println!("FAIL factor_into k={k}: unexpected pivot rejection");
+            failures += 1;
+            continue;
+        }
+        if bits(l_simd.as_slice()) != bits(l_scal.as_slice()) {
+            println!("FAIL factor_into k={k}: tiers diverge");
+            failures += 1;
+        }
+    }
+
+    // Nearly-duplicated user channels must be rejected by the pivot test
+    // (the f32-aware singularity guard), not silently inverted.
+    let base = channel(64, 16, 4242);
+    let mut bad = base.clone();
+    for r in 0..64 {
+        let v = bad[(r, 0)];
+        bad[(r, 1)] = v + Cf32::new(1e-6, -1e-6);
+    }
+    let hh = bad.hermitian();
+    let gram = hh.matmul(&bad);
+    match Cholesky::factor(&gram) {
+        Ok(_) => {
+            println!("FAIL guard: near-duplicate user channel passed the pivot test");
+            failures += 1;
+        }
+        Err(e) => println!("guard OK: near-duplicate channel rejected at step {}", e.step),
+    }
+
+    if failures > 0 {
+        println!("zf parity smoke: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("zf parity smoke: OK ({} detector shapes, 7 factor sizes, 1 guard)", shapes.len());
+}

@@ -220,8 +220,7 @@ mod tests {
         assert!((src.noise_power() - 0.1).abs() < 1e-6);
         let mut buf = vec![Cf32::ZERO; 200_000];
         src.corrupt(&mut buf);
-        let measured: f64 =
-            buf.iter().map(|z| z.norm_sqr() as f64).sum::<f64>() / buf.len() as f64;
+        let measured: f64 = buf.iter().map(|z| z.norm_sqr() as f64).sum::<f64>() / buf.len() as f64;
         assert!((measured - 0.1).abs() < 0.01, "measured noise power {measured}");
     }
 
@@ -258,8 +257,7 @@ mod tests {
         apply_channel(&h, &x, None, &mut clean);
         let mut src = AwgnSource::for_snr_db(20.0, 11);
         apply_channel(&h, &x, Some(&mut src), &mut noisy);
-        let dist: f32 =
-            clean.iter().zip(noisy.iter()).map(|(a, b)| (*a - *b).norm_sqr()).sum();
+        let dist: f32 = clean.iter().zip(noisy.iter()).map(|(a, b)| (*a - *b).norm_sqr()).sum();
         assert!(dist > 0.0 && dist < 1.0);
     }
 }

@@ -60,10 +60,8 @@ pub fn allocate_cores(
     frame_ns: u64,
 ) -> Result<Vec<usize>, AllocError> {
     assert!(frame_ns > 0);
-    let mut cores: Vec<usize> = blocks
-        .iter()
-        .map(|b| b.total_ns.div_ceil(frame_ns).max(1) as usize)
-        .collect();
+    let mut cores: Vec<usize> =
+        blocks.iter().map(|b| b.total_ns.div_ceil(frame_ns).max(1) as usize).collect();
     let needed: usize = cores.iter().sum();
     if needed > num_workers {
         return Err(AllocError::NotEnoughCores { needed });
@@ -72,9 +70,8 @@ pub fn allocate_cores(
     while spare > 0 {
         // Give the next core to the block with the worst per-core time
         // that can still use another core.
-        let candidate = (0..blocks.len())
-            .filter(|&i| cores[i] < blocks[i].max_parallelism)
-            .max_by(|&a, &b| {
+        let candidate =
+            (0..blocks.len()).filter(|&i| cores[i] < blocks[i].max_parallelism).max_by(|&a, &b| {
                 let ta = blocks[a].total_ns as f64 / cores[a] as f64;
                 let tb = blocks[b].total_ns as f64 / cores[b] as f64;
                 ta.partial_cmp(&tb).unwrap()

@@ -102,7 +102,10 @@ impl<T> SharedVec<T> {
 ///   ablation layout: `[antenna][sc]`.
 /// * `csi[sc][antenna][user]` — estimated channel (pilot symbols).
 /// * `det[group][user][antenna]`, `pre[group][antenna][user]` — ZF
-///   outputs.
+///   outputs. With iterative equalization `det` holds `H^H` instead of
+///   the formed detector.
+/// * `gram[group][user][user]` — per-group Gram matrices `H^H H`
+///   (written only in iterative equalization mode).
 /// * `llr[symbol][user][bit]` — demodulated soft bits.
 /// * `decoded[symbol][user][bit]` + `decode_ok[symbol][user]`.
 /// * downlink mirrors: `dl_bits`, `dl_freq`, `dl_time`.
@@ -117,6 +120,9 @@ pub struct FrameBuffers {
     pub det: SharedVec<Cf32>,
     /// Downlink precoders.
     pub pre: SharedVec<Cf32>,
+    /// Per-group Gram matrices (`K x K`), for the iterative equalizer's
+    /// CG solves and Neumann noise estimates.
+    pub gram: SharedVec<Cf32>,
     /// Soft demodulator output.
     pub llr: SharedVec<f32>,
     /// Quantised soft demodulator output (fixed-point decoding plane).
@@ -137,6 +143,7 @@ pub struct FrameBuffers {
     payload_per_ant: usize,
     freq_per_symbol: usize,
     mk: usize,
+    kk: usize,
     llr_per_user: usize,
     info_bits: usize,
     dl_bits_per_user: usize,
@@ -177,6 +184,7 @@ impl FrameBuffers {
             csi: SharedVec::new(g.q * g.m * g.k, Cf32::ZERO),
             det: SharedVec::new(groups * g.k * g.m, Cf32::ZERO),
             pre: SharedVec::new(groups * g.m * g.k, Cf32::ZERO),
+            gram: SharedVec::new(groups * g.k * g.k, Cf32::ZERO),
             llr: SharedVec::new(g.symbols * g.k * g.cap_bits, 0.0f32),
             llr_i8: SharedVec::new(g.symbols * g.k * g.cap_bits, 0i8),
             decoded: SharedVec::new(g.symbols * g.k * g.info_bits, 0u8),
@@ -187,6 +195,7 @@ impl FrameBuffers {
             payload_per_ant,
             freq_per_symbol,
             mk: g.m * g.k,
+            kk: g.k * g.k,
             llr_per_user: g.cap_bits,
             info_bits: g.info_bits,
             dl_bits_per_user: g.cap_bits,
@@ -194,7 +203,12 @@ impl FrameBuffers {
     }
 
     /// Byte range of one (symbol, antenna) payload.
-    pub fn payload_range(&self, g: &BufferGeometry, symbol: usize, ant: usize) -> core::ops::Range<usize> {
+    pub fn payload_range(
+        &self,
+        g: &BufferGeometry,
+        symbol: usize,
+        ant: usize,
+    ) -> core::ops::Range<usize> {
         let base = (symbol * g.m + ant) * self.payload_per_ant;
         base..base + self.payload_per_ant
     }
@@ -235,26 +249,52 @@ impl FrameBuffers {
         base..base + self.mk
     }
 
+    /// Range of one ZF group's Gram matrix (`K x K` row-major).
+    pub fn gram_range(&self, group: usize) -> core::ops::Range<usize> {
+        let base = group * self.kk;
+        base..base + self.kk
+    }
+
     /// Range of one (symbol, user) LLR block.
-    pub fn llr_range(&self, g: &BufferGeometry, symbol: usize, user: usize) -> core::ops::Range<usize> {
+    pub fn llr_range(
+        &self,
+        g: &BufferGeometry,
+        symbol: usize,
+        user: usize,
+    ) -> core::ops::Range<usize> {
         let base = (symbol * g.k + user) * self.llr_per_user;
         base..base + self.llr_per_user
     }
 
     /// Range of one (symbol, user) decoded block.
-    pub fn decoded_range(&self, g: &BufferGeometry, symbol: usize, user: usize) -> core::ops::Range<usize> {
+    pub fn decoded_range(
+        &self,
+        g: &BufferGeometry,
+        symbol: usize,
+        user: usize,
+    ) -> core::ops::Range<usize> {
         let base = (symbol * g.k + user) * self.info_bits;
         base..base + self.info_bits
     }
 
     /// Range of one (symbol, user) downlink coded-bit block.
-    pub fn dl_bits_range(&self, g: &BufferGeometry, symbol: usize, user: usize) -> core::ops::Range<usize> {
+    pub fn dl_bits_range(
+        &self,
+        g: &BufferGeometry,
+        symbol: usize,
+        user: usize,
+    ) -> core::ops::Range<usize> {
         let base = (symbol * g.k + user) * self.dl_bits_per_user;
         base..base + self.dl_bits_per_user
     }
 
     /// Range of one (symbol, antenna) downlink time-domain block.
-    pub fn dl_time_range(&self, g: &BufferGeometry, symbol: usize, ant: usize) -> core::ops::Range<usize> {
+    pub fn dl_time_range(
+        &self,
+        g: &BufferGeometry,
+        symbol: usize,
+        ant: usize,
+    ) -> core::ops::Range<usize> {
         let base = (symbol * g.m + ant) * g.samples;
         base..base + g.samples
     }
@@ -386,6 +426,20 @@ mod tests {
             }
         }
         assert_eq!(total, fb.llr.len());
+    }
+
+    #[test]
+    fn gram_ranges_tile_buffer() {
+        let g = geom();
+        let fb = FrameBuffers::new(&g);
+        let groups = g.q.div_ceil(g.zf_group);
+        let mut total = 0;
+        for group in 0..groups {
+            let r = fb.gram_range(group);
+            assert_eq!(r.len(), g.k * g.k);
+            total += r.len();
+        }
+        assert_eq!(total, fb.gram.len());
     }
 
     #[test]

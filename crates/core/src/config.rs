@@ -19,6 +19,23 @@ pub enum DetectorKind {
     Conjugate,
 }
 
+/// How the engine turns the ZF block's output into equalized user
+/// symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EqMode {
+    /// Form the detector `W = (H^H H)^{-1} H^H` per group and equalize
+    /// with the planned GEMM/GEMV (the paper's pipeline).
+    #[default]
+    Direct,
+    /// Never form the inverse: the ZF block stores `H^H` and the Gram
+    /// matrix per group, and demodulation solves `(H^H H) x = H^H y`
+    /// per subcarrier with Jacobi-preconditioned conjugate gradient.
+    /// Per-user LLR noise variances come from a truncated Neumann series
+    /// for `diag((H^H H)^{-1})`. Only meaningful for the zero-forcing
+    /// detector.
+    Iterative,
+}
+
 /// Optimisation toggles. Each field corresponds to a row of Table 4;
 /// disabling one reproduces that ablation.
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +60,17 @@ pub struct Ablation {
     pub streaming_stores: bool,
     /// §4.2 "Pseudo-inverse": direct Gram inversion vs full SVD.
     pub pinv_method: PinvMethod,
+    /// Route the zero-forcing Gram solve through the Cholesky
+    /// factorisation instead of Gauss-Jordan when `pinv_method` is
+    /// `Direct` — half the flops, never forms the explicit inverse, and
+    /// its pivot sign is an intrinsically correct positive-definite test
+    /// (an `f32`-aware singularity guard). Disabled, the ZF task keeps
+    /// the Gauss-Jordan inverse; explicit `Cholesky`/`Svd` pinv methods
+    /// are unaffected either way.
+    pub zf_cholesky: bool,
+    /// Direct (formed detector) vs iterative (per-subcarrier CG)
+    /// equalization; see [`EqMode`].
+    pub eq_mode: EqMode,
     /// §4.2 "Matrix multiplication": shape-specialised GEMM kernels
     /// (the MKL-JIT analogue) vs the generic loop kernel.
     pub jit_gemm: bool,
@@ -74,6 +102,8 @@ impl Default for Ablation {
             cache_layout: true,
             streaming_stores: true,
             pinv_method: PinvMethod::Direct,
+            zf_cholesky: true,
+            eq_mode: EqMode::Direct,
             jit_gemm: true,
             simd_gemm: true,
             detector: DetectorKind::ZeroForcing,
@@ -221,6 +251,11 @@ impl EngineConfig {
         if !self.cell.zf_group.is_multiple_of(self.demod_block) {
             return Err("ZF group must be a multiple of the demod block".into());
         }
+        if self.ablation.eq_mode == EqMode::Iterative
+            && self.ablation.detector != DetectorKind::ZeroForcing
+        {
+            return Err("iterative equalization requires the zero-forcing detector".into());
+        }
         Ok(())
     }
 }
@@ -272,6 +307,15 @@ mod tests {
     fn invalid_worker_count_rejected() {
         let mut cfg = EngineConfig::new(CellConfig::tiny_test(2), 1);
         cfg.num_workers = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn iterative_eq_requires_zero_forcing() {
+        let mut cfg = EngineConfig::new(CellConfig::tiny_test(2), 2);
+        cfg.ablation.eq_mode = EqMode::Iterative;
+        cfg.validate().expect("iterative + zero-forcing must validate");
+        cfg.ablation.detector = DetectorKind::Mmse;
         assert!(cfg.validate().is_err());
     }
 

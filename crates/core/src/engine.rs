@@ -15,7 +15,7 @@ use crate::kernels::{Kernels, WorkerScratch};
 use crate::state::{FrameState, Milestones, Ready};
 use crate::stats::EngineStats;
 use agora_fronthaul::packet::decode as decode_packet;
-use agora_queue::{Msg, MpmcQueue, TaskType};
+use agora_queue::{MpmcQueue, Msg, TaskType};
 use bytes::Bytes;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -196,8 +196,7 @@ impl Engine {
                         let Ok((hdr, payload)) = decode_packet(&pkt) else { continue };
                         // Pace at symbol boundaries.
                         if let Some(p) = pace.as_mut() {
-                            let sym_abs =
-                                hdr.frame as u64 * g.symbols as u64 + hdr.symbol as u64;
+                            let sym_abs = hdr.frame as u64 * g.symbols as u64 + hdr.symbol as u64;
                             if sym_abs != last_symbol {
                                 p.wait_next();
                                 last_symbol = sym_abs;
@@ -218,8 +217,7 @@ impl Engine {
                             std::thread::yield_now();
                         }
                         let fb = window.slot(hdr.frame);
-                        let range =
-                            fb.payload_range(g, hdr.symbol as usize, hdr.antenna as usize);
+                        let range = fb.payload_range(g, hdr.symbol as usize, hdr.antenna as usize);
                         unsafe { fb.rx_payload.slice_mut(range) }.copy_from_slice(&payload);
                         let msg = Msg::task(
                             TaskType::PacketRx,
@@ -336,14 +334,24 @@ impl Engine {
                             entry.1 += 1;
                         } else {
                             let (b, c) = *entry;
-                            pushed +=
-                                self.push_task(Msg::task(TaskType::Fft, frame, symbol as u32, b, c));
+                            pushed += self.push_task(Msg::task(
+                                TaskType::Fft,
+                                frame,
+                                symbol as u32,
+                                b,
+                                c,
+                            ));
                             *entry = (antenna as u32, 1);
                         }
                         if entry.1 as usize >= batch.fft {
                             let (b, c) = fft_runs.remove(&key).unwrap();
-                            pushed +=
-                                self.push_task(Msg::task(TaskType::Fft, frame, symbol as u32, b, c));
+                            pushed += self.push_task(Msg::task(
+                                TaskType::Fft,
+                                frame,
+                                symbol as u32,
+                                b,
+                                c,
+                            ));
                         }
                     }
                 }
@@ -453,8 +461,8 @@ impl Engine {
                 if dl_done && st.milestones.ifft_done_ns == 0 {
                     st.milestones.ifft_done_ns = now_ns(start);
                 }
-                let complete = (!has_ul || st.uplink_complete())
-                    && (!has_dl || st.downlink_complete());
+                let complete =
+                    (!has_ul || st.uplink_complete()) && (!has_dl || st.downlink_complete());
                 if complete {
                     let st = states.remove(&frame).unwrap();
                     inflight.remove(&frame);
@@ -595,8 +603,13 @@ impl Engine {
                 let mut base = 0u32;
                 while (base as usize) < g.q {
                     let count = batch.demod.min(g.q - base as usize) as u32;
-                    pushed +=
-                        self.push_task(Msg::task(TaskType::Demod, frame, symbol as u32, base, count));
+                    pushed += self.push_task(Msg::task(
+                        TaskType::Demod,
+                        frame,
+                        symbol as u32,
+                        base,
+                        count,
+                    ));
                     base += count;
                 }
             }
@@ -604,8 +617,13 @@ impl Engine {
                 let mut base = 0u32;
                 while (base as usize) < g.k {
                     let count = batch.decode.min(g.k - base as usize) as u32;
-                    pushed +=
-                        self.push_task(Msg::task(TaskType::Decode, frame, symbol as u32, base, count));
+                    pushed += self.push_task(Msg::task(
+                        TaskType::Decode,
+                        frame,
+                        symbol as u32,
+                        base,
+                        count,
+                    ));
                     base += count;
                 }
             }
@@ -613,8 +631,13 @@ impl Engine {
                 let mut base = 0u32;
                 while (base as usize) < g.k {
                     let count = batch.encode.min(g.k - base as usize) as u32;
-                    pushed +=
-                        self.push_task(Msg::task(TaskType::Encode, frame, symbol as u32, base, count));
+                    pushed += self.push_task(Msg::task(
+                        TaskType::Encode,
+                        frame,
+                        symbol as u32,
+                        base,
+                        count,
+                    ));
                     base += count;
                 }
             }
@@ -636,8 +659,13 @@ impl Engine {
                 let mut base = 0u32;
                 while (base as usize) < g.m {
                     let count = batch.ifft.min(g.m - base as usize) as u32;
-                    pushed +=
-                        self.push_task(Msg::task(TaskType::Ifft, frame, symbol as u32, base, count));
+                    pushed += self.push_task(Msg::task(
+                        TaskType::Ifft,
+                        frame,
+                        symbol as u32,
+                        base,
+                        count,
+                    ));
                     base += count;
                 }
             }
@@ -753,8 +781,7 @@ impl Engine {
             }
             for user in 0..g.k {
                 // Safe: the frame is complete; no writers remain.
-                let bits =
-                    unsafe { fb.decoded.slice(fb.decoded_range(g, sym, user)) }.to_vec();
+                let bits = unsafe { fb.decoded.slice(fb.decoded_range(g, sym, user)) }.to_vec();
                 let flag = unsafe { fb.decode_ok.read(sym * g.k + user) } != 0;
                 decoded[sym].push(bits);
                 ok[sym].push(flag);
@@ -797,14 +824,8 @@ fn worker_loop(
                 execute(kernels, window, &mut scratch, &msg);
                 let ns = t0.elapsed().as_nanos() as u64;
                 stats.record(wid, msg.task, msg.count as u64, ns);
-                let done = Msg::complete(
-                    msg.task,
-                    msg.frame,
-                    msg.symbol,
-                    msg.base,
-                    msg.count,
-                    wid as u16,
-                );
+                let done =
+                    Msg::complete(msg.task, msg.frame, msg.symbol, msg.base, msg.count, wid as u16);
                 let mut m = done;
                 while let Err(back) = queues.complete.push(m) {
                     m = back;
@@ -867,5 +888,59 @@ fn execute(kernels: &Kernels, window: &FrameWindow, scratch: &mut WorkerScratch,
             }
         }
         _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EngineConfig, EqMode};
+    use agora_fronthaul::{RruConfig, RruEmulator};
+    use agora_phy::CellConfig;
+
+    /// The threaded engine must decode ground truth through both the
+    /// default direct path (Cholesky-solved ZF detector) and the
+    /// iterative CG equalization mode — the same kernels the inline
+    /// engine A/B-tests, here under the real scheduler.
+    #[test]
+    fn threaded_engine_decodes_direct_and_iterative() {
+        let cell = CellConfig::tiny_test(2);
+        let mut rru = RruEmulator::new(
+            cell.clone(),
+            RruConfig { snr_db: 30.0, seed: 45, ..Default::default() },
+        );
+        let frames = 2u32;
+        let mut packets = Vec::new();
+        let mut gts = Vec::new();
+        for f in 0..frames {
+            let (p, gt) = rru.generate_frame(f);
+            packets.extend(p);
+            gts.push(gt);
+        }
+        for iterative in [false, true] {
+            let mut cfg = EngineConfig::new(cell.clone(), 2);
+            cfg.noise_power = rru.noise_power();
+            if iterative {
+                cfg.ablation.eq_mode = EqMode::Iterative;
+            }
+            let engine = Engine::new(cfg);
+            let mut results = engine.process(packets.clone(), frames, false);
+            results.sort_by_key(|r| r.frame);
+            assert_eq!(results.len(), frames as usize);
+            for r in &results {
+                assert!(!r.dropped, "iterative={iterative} frame {} dropped", r.frame);
+                let gt = &gts[r.frame as usize];
+                for symbol in cell.schedule.uplink_indices() {
+                    for user in 0..cell.num_users {
+                        assert!(
+                            r.decode_ok[symbol][user],
+                            "iterative={iterative} frame {} symbol {symbol} user {user}",
+                            r.frame
+                        );
+                        assert_eq!(r.decoded[symbol][user], gt.info_bits[symbol][user]);
+                    }
+                }
+            }
+        }
     }
 }

@@ -108,8 +108,7 @@ impl InlineProcessor {
             self.kernels.demod_task(fb, &mut self.scratch, frame, symbol, 0, g.q);
             for user in 0..g.k {
                 self.kernels.decode_task(fb, &mut self.scratch, symbol, user);
-                let bits =
-                    unsafe { fb.decoded.slice(fb.decoded_range(&g, symbol, user)) }.to_vec();
+                let bits = unsafe { fb.decoded.slice(fb.decoded_range(&g, symbol, user)) }.to_vec();
                 let ok = unsafe { fb.decode_ok.read(symbol * g.k + user) } != 0;
                 decoded[symbol].push(bits);
                 decode_ok[symbol].push(ok);
@@ -337,6 +336,91 @@ mod tests {
         }
     }
 
+    /// `ablation.zf_cholesky` swaps the Gauss-Jordan Gram inverse for the
+    /// Cholesky solve. The two detectors differ only in f32 rounding
+    /// (~1e-7), so both sides must decode every block to the ground
+    /// truth, on both demod layouts.
+    #[test]
+    fn zf_cholesky_ablation_gives_same_bits() {
+        let cell = CellConfig::tiny_test(2);
+        let rc = RruConfig { snr_db: 28.0, seed: 41, ..Default::default() };
+        let mut rru = RruEmulator::new(cell.clone(), rc);
+        let (packets, gt) = rru.generate_frame(0);
+
+        let mut cfg_chol = EngineConfig::new(cell.clone(), 1);
+        cfg_chol.noise_power = rru.noise_power();
+        assert!(cfg_chol.ablation.zf_cholesky, "Cholesky solve must be the default");
+        let mut cfg_gj = cfg_chol.clone();
+        cfg_gj.ablation.zf_cholesky = false;
+        let mut cfg_chol_strided = cfg_chol.clone();
+        cfg_chol_strided.ablation.cache_layout = false;
+
+        for cfg in [cfg_chol, cfg_gj, cfg_chol_strided] {
+            let mut proc = InlineProcessor::new(cfg);
+            let res = proc.process_frame(0, &packets);
+            for symbol in cell.schedule.uplink_indices() {
+                for user in 0..cell.num_users {
+                    assert!(res.decode_ok[symbol][user], "symbol {symbol} user {user}");
+                    assert_eq!(res.decoded[symbol][user], gt.info_bits[symbol][user]);
+                }
+            }
+        }
+    }
+
+    /// Iterative equalization (per-subcarrier CG on the Gram system,
+    /// never forming the inverse) must decode the same bits as the
+    /// direct formed-detector path, on both demod layouts, and its
+    /// downlink precoder (computed via the Cholesky solve) must be
+    /// bit-identical to the direct mode's.
+    #[test]
+    fn iterative_eq_mode_gives_same_bits() {
+        use crate::config::EqMode;
+        use agora_phy::frame::FrameSchedule;
+
+        let mut cell = CellConfig::tiny_test(2);
+        // Mixed frame so the iterative mode's downlink path (formed
+        // detector via Cholesky into separate staging) runs too.
+        cell.schedule = FrameSchedule::parse("PUUDD").unwrap();
+        cell.validate().unwrap();
+        let rc = RruConfig { snr_db: 28.0, seed: 43, ..Default::default() };
+        let mut rru = RruEmulator::new(cell.clone(), rc);
+        let (packets, gt) = rru.generate_frame(0);
+
+        let mut cfg_direct = EngineConfig::new(cell.clone(), 1);
+        cfg_direct.noise_power = rru.noise_power();
+        let mut cfg_iter = cfg_direct.clone();
+        cfg_iter.ablation.eq_mode = EqMode::Iterative;
+        let mut cfg_iter_strided = cfg_iter.clone();
+        cfg_iter_strided.ablation.cache_layout = false;
+
+        let mut direct = InlineProcessor::new(cfg_direct);
+        let rd = direct.process_frame(0, &packets);
+        for cfg in [cfg_iter, cfg_iter_strided] {
+            let mut proc = InlineProcessor::new(cfg);
+            let ri = proc.process_frame(0, &packets);
+            for symbol in cell.schedule.uplink_indices() {
+                for user in 0..cell.num_users {
+                    assert!(ri.decode_ok[symbol][user], "symbol {symbol} user {user}");
+                    assert_eq!(ri.decoded[symbol][user], gt.info_bits[symbol][user]);
+                    assert_eq!(ri.decoded[symbol][user], rd.decoded[symbol][user]);
+                }
+            }
+            // Both modes run the same Cholesky Gram solve for the
+            // precoder, so the downlink samples agree bit for bit.
+            for symbol in cell.schedule.downlink_indices() {
+                for ant in 0..cell.num_antennas {
+                    let a = &ri.dl_time[symbol][ant];
+                    let b = &rd.dl_time[symbol][ant];
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b.iter()) {
+                        assert_eq!(x.re.to_bits(), y.re.to_bits(), "symbol {symbol} ant {ant}");
+                        assert_eq!(x.im.to_bits(), y.im.to_bits(), "symbol {symbol} ant {ant}");
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn svd_pinv_ablation_gives_same_bits() {
         let cell = CellConfig::tiny_test(1);
@@ -411,8 +495,7 @@ mod tests {
                 map.demap_symbols(&rx_grid, &mut active);
                 // ZF makes H^T W = c I with real positive c; normalise by
                 // the mean amplitude so the constellation has unit power.
-                let p: f32 =
-                    active.iter().map(|z| z.norm_sqr()).sum::<f32>() / active.len() as f32;
+                let p: f32 = active.iter().map(|z| z.norm_sqr()).sum::<f32>() / active.len() as f32;
                 let scale = 1.0 / p.sqrt().max(1e-9);
                 for z in active.iter_mut() {
                     *z = z.scale(scale);
@@ -453,12 +536,7 @@ mod selective_channel_tests {
         cell.zf_group = 8;
         let mut rru = RruEmulator::new(
             cell.clone(),
-            RruConfig {
-                snr_db: 35.0,
-                seed: 5,
-                delay_spread_taps: 3,
-                ..Default::default()
-            },
+            RruConfig { snr_db: 35.0, seed: 5, delay_spread_taps: 3, ..Default::default() },
         );
         let mut cfg = EngineConfig::new(cell.clone(), 1);
         cfg.noise_power = rru.noise_power();
@@ -494,10 +572,7 @@ mod selective_channel_tests {
         let per_sc = gt.h_freq.unwrap();
         let first = &per_sc[0];
         let last = &per_sc[cell.num_data_sc - 1];
-        assert!(
-            first.max_abs_diff(last) > 0.05,
-            "channel should differ across the band"
-        );
+        assert!(first.max_abs_diff(last) > 0.05, "channel should differ across the band");
         // Adjacent subcarriers stay highly correlated (smooth response).
         let adjacent = per_sc[1].max_abs_diff(first);
         assert!(adjacent < 0.2, "adjacent-subcarrier jump {adjacent} too large");
@@ -513,10 +588,8 @@ mod detector_tests {
 
     fn run_with(detector: DetectorKind, snr_db: f32) -> usize {
         let cell = CellConfig::tiny_test(2);
-        let mut rru = RruEmulator::new(
-            cell.clone(),
-            RruConfig { snr_db, seed: 3, ..Default::default() },
-        );
+        let mut rru =
+            RruEmulator::new(cell.clone(), RruConfig { snr_db, seed: 3, ..Default::default() });
         let mut cfg = EngineConfig::new(cell.clone(), 1);
         cfg.noise_power = rru.noise_power();
         cfg.ablation.detector = detector;

@@ -8,14 +8,16 @@
 //! single-threaded mode — the schedulers differ, the math does not.
 
 use crate::buffers::{BufferGeometry, FrameBuffers};
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, EqMode};
 use agora_fft::{Direction, FftPlan, SubcarrierMap};
 use agora_ldpc::{DecodeConfig, DecodeConfigI8, Decoder, DecoderI8, Encoder, RateMatch};
 use agora_math::simd::{stream_copy, SimdTier};
 use agora_math::{
-    normalize_precoder_in_place, pinv_into, CMat, Cf32, Gemm, PinvScratch,
+    gram_pair_with_tier, normalize_precoder_in_place, pinv_into, CMat, Cf32, Gemm, PinvMethod,
+    PinvScratch,
 };
 use agora_phy::demod::{demod_soft_i8, demod_soft_simd};
+use agora_phy::equalize::{cg_solve_gram, neumann_diag_inv, CgScratch, CG_MAX_ITERS, CG_REL_TOL};
 use agora_phy::frame::SymbolType;
 use agora_phy::iq::{unpack_sample, BYTES_PER_SAMPLE};
 use agora_phy::modulation::{map_symbol, ModScheme};
@@ -40,6 +42,13 @@ pub struct Kernels {
     /// Tier the beamforming matrix kernels (ZF pinv, equalize GEMV,
     /// precode) dispatch to — `Scalar` when `ablation.simd_gemm` is off.
     gemm_tier: SimdTier,
+    /// Pseudo-inverse method the zero-forcing path actually runs:
+    /// `ablation.pinv_method` with `Direct` upgraded to `Cholesky` when
+    /// `ablation.zf_cholesky` is on.
+    pinv_method: PinvMethod,
+    /// Whether the schedule carries downlink symbols (the iterative
+    /// equalizer skips the precoder entirely when it doesn't).
+    has_downlink: bool,
     /// Coded bits actually carried per (symbol, user).
     coded_bits: usize,
 }
@@ -79,6 +88,21 @@ pub struct WorkerScratch {
     zf_det: CMat,
     zf_pre: CMat,
     zf_pinv: PinvScratch,
+    /// Formed detector staging for the iterative mode's downlink
+    /// precoder (`K x M`) — the `det` plane holds `H^H` there, so the
+    /// true ZF solution needs its own home.
+    zf_w: CMat,
+    /// Iterative-equalization scratch: CG state plus per-subcarrier
+    /// RHS/solution staging.
+    cg: CgScratch,
+    cg_b: Vec<Cf32>,
+    cg_x: Vec<Cf32>,
+    /// Per-user LLR noise variances for the current block, filled by
+    /// `demod_task` before demapping (direct: `noise * ||w_u||^2`;
+    /// iterative: `noise * diag((H^H H)^{-1})_u` via the Neumann series).
+    nv_row: Vec<f32>,
+    /// Neumann diagonal-inverse estimates for the current group.
+    diag_inv: Vec<f32>,
 }
 
 impl Kernels {
@@ -119,6 +143,13 @@ impl Kernels {
             )
         };
         let coded_bits = cell.coded_bits_per_symbol();
+        let pinv_method =
+            if cfg.ablation.zf_cholesky && cfg.ablation.pinv_method == PinvMethod::Direct {
+                PinvMethod::Cholesky
+            } else {
+                cfg.ablation.pinv_method
+            };
+        let has_downlink = !cell.schedule.downlink_indices().is_empty();
         Self {
             cfg,
             geom,
@@ -131,6 +162,8 @@ impl Kernels {
             pre_gemm,
             simd: SimdTier::detect(),
             gemm_tier,
+            pinv_method,
+            has_downlink,
             coded_bits,
         }
     }
@@ -144,7 +177,8 @@ impl Kernels {
             grid: vec![Cf32::ZERO; self.cfg.cell.fft_size],
             batch_grid: vec![
                 Cf32::ZERO;
-                self.cfg.batch.fft.max(self.cfg.batch.ifft).max(1) * self.cfg.cell.fft_size
+                self.cfg.batch.fft.max(self.cfg.batch.ifft).max(1)
+                    * self.cfg.cell.fft_size
             ],
             active: vec![Cf32::ZERO; g.q],
             ant_block: vec![Cf32::ZERO; g.m * g.block],
@@ -160,6 +194,12 @@ impl Kernels {
             zf_det: CMat::zeros(g.k, g.m),
             zf_pre: CMat::zeros(g.m, g.k),
             zf_pinv: PinvScratch::with_tier(g.m, g.k, self.gemm_tier),
+            zf_w: CMat::zeros(g.k, g.m),
+            cg: CgScratch::new(g.k),
+            cg_b: vec![Cf32::ZERO; g.k],
+            cg_x: vec![Cf32::ZERO; g.k],
+            nv_row: vec![0.0; g.k],
+            diag_inv: vec![0.0; g.k],
         }
     }
 
@@ -233,8 +273,7 @@ impl Kernels {
         assert!(count * n <= s.batch_grid.len(), "batch exceeds scratch capacity");
         let skip = g.samples - n;
         for i in 0..count {
-            let payload =
-                unsafe { fb.rx_payload.slice(fb.payload_range(g, symbol, base + i)) };
+            let payload = unsafe { fb.rx_payload.slice(fb.payload_range(g, symbol, base + i)) };
             unpack_bitrev(payload, skip, self.fft.bitrev(), &mut s.batch_grid[i * n..(i + 1) * n]);
         }
         self.fft.execute_batch_prereversed(&mut s.batch_grid[..count * n], Direction::Forward);
@@ -340,15 +379,31 @@ impl Kernels {
         let sc = group * g.zf_group;
         let csi = unsafe { fb.csi.slice(fb.csi_range(sc)) };
         s.zf_h.as_mut_slice().copy_from_slice(csi);
+        let iterative = self.cfg.ablation.eq_mode == EqMode::Iterative
+            && self.cfg.ablation.detector == DetectorKind::ZeroForcing;
         match self.cfg.ablation.detector {
+            DetectorKind::ZeroForcing if iterative => {
+                // Iterative equalization: publish `H^H` in the detector
+                // plane and the Gram matrix in the gram plane; the
+                // per-subcarrier CG solve happens at demod time, so the
+                // ZF task never factors anything on the uplink path.
+                s.zf_h.hermitian_into(&mut s.zf_det);
+                let gram = unsafe { fb.gram.slice_mut(fb.gram_range(group)) };
+                gram_pair_with_tier(
+                    g.m,
+                    g.k,
+                    s.zf_det.as_slice(),
+                    s.zf_h.as_slice(),
+                    gram,
+                    self.gemm_tier,
+                );
+            }
             DetectorKind::ZeroForcing => {
-                pinv_into(&s.zf_h, self.cfg.ablation.pinv_method, &mut s.zf_pinv, &mut s.zf_det);
+                pinv_into(&s.zf_h, self.pinv_method, &mut s.zf_pinv, &mut s.zf_det);
             }
             DetectorKind::Mmse => {
-                let det = agora_phy::Detector::Mmse {
-                    noise_power: self.cfg.noise_power,
-                }
-                .compute(&s.zf_h);
+                let det = agora_phy::Detector::Mmse { noise_power: self.cfg.noise_power }
+                    .compute(&s.zf_h);
                 s.zf_det.copy_from(&det);
             }
             DetectorKind::Conjugate => {
@@ -367,11 +422,23 @@ impl Kernels {
                 }
             }
         }
-        s.zf_det.transpose_into(&mut s.zf_pre);
-        normalize_precoder_in_place(&mut s.zf_pre);
+        let need_pre = !iterative || self.has_downlink;
+        if iterative && self.has_downlink {
+            // The downlink still needs the formed detector; solve the
+            // Gram system once per group (Cholesky) into its own staging
+            // so the published `H^H` stays untouched.
+            pinv_into(&s.zf_h, self.pinv_method, &mut s.zf_pinv, &mut s.zf_w);
+        }
+        if need_pre {
+            let det = if iterative { &s.zf_w } else { &s.zf_det };
+            det.transpose_into(&mut s.zf_pre);
+            normalize_precoder_in_place(&mut s.zf_pre);
+        }
         unsafe {
             fb.det.slice_mut(fb.det_range(group)).copy_from_slice(s.zf_det.as_slice());
-            fb.pre.slice_mut(fb.pre_range(group)).copy_from_slice(s.zf_pre.as_slice());
+            if need_pre {
+                fb.pre.slice_mut(fb.pre_range(group)).copy_from_slice(s.zf_pre.as_slice());
+            }
         }
     }
 
@@ -396,6 +463,7 @@ impl Kernels {
         let bps = self.cfg.cell.modulation.bits_per_symbol();
         let freq = unsafe { fb.freq.slice(fb.freq_symbol_range(symbol)) };
         let noise = self.cfg.noise_power.max(1e-9);
+        let iterative = self.cfg.ablation.eq_mode == EqMode::Iterative;
 
         if self.cfg.ablation.cache_layout {
             debug_assert_eq!(sc_base % g.block, 0);
@@ -403,12 +471,28 @@ impl Kernels {
             for blk_off in (0..count).step_by(g.block) {
                 let sc = sc_base + blk_off;
                 let blk = sc / g.block;
-                let det_slice = unsafe { fb.det.slice(fb.det_range(sc / g.zf_group)) };
+                let group = sc / g.zf_group;
+                let det_slice = unsafe { fb.det.slice(fb.det_range(group)) };
                 // Antenna block is contiguous per antenna in this layout.
                 let base = fb.freq_block_offset(g, blk, 0);
                 let ant_block = &freq[base..base + g.m * g.block];
+                // Direct: `det` holds W, the GEMM finishes equalization.
+                // Iterative: `det` holds H^H, the GEMM forms the CG
+                // right-hand sides `H^H y` for the whole block.
                 self.eq_gemm.run(det_slice, ant_block, &mut s.user_block);
-                self.write_llrs(fb, s, symbol, sc, g.block, bps, noise, det_slice);
+                if iterative {
+                    let gram = unsafe { fb.gram.slice(fb.gram_range(group)) };
+                    self.cg_block(s, gram, g.block);
+                    neumann_diag_inv(gram, g.k, &mut s.diag_inv);
+                    for u in 0..g.k {
+                        s.nv_row[u] = noise * s.diag_inv[u];
+                    }
+                } else {
+                    for u in 0..g.k {
+                        s.nv_row[u] = noise * row_norm_sqr(det_slice, g.m, u);
+                    }
+                }
+                self.write_llrs(fb, s, symbol, sc, g.block, bps);
             }
         } else {
             // Strided layout: equalization still runs one GEMV per
@@ -426,6 +510,17 @@ impl Kernels {
                 let group_end = (group + 1) * g.zf_group;
                 let w = (group_end - sc0).min(count - done);
                 let det_slice = unsafe { fb.det.slice(fb.det_range(group)) };
+                let gram = iterative.then(|| unsafe { fb.gram.slice(fb.gram_range(group)) });
+                if let Some(gram) = gram {
+                    neumann_diag_inv(gram, g.k, &mut s.diag_inv);
+                    for u in 0..g.k {
+                        s.nv_row[u] = noise * s.diag_inv[u];
+                    }
+                } else {
+                    for u in 0..g.k {
+                        s.nv_row[u] = noise * row_norm_sqr(det_slice, g.m, u);
+                    }
+                }
                 for i in 0..w {
                     let sc = sc0 + i;
                     for ant in 0..g.m {
@@ -439,15 +534,48 @@ impl Kernels {
                         &mut s.user_block[..g.k],
                         self.gemm_tier,
                     );
-                    for user in 0..g.k {
-                        s.strided_rows[user * g.zf_group + i] = s.user_block[user];
+                    if let Some(gram) = gram {
+                        // GEMV produced `H^H y`; solve the Gram system.
+                        s.cg_b.copy_from_slice(&s.user_block[..g.k]);
+                        cg_solve_gram(
+                            gram,
+                            g.k,
+                            &s.cg_b,
+                            &mut s.cg_x,
+                            CG_MAX_ITERS,
+                            CG_REL_TOL,
+                            &mut s.cg,
+                        );
+                        for user in 0..g.k {
+                            s.strided_rows[user * g.zf_group + i] = s.cg_x[user];
+                        }
+                    } else {
+                        for user in 0..g.k {
+                            s.strided_rows[user * g.zf_group + i] = s.user_block[user];
+                        }
                     }
                 }
                 for user in 0..g.k {
-                    let nv = noise * row_norm_sqr(det_slice, g.m, user);
+                    let nv = s.nv_row[user];
                     self.demap_row(fb, s, symbol, user, sc0, w, bps, nv, g.zf_group);
                 }
                 done += w;
+            }
+        }
+    }
+
+    /// Replaces each column of `user_block` (`K x width`, currently the
+    /// CG right-hand sides `H^H y`) with the solution of
+    /// `(H^H H) x = H^H y` for that subcarrier.
+    fn cg_block(&self, s: &mut WorkerScratch, gram: &[Cf32], width: usize) {
+        let k = self.geom.k;
+        for c in 0..width {
+            for u in 0..k {
+                s.cg_b[u] = s.user_block[u * width + c];
+            }
+            cg_solve_gram(gram, k, &s.cg_b, &mut s.cg_x, CG_MAX_ITERS, CG_REL_TOL, &mut s.cg);
+            for u in 0..k {
+                s.user_block[u * width + c] = s.cg_x[u];
             }
         }
     }
@@ -481,19 +609,18 @@ impl Kernels {
                 &mut s.llr_tmp,
                 &mut s.llr_i8_tmp,
             );
-            let out =
-                unsafe { fb.llr_i8.slice_mut(base + sc0 * bps..base + (sc0 + width) * bps) };
+            let out = unsafe { fb.llr_i8.slice_mut(base + sc0 * bps..base + (sc0 + width) * bps) };
             out.copy_from_slice(&s.llr_i8_tmp);
         } else {
             demod_soft_simd(self.cfg.cell.modulation, row, nv, &mut s.llr_tmp);
-            let out =
-                unsafe { fb.llr.slice_mut(base + sc0 * bps..base + (sc0 + width) * bps) };
+            let out = unsafe { fb.llr.slice_mut(base + sc0 * bps..base + (sc0 + width) * bps) };
             out.copy_from_slice(&s.llr_tmp);
         }
     }
 
     /// Writes LLRs for one equalized block (`K x block` in
-    /// `s.user_block`).
+    /// `s.user_block`). Per-user noise variances are read from
+    /// `s.nv_row`, filled by the caller for the current block.
     #[allow(clippy::too_many_arguments)]
     fn write_llrs(
         &self,
@@ -503,8 +630,6 @@ impl Kernels {
         sc: usize,
         width: usize,
         bps: usize,
-        noise: f32,
-        det_slice: &[Cf32],
     ) {
         let g = &self.geom;
         if self.cfg.cpe_correction {
@@ -516,14 +641,14 @@ impl Kernels {
             // drift has accumulated far beyond it.
             let block = &mut s.user_block[..g.k * width];
             agora_phy::cpe::correct_cpe(block, s.cpe_seed);
-            let residual =
-                agora_phy::cpe::estimate_and_correct(self.cfg.cell.modulation, block);
+            let residual = agora_phy::cpe::estimate_and_correct(self.cfg.cell.modulation, block);
             s.cpe_seed += residual;
         }
         for user in 0..g.k {
             let row = &s.user_block[user * width..(user + 1) * width];
-            // Post-ZF noise on user u is amplified by ||w_u||^2.
-            let nv = noise * row_norm_sqr(det_slice, g.m, user);
+            // Post-ZF noise on user u is amplified by ||w_u||^2 (direct)
+            // or its Neumann estimate (iterative); see `demod_task`.
+            let nv = s.nv_row[user];
             let base = fb.llr_range(g, symbol, user).start;
             // Width is the 8-subcarrier cache-line block: exactly one
             // AVX2 vector per axis.
@@ -537,14 +662,12 @@ impl Kernels {
                     &mut s.llr_tmp,
                     &mut s.llr_i8_tmp,
                 );
-                let llr = unsafe {
-                    fb.llr_i8.slice_mut(base + sc * bps..base + (sc + width) * bps)
-                };
+                let llr =
+                    unsafe { fb.llr_i8.slice_mut(base + sc * bps..base + (sc + width) * bps) };
                 llr.copy_from_slice(&s.llr_i8_tmp);
             } else {
                 demod_soft_simd(self.cfg.cell.modulation, row, nv, &mut s.llr_tmp);
-                let llr =
-                    unsafe { fb.llr.slice_mut(base + sc * bps..base + (sc + width) * bps) };
+                let llr = unsafe { fb.llr.slice_mut(base + sc * bps..base + (sc + width) * bps) };
                 llr.copy_from_slice(&s.llr_tmp);
             }
         }
@@ -554,7 +677,13 @@ impl Kernels {
     /// layered decoder or, with `ablation.quantized_decoder`, the
     /// Z-lane-vectorised i8 decoder reading the quantised LLR plane. Both
     /// paths re-inflate into reusable scratch — no hot-path allocation.
-    pub fn decode_task(&self, fb: &FrameBuffers, s: &mut WorkerScratch, symbol: usize, user: usize) {
+    pub fn decode_task(
+        &self,
+        fb: &FrameBuffers,
+        s: &mut WorkerScratch,
+        symbol: usize,
+        user: usize,
+    ) {
         let g = &self.geom;
         let tx_len = self.rate_match.tx_len();
         let res = if self.cfg.ablation.quantized_decoder {
@@ -581,9 +710,7 @@ impl Kernels {
             )
         };
         unsafe {
-            fb.decoded
-                .slice_mut(fb.decoded_range(g, symbol, user))
-                .copy_from_slice(&res.info_bits);
+            fb.decoded.slice_mut(fb.decoded_range(g, symbol, user)).copy_from_slice(&res.info_bits);
             fb.decode_ok.write(symbol * g.k + user, res.success as u8);
         }
     }
@@ -644,10 +771,12 @@ impl Kernels {
                     s.user_block[user * width + w] = map_symbol(self.cfg.cell.modulation, v);
                 }
             }
-            let pre_slice =
-                unsafe { pre_src.pre.slice(pre_src.pre_range(sc / g.zf_group)) };
-            self.pre_gemm
-                .run(pre_slice, &s.user_block[..g.k * width], &mut s.ant_block[..g.m * width]);
+            let pre_slice = unsafe { pre_src.pre.slice(pre_src.pre_range(sc / g.zf_group)) };
+            self.pre_gemm.run(
+                pre_slice,
+                &s.user_block[..g.k * width],
+                &mut s.ant_block[..g.m * width],
+            );
             // Scatter to [block][antenna][width]; this task owns the
             // whole block (all antennas) for its subcarriers.
             let base = sym_base + fb.freq_block_offset(g, sc / g.block, 0);
@@ -670,8 +799,7 @@ impl Kernels {
         let freq = unsafe { fb.dl_freq.slice(fb.freq_symbol_range(symbol)) };
         for blk in 0..g.q / g.block {
             let off = fb.freq_block_offset(g, blk, ant);
-            s.active[blk * g.block..(blk + 1) * g.block]
-                .copy_from_slice(&freq[off..off + g.block]);
+            s.active[blk * g.block..(blk + 1) * g.block].copy_from_slice(&freq[off..off + g.block]);
         }
         self.map.map_symbols_bitrev(&s.active, &mut s.grid, self.fft.bitrev());
         self.fft.execute_prereversed(&mut s.grid, Direction::Inverse);
@@ -815,7 +943,10 @@ mod tests {
         let samples: Vec<Cf32> = (0..skip + n)
             .map(|i| {
                 let t = i as f32 * 0.37;
-                Cf32::new((t.sin() * 0.4 * 2048.0).round() / 2048.0, (t.cos() * 0.4 * 2048.0).round() / 2048.0)
+                Cf32::new(
+                    (t.sin() * 0.4 * 2048.0).round() / 2048.0,
+                    (t.cos() * 0.4 * 2048.0).round() / 2048.0,
+                )
             })
             .collect();
         let mut payload = Vec::new();

@@ -54,9 +54,7 @@ mod tests {
 
     #[test]
     fn idft_inverts_dft() {
-        let x: Vec<Cf32> = (0..16)
-            .map(|i| Cf32::new((i as f32).sin(), (i as f32).cos()))
-            .collect();
+        let x: Vec<Cf32> = (0..16).map(|i| Cf32::new((i as f32).sin(), (i as f32).cos())).collect();
         let y = idft(&dft(&x));
         for (a, b) in x.iter().zip(y.iter()) {
             assert!((*a - *b).abs() < 1e-4);

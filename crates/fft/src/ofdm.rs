@@ -195,9 +195,7 @@ mod tests {
     #[test]
     fn ofdm_modulate_demodulate_roundtrip() {
         let ofdm = Ofdm::new(SubcarrierMap::new(256, 180), 32);
-        let data: Vec<Cf32> = (0..180)
-            .map(|i| Cf32::cis(0.13 * i as f32).scale(0.7))
-            .collect();
+        let data: Vec<Cf32> = (0..180).map(|i| Cf32::cis(0.13 * i as f32).scale(0.7)).collect();
         let mut time = vec![Cf32::ZERO; ofdm.symbol_len()];
         ofdm.modulate(&data, &mut time);
         let mut back = vec![Cf32::ZERO; 180];

@@ -268,7 +268,9 @@ impl FftPlan {
     fn butterflies(&self, data: &mut [Cf32]) {
         #[cfg(target_arch = "x86_64")]
         if self.tier == SimdTier::Avx2 && self.n >= 4 {
-            unsafe { crate::simd::butterflies_avx2(data, self.n, &self.tw_re_dup, &self.tw_im_alt) };
+            unsafe {
+                crate::simd::butterflies_avx2(data, self.n, &self.tw_re_dup, &self.tw_im_alt)
+            };
             return;
         }
         for chunk in data.chunks_exact_mut(self.n) {

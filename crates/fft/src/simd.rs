@@ -283,8 +283,8 @@ unsafe fn stage_triple(p: *mut f32, n: usize, tb: usize, w: usize, tw_re: &[f32]
 #[inline]
 unsafe fn fused_radix4(q: *mut f32) {
     let v = _mm256_loadu_ps(q); // [x0 x1 x2 x3] as (re, im) pairs
-    // Stage 0: s = [x0+x1, x0-x1, x2+x3, x2-x3]. Complex values are f64
-    // lanes, so pd-shuffles move whole (re, im) pairs.
+                                // Stage 0: s = [x0+x1, x0-x1, x2+x3, x2-x3]. Complex values are f64
+                                // lanes, so pd-shuffles move whole (re, im) pairs.
     let vd = _mm256_castps_pd(v);
     let ve = _mm256_castpd_ps(_mm256_movedup_pd(vd)); // [x0 x0 x2 x2]
     let vo = _mm256_castpd_ps(_mm256_permute_pd(vd, 0b1111)); // [x1 x1 x3 x3]

@@ -293,9 +293,8 @@ fn repair_4_cycles(entries: &mut [BaseEntry], kb: usize, zs: &[usize], rng: &mut
                     if f1.row == e1.row || f1.col != e1.col {
                         continue;
                     }
-                    if let Some(d) = entries
-                        .iter()
-                        .position(|f2| f2.row == f1.row && f2.col == e2.col)
+                    if let Some(d) =
+                        entries.iter().position(|f2| f2.row == f1.row && f2.col == e2.col)
                     {
                         let f2 = entries[d];
                         let cyclic = zs.iter().any(|&z| {
@@ -341,10 +340,7 @@ fn participates_in_4_cycle(entries: &[BaseEntry], idx: usize, zs: &[usize]) -> b
     let e1 = entries[idx];
     for e2 in entries.iter().filter(|e| e.row == e1.row && e.col != e1.col) {
         for f1 in entries.iter().filter(|f| f.row != e1.row && f.col == e1.col) {
-            if let Some(f2) = entries
-                .iter()
-                .find(|f| f.row == f1.row && f.col == e2.col)
-            {
+            if let Some(f2) = entries.iter().find(|f| f.row == f1.row && f.col == e2.col) {
                 for &z in zs {
                     let zi = z as i64;
                     let delta = (e1.shift as i64 % zi - f1.shift as i64 % zi)
@@ -469,10 +465,9 @@ mod tests {
     #[test]
     fn punctured_columns_are_high_degree() {
         let bg = BaseGraph::get(BaseGraphId::Bg1);
-        let deg =
-            |c: u16| -> usize { bg.entries().iter().filter(|e| e.col == c).count() };
-        let avg_info: f64 = (2..bg.info_cols() as u16).map(deg).sum::<usize>() as f64
-            / (bg.info_cols() - 2) as f64;
+        let deg = |c: u16| -> usize { bg.entries().iter().filter(|e| e.col == c).count() };
+        let avg_info: f64 =
+            (2..bg.info_cols() as u16).map(deg).sum::<usize>() as f64 / (bg.info_cols() - 2) as f64;
         assert!(deg(0) as f64 > 3.0 * avg_info, "col 0 degree {} vs avg {avg_info}", deg(0));
         assert!(deg(1) as f64 > 1.5 * avg_info, "col 1 degree {} vs avg {avg_info}", deg(1));
     }

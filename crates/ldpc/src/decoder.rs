@@ -415,10 +415,7 @@ mod tests {
         let info = random_bits(enc.info_len(), 51);
         let cw = enc.encode(&info);
         let llr = clean_llrs(&cw, z, 8.0);
-        let res = dec.decode(
-            &llr,
-            &DecodeConfig { active_rows: Some(10), ..Default::default() },
-        );
+        let res = dec.decode(&llr, &DecodeConfig { active_rows: Some(10), ..Default::default() });
         assert!(res.success);
     }
 
@@ -434,7 +431,8 @@ mod tests {
         let ptr_before = dec.v2c.as_ptr();
         let cap_before = dec.v2c.capacity();
         for _ in 0..4 {
-            let res = dec.decode_flooding(&llr, &DecodeConfig { max_iters: 10, ..Default::default() });
+            let res =
+                dec.decode_flooding(&llr, &DecodeConfig { max_iters: 10, ..Default::default() });
             assert!(res.success);
         }
         assert_eq!(dec.v2c.as_ptr(), ptr_before, "flooding scratch was reallocated");

@@ -420,10 +420,7 @@ unsafe fn row_extrinsic_avx2(
         _mm256_storeu_si256(min_pos.as_mut_ptr().add(c) as *mut __m256i, new_mp);
         let sv = _mm256_loadu_si256(signs.as_ptr().add(c) as *const __m256i);
         let negm = _mm256_cmpgt_epi8(zero, v);
-        _mm256_storeu_si256(
-            signs.as_mut_ptr().add(c) as *mut __m256i,
-            _mm256_xor_si256(sv, negm),
-        );
+        _mm256_storeu_si256(signs.as_mut_ptr().add(c) as *mut __m256i, _mm256_xor_si256(sv, negm));
     }
 }
 
@@ -494,7 +491,15 @@ mod tests {
     fn clean_llrs_i8(cw: &[u8], z: usize, amp: i8) -> Vec<i8> {
         cw.iter()
             .enumerate()
-            .map(|(i, &b)| if i < 2 * z { 0 } else if b == 0 { amp } else { -amp })
+            .map(|(i, &b)| {
+                if i < 2 * z {
+                    0
+                } else if b == 0 {
+                    amp
+                } else {
+                    -amp
+                }
+            })
             .collect()
     }
 
@@ -595,7 +600,15 @@ mod tests {
         let llr: Vec<i8> = cw
             .iter()
             .enumerate()
-            .map(|(i, &b)| if i < 2 * z { 0 } else if b == 0 { 127 } else { -128 })
+            .map(|(i, &b)| {
+                if i < 2 * z {
+                    0
+                } else if b == 0 {
+                    127
+                } else {
+                    -128
+                }
+            })
             .collect();
         let res = dec.decode(&llr, &DecodeConfigI8::default());
         assert!(res.success);

@@ -234,7 +234,11 @@ mod tests {
         let full = rm.fill_llrs(&llrs);
         let res = dec.decode(
             &full,
-            &DecodeConfig { active_rows: Some(rm.active_rows()), max_iters: 20, ..Default::default() },
+            &DecodeConfig {
+                active_rows: Some(rm.active_rows()),
+                max_iters: 20,
+                ..Default::default()
+            },
         );
         assert!(res.success);
         assert_eq!(res.info_bits, info);

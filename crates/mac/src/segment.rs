@@ -15,8 +15,8 @@
 //! Each segment is padded to the code block's information length; a
 //! 16-bit length prefix lets the receiver strip the padding.
 
-use agora_ldpc::{attach_crc, check_crc};
 use agora_ldpc::crc::CRC_BITS;
+use agora_ldpc::{attach_crc, check_crc};
 use agora_phy::frame::CellConfig;
 
 /// A MAC transport block: an opaque byte payload for one user.

@@ -112,10 +112,7 @@ macro_rules! impl_complex {
             /// `conj(self) * b`, the kernel of Hermitian inner products.
             #[inline(always)]
             pub fn conj_mul(self, b: Self) -> Self {
-                Self {
-                    re: self.re * b.re + self.im * b.im,
-                    im: self.re * b.im - self.im * b.re,
-                }
+                Self { re: self.re * b.re + self.im * b.im, im: self.re * b.im - self.im * b.re }
             }
 
             /// Scales by a real factor.
@@ -149,10 +146,7 @@ macro_rules! impl_complex {
             type Output = Self;
             #[inline(always)]
             fn mul(self, o: Self) -> Self {
-                Self {
-                    re: self.re * o.re - self.im * o.im,
-                    im: self.re * o.im + self.im * o.re,
-                }
+                Self { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
             }
         }
         impl Div for $name {

@@ -118,14 +118,7 @@ pub fn gemv(m: usize, k: usize, a: &[Cf32], x: &[Cf32], y: &mut [Cf32]) {
 }
 
 /// [`gemv`] with the dispatch tier pinned by the caller.
-pub fn gemv_with_tier(
-    m: usize,
-    k: usize,
-    a: &[Cf32],
-    x: &[Cf32],
-    y: &mut [Cf32],
-    tier: SimdTier,
-) {
+pub fn gemv_with_tier(m: usize, k: usize, a: &[Cf32], x: &[Cf32], y: &mut [Cf32], tier: SimdTier) {
     assert_eq!(a.len(), m * k, "A shape mismatch");
     assert_eq!(x.len(), k, "x length mismatch");
     assert_eq!(y.len(), m, "y length mismatch");
@@ -185,6 +178,64 @@ pub fn gram_scalar(rows: usize, cols: usize, a: &[Cf32], out: &mut [Cf32]) {
                 *gj = ai.mul_add(aj, *gj);
             }
         }
+    }
+}
+
+/// Complex AXPY `y += alpha * x` over contiguous slices. Dispatches on
+/// the detected SIMD tier; all tiers are bit-identical because the
+/// update is purely elementwise (no cross-element accumulation).
+#[inline]
+pub fn caxpy(alpha: Cf32, x: &[Cf32], y: &mut [Cf32]) {
+    caxpy_with_tier(alpha, x, y, SimdTier::cached());
+}
+
+/// [`caxpy`] with the dispatch tier pinned by the caller.
+#[inline]
+pub fn caxpy_with_tier(alpha: Cf32, x: &[Cf32], y: &mut [Cf32], tier: SimdTier) {
+    assert_eq!(x.len(), y.len(), "caxpy length mismatch");
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { crate::gemm_simd::caxpy_avx2(alpha, x, y) },
+        _ => caxpy_scalar(alpha, x, y),
+    }
+}
+
+/// Scalar reference AXPY.
+pub fn caxpy_scalar(alpha: Cf32, x: &[Cf32], y: &mut [Cf32]) {
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi = alpha.mul_add(xi, *yi);
+    }
+}
+
+/// Gram matrix `out = A^H A` when the caller already holds the conjugate
+/// transpose: `a` is `rows x cols`, `ah` is `cols x rows` and must equal
+/// `a^H` elementwise, `out` is `cols x cols`. Bit-identical to
+/// [`gram`] / [`gram_scalar`] on `a`, but the AVX2 path walks both
+/// operands contiguously and computes only the lower triangle (mirroring
+/// the rest by conjugation), which is roughly 2x faster than the strided
+/// [`gram`] kernel at ZF shapes. The ZF pseudo-inverse always has `a^H`
+/// on hand — it is the right-hand side of the detector solve.
+#[inline]
+pub fn gram_pair(rows: usize, cols: usize, ah: &[Cf32], a: &[Cf32], out: &mut [Cf32]) {
+    gram_pair_with_tier(rows, cols, ah, a, out, SimdTier::cached());
+}
+
+/// [`gram_pair`] with the dispatch tier pinned by the caller.
+pub fn gram_pair_with_tier(
+    rows: usize,
+    cols: usize,
+    ah: &[Cf32],
+    a: &[Cf32],
+    out: &mut [Cf32],
+    tier: SimdTier,
+) {
+    assert_eq!(a.len(), rows * cols, "A shape mismatch");
+    assert_eq!(ah.len(), cols * rows, "A^H shape mismatch");
+    assert_eq!(out.len(), cols * cols, "Gram output shape mismatch");
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { crate::gemm_simd::gram_pair_avx2(rows, cols, ah, a, out) },
+        _ => gram_scalar(rows, cols, a, out),
     }
 }
 
@@ -437,7 +488,11 @@ mod tests {
         let mut special = vec![Cf32::ZERO; 16 * 8];
         let mut tiered = vec![Cf32::ZERO; 16 * 8];
         Gemm::plan_generic(16, 64, 8).run(a.as_slice(), b.as_slice(), &mut generic);
-        Gemm::plan_with_tier(16, 64, 8, SimdTier::Scalar).run(a.as_slice(), b.as_slice(), &mut special);
+        Gemm::plan_with_tier(16, 64, 8, SimdTier::Scalar).run(
+            a.as_slice(),
+            b.as_slice(),
+            &mut special,
+        );
         Gemm::plan(16, 64, 8).run(a.as_slice(), b.as_slice(), &mut tiered);
         assert_eq!(bits(&generic), bits(&special));
         assert_eq!(bits(&generic), bits(&tiered));
@@ -536,6 +591,38 @@ mod proptests {
             let mut g_simd = vec![Cf32::ONE; cols * cols];
             gram_with_tier(rows, cols, &a, &mut g_scalar, SimdTier::Scalar);
             gram_with_tier(rows, cols, &a, &mut g_simd, SimdTier::detect());
+            prop_assert_eq!(bits(&g_scalar), bits(&g_simd));
+        }
+
+        /// Scalar and AVX2 AXPY agree to the bit, including tails shorter
+        /// than one vector.
+        #[test]
+        fn caxpy_tier_parity(n in 1usize..80, seed in 0u64..1024) {
+            let alpha = fill(1, seed ^ 0xA1FA)[0];
+            let x = fill(n, seed);
+            let mut y_scalar = fill(n, seed ^ 0x77);
+            let mut y_simd = y_scalar.clone();
+            caxpy_with_tier(alpha, &x, &mut y_scalar, SimdTier::Scalar);
+            caxpy_with_tier(alpha, &x, &mut y_simd, SimdTier::detect());
+            prop_assert_eq!(bits(&y_scalar), bits(&y_simd));
+        }
+
+        /// The paired (lower-triangle + conjugate mirror) Gram kernel is
+        /// bit-identical to the scalar full Gram, including `cols` that
+        /// are not a multiple of the tile width and `cols = 1`.
+        #[test]
+        fn gram_pair_tier_parity(rows in 1usize..64, cols in 1usize..24, seed in 0u64..1024) {
+            let a = fill(rows * cols, seed);
+            let mut ah = vec![Cf32::ZERO; cols * rows];
+            for r in 0..rows {
+                for c in 0..cols {
+                    ah[c * rows + r] = a[r * cols + c].conj();
+                }
+            }
+            let mut g_scalar = vec![Cf32::ZERO; cols * cols];
+            let mut g_simd = vec![Cf32::ONE; cols * cols];
+            gram_pair_with_tier(rows, cols, &ah, &a, &mut g_scalar, SimdTier::Scalar);
+            gram_pair_with_tier(rows, cols, &ah, &a, &mut g_simd, SimdTier::detect());
             prop_assert_eq!(bits(&g_scalar), bits(&g_simd));
         }
 

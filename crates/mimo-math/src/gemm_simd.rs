@@ -148,7 +148,14 @@ unsafe fn tile_masked<const R: usize>(
 /// Caller must ensure the CPU supports AVX2 and that slice lengths match
 /// the `m x k * k x n` shapes (checked by the public dispatch wrappers).
 #[target_feature(enable = "avx2")]
-pub(crate) unsafe fn gemm_avx2(m: usize, k: usize, n: usize, a: &[Cf32], b: &[Cf32], c: &mut [Cf32]) {
+pub(crate) unsafe fn gemm_avx2(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[Cf32],
+    b: &[Cf32],
+    c: &mut [Cf32],
+) {
     if n == 1 {
         // Column vector: B is contiguous, so this is exactly a GEMV.
         gemv_avx2(m, k, a, b, c);
@@ -259,6 +266,279 @@ pub(crate) unsafe fn gemv_avx2(m: usize, k: usize, a: &[Cf32], x: &[Cf32], y: &m
             s = aij.mul_add(xj, s);
         }
         y[r] = s;
+    }
+}
+
+/// AVX2 complex AXPY `y += alpha * x` over contiguous slices,
+/// bit-identical to the scalar `alpha.mul_add(x[i], y[i])` loop: each
+/// element is one unfused multiply (`addsub` complex product) plus one
+/// add, with no cross-element accumulation, so vectorization cannot
+/// change results. This is the sweep primitive behind the Cholesky
+/// factor/solve kernels: every column update and triangular-solve row
+/// elimination is one contiguous AXPY.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and `x.len() == y.len()`
+/// (checked by the public dispatch wrapper).
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn caxpy_avx2(alpha: Cf32, x: &[Cf32], y: &mut [Cf32]) {
+    let n = x.len();
+    let pair = bcast_pair(&alpha as *const Cf32);
+    let ar = _mm256_moveldup_ps(pair);
+    let ai = _mm256_movehdup_ps(pair);
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let n4 = n & !(NR - 1);
+    let mut i = 0;
+    while i < n4 {
+        let xv = _mm256_loadu_ps(xp.add(i) as *const f32);
+        let xs = _mm256_permute_ps(xv, SWAP_RE_IM);
+        let yv = _mm256_loadu_ps(yp.add(i) as *const f32);
+        _mm256_storeu_ps(yp.add(i) as *mut f32, cmac(yv, xv, xs, ar, ai));
+        i += NR;
+    }
+    while i < n {
+        y[i] = alpha.mul_add(x[i], y[i]);
+        i += 1;
+    }
+}
+
+/// AVX2 fused Cholesky triangular solve: given the lower factor `l`
+/// (`n x n`, row-major) and `x` preloaded with the RHS (`n x nrhs`),
+/// performs the forward (`L Y = B`) and backward (`L^H X = Y`) column
+/// sweeps in place. Bit-identical to the scalar sweep in
+/// `cholesky::solve_sweep_scalar`: the row scaling is an elementwise
+/// multiply by the same `1/l[p][p]` f32 and each elimination is the
+/// [`caxpy_avx2`] body (unfused complex multiply-add, no cross-element
+/// accumulation). Fusing the sweeps into one `target_feature` region
+/// removes the per-AXPY dispatch and call overhead that dominates at
+/// ZF sizes (`n = 16`, `nrhs = 64` means 240 eliminations of 64
+/// elements each).
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2, `l.len() == n * n`, and
+/// `x.len() == n * nrhs`.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn chol_solve_avx2(l: &[Cf32], n: usize, x: &mut [Cf32], nrhs: usize) {
+    let lp = l.as_ptr();
+    let base = x.as_mut_ptr();
+    // Forward: L Y = B, swept two columns at a time. The pair is applied
+    // to each target row in pivot order (`p` then `p+1`), so every
+    // element sees the exact operation sequence of two single-column
+    // sweeps — rank-2 only halves the target-row load/store traffic.
+    let mut p = 0;
+    while p + 1 < n {
+        let src0 = base.add(p * nrhs);
+        let src1 = base.add((p + 1) * nrhs);
+        scale_row(1.0 / (*lp.add(p * n + p)).re, src0, nrhs);
+        elim_row(-*lp.add((p + 1) * n + p), src0, src1, nrhs);
+        scale_row(1.0 / (*lp.add((p + 1) * n + p + 1)).re, src1, nrhs);
+        for i in p + 2..n {
+            let a0 = -*lp.add(i * n + p);
+            let a1 = -*lp.add(i * n + p + 1);
+            elim_row2(a0, src0, a1, src1, base.add(i * nrhs), nrhs);
+        }
+        p += 2;
+    }
+    if p < n {
+        let src = base.add(p * nrhs);
+        scale_row(1.0 / (*lp.add(p * n + p)).re, src, nrhs);
+        for i in p + 1..n {
+            elim_row(-*lp.add(i * n + p), src, base.add(i * nrhs), nrhs);
+        }
+    }
+    // Backward: L^H X = Y, bottom-up; L^H[i][p] = conj(L[p][i]).
+    let mut p = n;
+    while p >= 2 {
+        p -= 2;
+        // Pivot order is `p+1` then `p` (descending), as in the
+        // single-column sweep.
+        let src1 = base.add((p + 1) * nrhs);
+        let src0 = base.add(p * nrhs);
+        scale_row(1.0 / (*lp.add((p + 1) * n + p + 1)).re, src1, nrhs);
+        elim_row(-(*lp.add((p + 1) * n + p)).conj(), src1, src0, nrhs);
+        scale_row(1.0 / (*lp.add(p * n + p)).re, src0, nrhs);
+        for i in 0..p {
+            let a1 = -(*lp.add((p + 1) * n + i)).conj();
+            let a0 = -(*lp.add(p * n + i)).conj();
+            elim_row2(a1, src1, a0, src0, base.add(i * nrhs), nrhs);
+        }
+    }
+    if p == 1 {
+        // Only row 0 remains: scale it (no rows above to eliminate into).
+        scale_row(1.0 / (*lp.add(0)).re, base, nrhs);
+    }
+}
+
+/// Rank-2 sweep elimination `dst = (dst + a * srca) + b * srcb` — two
+/// [`elim_row`] passes fused so the target row is loaded and stored once.
+/// Per element the operation sequence is exactly the two sequential
+/// single-column eliminations (first `a * srca`, then `b * srcb`), so the
+/// result is bit-identical to calling [`elim_row`] twice.
+///
+/// # Safety
+/// Must be inlined into an AVX2 `target_feature` caller; all three
+/// pointers must cover `len` valid elements, `dst` disjoint from both
+/// sources.
+#[inline(always)]
+unsafe fn elim_row2(
+    a: Cf32,
+    srca: *const Cf32,
+    b: Cf32,
+    srcb: *const Cf32,
+    dst: *mut Cf32,
+    len: usize,
+) {
+    let pa = bcast_pair(&a as *const Cf32);
+    let ar = _mm256_moveldup_ps(pa);
+    let ai = _mm256_movehdup_ps(pa);
+    let pb = bcast_pair(&b as *const Cf32);
+    let br = _mm256_moveldup_ps(pb);
+    let bi = _mm256_movehdup_ps(pb);
+    let len4 = len & !(NR - 1);
+    let mut c = 0;
+    while c < len4 {
+        let xa = _mm256_loadu_ps(srca.add(c) as *const f32);
+        let xb = _mm256_loadu_ps(srcb.add(c) as *const f32);
+        let yv = _mm256_loadu_ps(dst.add(c) as *const f32);
+        let t = cmac(yv, xa, _mm256_permute_ps(xa, SWAP_RE_IM), ar, ai);
+        let u = cmac(t, xb, _mm256_permute_ps(xb, SWAP_RE_IM), br, bi);
+        _mm256_storeu_ps(dst.add(c) as *mut f32, u);
+        c += NR;
+    }
+    while c < len {
+        let t = a.mul_add(*srca.add(c), *dst.add(c));
+        *dst.add(c) = b.mul_add(*srcb.add(c), t);
+        c += 1;
+    }
+}
+
+/// One sweep elimination `dst += alpha * src` over `len` elements — the
+/// [`caxpy_avx2`] body as an always-inlined helper so [`chol_solve_avx2`]
+/// pays no per-row call or dispatch cost.
+///
+/// # Safety
+/// Must be inlined into an AVX2 `target_feature` caller; `src` and `dst`
+/// must point at `len` valid, non-overlapping elements.
+#[inline(always)]
+unsafe fn elim_row(alpha: Cf32, src: *const Cf32, dst: *mut Cf32, len: usize) {
+    let pair = bcast_pair(&alpha as *const Cf32);
+    let ar = _mm256_moveldup_ps(pair);
+    let ai = _mm256_movehdup_ps(pair);
+    let len4 = len & !(NR - 1);
+    let mut c = 0;
+    while c < len4 {
+        let xv = _mm256_loadu_ps(src.add(c) as *const f32);
+        let xs = _mm256_permute_ps(xv, SWAP_RE_IM);
+        let yv = _mm256_loadu_ps(dst.add(c) as *const f32);
+        _mm256_storeu_ps(dst.add(c) as *mut f32, cmac(yv, xv, xs, ar, ai));
+        c += NR;
+    }
+    while c < len {
+        *dst.add(c) = alpha.mul_add(*src.add(c), *dst.add(c));
+        c += 1;
+    }
+}
+
+/// Elementwise scale of a `len`-element row by a real factor (both
+/// components multiplied by the same f32 — identical to
+/// `Cf32::scale`).
+///
+/// # Safety
+/// Must be inlined into an AVX2 `target_feature` caller; `row` must point
+/// at `len` valid elements.
+#[inline(always)]
+unsafe fn scale_row(inv_d: f32, row: *mut Cf32, len: usize) {
+    let vd = _mm256_set1_ps(inv_d);
+    let len4 = len & !(NR - 1);
+    let mut c = 0;
+    while c < len4 {
+        let v = _mm256_loadu_ps(row.add(c) as *const f32);
+        _mm256_storeu_ps(row.add(c) as *mut f32, _mm256_mul_ps(v, vd));
+        c += NR;
+    }
+    while c < len {
+        *row.add(c) = (*row.add(c)).scale(inv_d);
+        c += 1;
+    }
+}
+
+/// AVX2 Hermitian Gram product `g = hh * h` where `hh = h^H` is supplied
+/// by the caller: `h` is `rows x cols`, `hh` is `cols x rows`, `g` is
+/// `cols x cols`. Bit-identical to
+/// [`gram_scalar`](crate::gemm::gram_scalar) on `h`: the tile kernel's
+/// sequential inner-dimension accumulation visits exactly the scalar
+/// path's `conj(h[r][i]) * h[r][j]` products in the same order, and the
+/// mirrored upper triangle `g[i][j] = conj(g[j][i])` is bit-equal to
+/// direct evaluation because complex conjugation of an unfused product
+/// chain is exact.
+///
+/// Unlike [`gram_avx2`] (which streams strided columns of `h`), both
+/// operands here are walked contiguously — `hh` rows as the A operand,
+/// `h` rows as the B operand — and only the lower-triangle tiles are
+/// computed, so this is the preferred kernel when `h^H` is already
+/// available (the ZF pseudo-inverse needs it anyway as the solve RHS).
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and slice lengths match
+/// (checked by the public dispatch wrapper).
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn gram_pair_avx2(
+    rows: usize,
+    cols: usize,
+    hh: &[Cf32],
+    h: &[Cf32],
+    g: &mut [Cf32],
+) {
+    let ap = hh.as_ptr();
+    let bp = h.as_ptr();
+    let gp = g.as_mut_ptr();
+    let k = cols;
+    // Lower-triangle tiles: row blocks of hh against column strips of h
+    // with strip start <= block start (the block-diagonal strip included).
+    let mut i0 = 0;
+    while i0 + MR <= k {
+        let arow = ap.add(i0 * rows);
+        let crow = gp.add(i0 * k);
+        // Pair adjacent strips into two-register tiles where possible —
+        // same outputs, half the broadcast/load overhead per MAC.
+        let mut j0 = 0;
+        while j0 + 2 * NR <= i0 + NR {
+            tile::<MR, 2>(arow, rows, bp.add(j0), k, rows, crow.add(j0), k);
+            j0 += 2 * NR;
+        }
+        while j0 <= i0 {
+            let w = NR.min(k - j0);
+            if w == NR {
+                tile::<MR, 1>(arow, rows, bp.add(j0), k, rows, crow.add(j0), k);
+            } else {
+                tile_masked::<MR>(arow, rows, bp.add(j0), k, rows, crow.add(j0), k, tail_mask(w));
+            }
+            j0 += NR;
+        }
+        i0 += MR;
+    }
+    for i in i0..k {
+        let arow = ap.add(i * rows);
+        let crow = gp.add(i * k);
+        let mut j0 = 0;
+        while j0 <= i {
+            let w = NR.min(k - j0);
+            if w == NR {
+                tile::<1, 1>(arow, rows, bp.add(j0), k, rows, crow.add(j0), k);
+            } else {
+                tile_masked::<1>(arow, rows, bp.add(j0), k, rows, crow.add(j0), k, tail_mask(w));
+            }
+            j0 += NR;
+        }
+    }
+    // Mirror the strictly-upper tiles: columns beyond the row's diagonal
+    // strip come from the conjugate of the computed lower triangle.
+    for i in 0..k {
+        let covered = ((i / NR) * NR + NR).min(k);
+        for j in covered..k {
+            *gp.add(i * k + j) = (*gp.add(j * k + i)).conj();
+        }
     }
 }
 

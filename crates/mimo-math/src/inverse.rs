@@ -37,9 +37,19 @@ impl core::fmt::Display for InvError {
 
 impl std::error::Error for InvError {}
 
-/// Pivot magnitudes below this (relative to the largest initial element)
-/// are treated as singular.
-const PIVOT_EPS: f32 = 1e-12;
+/// Relative singularity threshold for an `n x n` elimination whose
+/// largest initial element magnitude is `scale`: pivots at or below
+/// `n * eps_f32 * scale` are treated as singular.
+///
+/// The previous guard compared against `1e-12 * scale`, which is *below
+/// f32 resolution* (machine epsilon ~1.2e-7) — it could only fire on
+/// exactly-zero pivots, so near-singular Gram matrices (e.g. two users
+/// with almost-identical channels) sailed through and produced garbage
+/// detectors instead of degrading to the SVD route.
+#[inline]
+fn pivot_threshold(n: usize, scale: f32) -> f32 {
+    (n as f32) * f32::EPSILON * scale.max(f32::MIN_POSITIVE)
+}
 
 /// Inverts a square complex matrix by Gauss-Jordan elimination with
 /// partial (row) pivoting.
@@ -83,7 +93,8 @@ pub fn invert_into(a: &CMat, work: &mut CMat, out: &mut CMat) -> Result<(), InvE
     for i in 0..n {
         inv[(i, i)] = Cf32::ONE;
     }
-    let scale = m.as_slice().iter().map(|z| z.norm_sqr()).fold(0.0f32, f32::max).sqrt().max(1.0);
+    let scale = m.as_slice().iter().map(|z| z.norm_sqr()).fold(0.0f32, f32::max).sqrt();
+    let thr = pivot_threshold(n, scale);
 
     for col in 0..n {
         // Partial pivot: find the largest magnitude in this column at or
@@ -97,7 +108,7 @@ pub fn invert_into(a: &CMat, work: &mut CMat, out: &mut CMat) -> Result<(), InvE
                 pivot_row = r;
             }
         }
-        if pivot_mag.sqrt() <= PIVOT_EPS * scale {
+        if pivot_mag.sqrt() <= thr {
             return Err(InvError::Singular { step: col });
         }
         if pivot_row != col {
@@ -142,7 +153,8 @@ pub fn solve(a: &CMat, b: &CMat) -> Result<CMat, InvError> {
     assert_eq!(b.rows(), n, "RHS row count must match A");
     let mut lu = a.clone();
     let mut perm: Vec<usize> = (0..n).collect();
-    let scale = lu.as_slice().iter().map(|z| z.norm_sqr()).fold(0.0f32, f32::max).sqrt().max(1.0);
+    let scale = lu.as_slice().iter().map(|z| z.norm_sqr()).fold(0.0f32, f32::max).sqrt();
+    let thr = pivot_threshold(n, scale);
 
     for col in 0..n {
         let mut pivot_row = col;
@@ -154,7 +166,7 @@ pub fn solve(a: &CMat, b: &CMat) -> Result<CMat, InvError> {
                 pivot_row = r;
             }
         }
-        if pivot_mag.sqrt() <= PIVOT_EPS * scale {
+        if pivot_mag.sqrt() <= thr {
             return Err(InvError::Singular { step: col });
         }
         if pivot_row != col {
@@ -211,28 +223,10 @@ fn swap_rows(m: &mut CMat, a: usize, b: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{rand_diag_dominant as well_conditioned, rand_mat as rand_rect};
 
     fn rand_mat(n: usize, seed: u64) -> CMat {
-        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(99);
-        CMat::from_fn(n, n, |_, _| {
-            let mut next = || {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                ((state >> 11) as f32 / (1u64 << 53) as f32) - 0.25
-            };
-            Cf32::new(next(), next())
-        })
-    }
-
-    /// Random matrices are almost surely well-conditioned enough at these
-    /// sizes; diagonally dominate to be safe.
-    fn well_conditioned(n: usize, seed: u64) -> CMat {
-        let mut m = rand_mat(n, seed);
-        for i in 0..n {
-            m[(i, i)] += Cf32::new(n as f32, 0.0);
-        }
-        m
+        rand_rect(n, n, seed)
     }
 
     #[test]
@@ -244,13 +238,18 @@ mod tests {
 
     #[test]
     fn invert_diagonal() {
-        let d = CMat::from_fn(3, 3, |r, c| {
-            if r == c {
-                Cf32::new(0.0, (r + 1) as f32)
-            } else {
-                Cf32::ZERO
-            }
-        });
+        let d =
+            CMat::from_fn(
+                3,
+                3,
+                |r, c| {
+                    if r == c {
+                        Cf32::new(0.0, (r + 1) as f32)
+                    } else {
+                        Cf32::ZERO
+                    }
+                },
+            );
         let inv = invert(&d).unwrap();
         let prod = d.matmul(&inv);
         assert!(prod.max_abs_diff(&CMat::identity(3)) < 1e-6);
@@ -299,11 +298,7 @@ mod tests {
     #[test]
     fn invert_requires_pivoting() {
         // Zero on the leading diagonal forces a row swap.
-        let a = CMat::from_slice(
-            2,
-            2,
-            &[Cf32::ZERO, Cf32::ONE, Cf32::ONE, Cf32::ZERO],
-        );
+        let a = CMat::from_slice(2, 2, &[Cf32::ZERO, Cf32::ONE, Cf32::ONE, Cf32::ZERO]);
         let inv = invert(&a).unwrap();
         assert!(a.matmul(&inv).max_abs_diff(&CMat::identity(2)) < 1e-6);
     }
@@ -331,5 +326,44 @@ mod tests {
     fn invert_empty_matrix() {
         let a = CMat::zeros(0, 0);
         assert!(invert(&a).unwrap().is_empty());
+    }
+
+    /// Near-singular Gram matrix of a nearly-duplicate-user channel: two
+    /// columns differing by ~1e-6. The old `1e-12` guard (below f32
+    /// resolution) let this through and produced a garbage inverse; the
+    /// relative threshold must reject it in both elimination routines.
+    #[test]
+    fn near_singular_gram_is_rejected() {
+        let m = 16;
+        let base = rand_rect(m, 1, 77);
+        let h = CMat::from_fn(m, 2, |r, c| {
+            let mut v = base[(r, 0)];
+            if c == 1 {
+                v += Cf32::new(1e-6 * (r as f32 + 1.0), -1e-6);
+            }
+            v
+        });
+        let g = h.gram();
+        match invert(&g) {
+            Err(InvError::Singular { .. }) => {}
+            Ok(inv) => panic!(
+                "near-singular Gram inverted, max entry {}",
+                inv.max_abs_diff(&CMat::zeros(2, 2))
+            ),
+            other => panic!("unexpected {other:?}"),
+        }
+        match solve(&g, &CMat::identity(2)) {
+            Err(InvError::Singular { .. }) => {}
+            other => panic!("solve accepted near-singular Gram: {other:?}"),
+        }
+    }
+
+    /// Well-scaled but *small-magnitude* matrices must still invert: the
+    /// threshold is relative to the matrix scale, not absolute.
+    #[test]
+    fn tiny_scale_well_conditioned_still_inverts() {
+        let a = well_conditioned(8, 5).scale(1e-6);
+        let inv = invert(&a).unwrap();
+        assert!(a.matmul(&inv).max_abs_diff(&CMat::identity(8)) < 1e-3);
     }
 }

@@ -30,18 +30,21 @@ pub mod pinv;
 pub mod qr;
 pub mod simd;
 pub mod svd;
+#[cfg(test)]
+pub(crate) mod testutil;
 
-pub use cholesky::Cholesky;
+pub use cholesky::{CholScratch, Cholesky, NotPositiveDefinite};
 pub use complex::{Cf32, Cf64};
 pub use gemm::{
-    gemm, gemm_fixed, gemm_scalar, gemm_with_tier, gemv, gemv_scalar, gemv_with_tier, gram,
-    gram_scalar, gram_with_tier, Gemm, GemmKernel,
+    caxpy, caxpy_scalar, caxpy_with_tier, gemm, gemm_fixed, gemm_scalar, gemm_with_tier, gemv,
+    gemv_scalar, gemv_with_tier, gram, gram_pair, gram_pair_with_tier, gram_scalar, gram_with_tier,
+    Gemm, GemmKernel,
 };
 pub use inverse::{invert, invert_into, solve, InvError};
 pub use matrix::CMat;
 pub use pinv::{
-    cond_estimate, normalize_precoder, normalize_precoder_in_place, pinv, pinv_direct, pinv_into,
-    pinv_svd, PinvMethod, PinvScratch,
+    cond_estimate, normalize_precoder, normalize_precoder_in_place, pinv, pinv_cholesky,
+    pinv_direct, pinv_into, pinv_svd, PinvMethod, PinvScratch,
 };
 pub use qr::{qr, Qr};
 pub use simd::SimdTier;

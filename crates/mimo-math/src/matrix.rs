@@ -135,11 +135,13 @@ impl CMat {
     /// Panics if `out` is not `cols x rows`.
     pub fn hermitian_into(&self, out: &mut CMat) {
         assert_eq!(out.shape(), (self.cols, self.rows), "hermitian_into shape mismatch");
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c].conj();
-            }
-        }
+        crate::simd::conj_transpose(
+            &self.data,
+            self.rows,
+            self.cols,
+            &mut out.data,
+            crate::simd::SimdTier::cached(),
+        );
     }
 
     /// Copies another matrix's elements into this one (no allocation).
@@ -241,10 +243,7 @@ impl CMat {
         assert_eq!(x.len(), self.cols, "vector length must equal cols");
         (0..self.rows)
             .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(x.iter())
-                    .fold(Cf32::ZERO, |acc, (&a, &b)| a.mul_add(b, acc))
+                self.row(r).iter().zip(x.iter()).fold(Cf32::ZERO, |acc, (&a, &b)| a.mul_add(b, acc))
             })
             .collect()
     }
@@ -258,11 +257,7 @@ impl CMat {
     /// standard closeness metric in this workspace's tests.
     pub fn max_abs_diff(&self, other: &CMat) -> f32 {
         assert_eq!(self.shape(), other.shape(), "shape mismatch");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (*a - *b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (*a - *b).abs()).fold(0.0f32, f32::max)
     }
 
     /// True when every element is finite.

@@ -12,7 +12,9 @@
 //!
 //! Both return a `K x M` matrix `W` such that `W H ≈ I_K`.
 
+use crate::cholesky::{CholScratch, Cholesky, NotPositiveDefinite};
 use crate::complex::Cf32;
+use crate::gemm::gram_pair_with_tier;
 use crate::inverse::{invert, invert_into, InvError};
 use crate::matrix::CMat;
 use crate::simd::SimdTier;
@@ -25,6 +27,10 @@ pub enum PinvMethod {
     /// Direct inversion of the `K x K` Gram matrix (the optimised path).
     #[default]
     Direct,
+    /// Cholesky solve of the Gram system `(H^H H) W = H^H` — half the
+    /// flops of Gauss-Jordan, never forms the explicit inverse, and its
+    /// pivot sign is an intrinsically correct positive-definite test.
+    Cholesky,
     /// Full SVD pseudo-inverse (robust but ~10x slower).
     Svd,
 }
@@ -42,6 +48,22 @@ pub fn pinv_direct(h: &CMat) -> Result<CMat, InvError> {
     Ok(gram_inv.matmul(&hh))
 }
 
+/// Computes the ZF pseudo-inverse by Cholesky-factoring the Gram matrix
+/// and solving `(H^H H) W = H^H` directly — no explicit inverse is ever
+/// formed. Fails with [`NotPositiveDefinite`] when the Gram matrix is not
+/// positive definite within f32 resolution (rank-deficient or
+/// near-singular channel).
+pub fn pinv_cholesky(h: &CMat) -> Result<CMat, NotPositiveDefinite> {
+    let (m, k) = h.shape();
+    let mut s = PinvScratch::with_tier(m, k, SimdTier::cached());
+    let mut out = CMat::zeros(k, m);
+    h.hermitian_into(&mut s.hh);
+    gram_pair_with_tier(m, k, s.hh.as_slice(), h.as_slice(), s.gram.as_mut_slice(), s.tier);
+    Cholesky::factor_into(&s.gram, &mut s.chol_l, &mut s.chol, s.tier)?;
+    Cholesky::solve_into(&s.chol_l, &s.hh, &mut out, s.tier);
+    Ok(out)
+}
+
 /// Computes the ZF pseudo-inverse via thin SVD, zeroing singular values
 /// below `rcond * s_max`. Never fails; rank-deficient channels produce the
 /// minimum-norm pseudo-inverse.
@@ -55,6 +77,7 @@ pub fn pinv_svd(h: &CMat, rcond: f32) -> CMat {
 pub fn pinv(h: &CMat, method: PinvMethod) -> CMat {
     match method {
         PinvMethod::Direct => pinv_direct(h).unwrap_or_else(|_| pinv_svd(h, 1e-5)),
+        PinvMethod::Cholesky => pinv_cholesky(h).unwrap_or_else(|_| pinv_svd(h, 1e-5)),
         PinvMethod::Svd => pinv_svd(h, 1e-5),
     }
 }
@@ -74,6 +97,10 @@ pub struct PinvScratch {
     gram_work: CMat,
     /// `K x K` Gram inverse.
     gram_inv: CMat,
+    /// `K x K` lower-triangular Cholesky factor of the Gram matrix.
+    chol_l: CMat,
+    /// Cholesky factorisation scratch (the solve itself is scratch-free).
+    chol: CholScratch,
     /// SIMD tier the Gram/product kernels dispatch to.
     tier: SimdTier,
 }
@@ -93,8 +120,17 @@ impl PinvScratch {
             gram: CMat::zeros(k, k),
             gram_work: CMat::zeros(k, k),
             gram_inv: CMat::zeros(k, k),
+            chol_l: CMat::zeros(k, k),
+            chol: CholScratch::new(k),
             tier,
         }
+    }
+
+    /// `K x K` Gram matrix `H^H H` left behind by the last
+    /// [`pinv_into`] call — the iterative equalizer reads it back instead
+    /// of recomputing.
+    pub fn gram(&self) -> &CMat {
+        &self.gram
     }
 }
 
@@ -108,13 +144,27 @@ pub fn pinv_into(h: &CMat, method: PinvMethod, s: &mut PinvScratch, out: &mut CM
     let (m, k) = h.shape();
     assert_eq!(out.shape(), (k, m), "pinv output must be K x M");
     assert_eq!(s.hh.shape(), (k, m), "scratch shape mismatch");
-    if method == PinvMethod::Direct {
-        h.hermitian_into(&mut s.hh);
-        h.gram_into_tier(&mut s.gram, s.tier);
-        if invert_into(&s.gram, &mut s.gram_work, &mut s.gram_inv).is_ok() {
-            s.gram_inv.matmul_into_tier(&s.hh, out, s.tier);
-            return;
+    match method {
+        PinvMethod::Direct => {
+            h.hermitian_into(&mut s.hh);
+            h.gram_into_tier(&mut s.gram, s.tier);
+            if invert_into(&s.gram, &mut s.gram_work, &mut s.gram_inv).is_ok() {
+                s.gram_inv.matmul_into_tier(&s.hh, out, s.tier);
+                return;
+            }
         }
+        PinvMethod::Cholesky => {
+            // The Gram product reuses the just-computed H^H as a contiguous
+            // operand (gram_pair walks only the lower triangle) — the same
+            // buffer is the solve RHS one step later.
+            h.hermitian_into(&mut s.hh);
+            gram_pair_with_tier(m, k, s.hh.as_slice(), h.as_slice(), s.gram.as_mut_slice(), s.tier);
+            if Cholesky::factor_into(&s.gram, &mut s.chol_l, &mut s.chol, s.tier).is_ok() {
+                Cholesky::solve_into(&s.chol_l, &s.hh, out, s.tier);
+                return;
+            }
+        }
+        PinvMethod::Svd => {}
     }
     out.copy_from(&pinv_svd(h, 1e-5));
 }
@@ -153,15 +203,24 @@ pub fn cond_estimate(h: &CMat, iters: usize) -> f32 {
     if n == 0 {
         return 1.0;
     }
-    // Largest eigenvalue of G by power iteration.
-    let lmax = power_iter(&g, iters);
-    // Smallest via power iteration on (lmax*I - G), lmin = lmax - mu.
+    // Largest eigenvalue of G by power iteration. `lmax` alone may be an
+    // *underestimate* when the iteration has not converged, which would
+    // make the shifted matrix below indefinite — power iteration then
+    // locks onto `|shift - lmax|` instead of `shift - lmin` and the
+    // estimate comes out wrong-signed. Inflate the shift by the residual
+    // bound `||G v - rho v||` (for Hermitian G an eigenvalue lies within
+    // the residual of the Rayleigh quotient), so `shift >= lmax` holds up
+    // to that bound even when unconverged.
+    let (lmax, res) = power_iter(&g, iters);
+    let shift = lmax + res;
+    // Smallest eigenvalue via power iteration on (shift*I - G), whose
+    // spectrum is `shift - lambda_i >= 0`: lmin = shift - mu.
     let shifted = CMat::from_fn(n, n, |r, c| {
-        let v = if r == c { Cf32::real(lmax) } else { Cf32::ZERO };
+        let v = if r == c { Cf32::real(shift) } else { Cf32::ZERO };
         v - g[(r, c)]
     });
-    let mu = power_iter(&shifted, iters);
-    let lmin = (lmax - mu).max(0.0);
+    let (mu, _) = power_iter(&shifted, iters);
+    let lmin = (shift - mu).max(0.0);
     if lmin <= 0.0 {
         f32::INFINITY
     } else {
@@ -169,24 +228,33 @@ pub fn cond_estimate(h: &CMat, iters: usize) -> f32 {
     }
 }
 
-fn power_iter(a: &CMat, iters: usize) -> f32 {
+/// Power iteration returning the Rayleigh-quotient eigenvalue estimate of
+/// the dominant eigenpair and its residual norm `||A v - rho v||` (an
+/// a-posteriori error bound for Hermitian `A`).
+fn power_iter(a: &CMat, iters: usize) -> (f32, f32) {
     let n = a.rows();
-    let mut v: Vec<Cf32> = (0..n)
-        .map(|i| Cf32::new(1.0 + (i as f32) * 0.37, 0.11 * i as f32))
-        .collect();
-    let mut lambda = 0.0f32;
-    for _ in 0..iters.max(1) {
-        let w = a.matvec(&v);
+    let mut v: Vec<Cf32> =
+        (0..n).map(|i| Cf32::new(1.0 + (i as f32) * 0.37, 0.11 * i as f32)).collect();
+    let norm0 = v.iter().map(|z| z.norm_sqr()).sum::<f32>().sqrt();
+    for z in v.iter_mut() {
+        *z = z.scale(1.0 / norm0);
+    }
+    let mut w = a.matvec(&v);
+    for _ in 1..iters.max(1) {
         let norm = w.iter().map(|z| z.norm_sqr()).sum::<f32>().sqrt();
         if norm <= 0.0 {
-            return 0.0;
+            return (0.0, 0.0);
         }
-        lambda = norm;
         for (vi, wi) in v.iter_mut().zip(w.iter()) {
             *vi = wi.scale(1.0 / norm);
         }
+        w = a.matvec(&v);
     }
-    lambda
+    // Rayleigh quotient rho = v^H A v (real for Hermitian A, |v| = 1).
+    let rho: f32 = v.iter().zip(w.iter()).map(|(vi, wi)| (vi.conj() * *wi).re).sum();
+    let res: f32 =
+        v.iter().zip(w.iter()).map(|(vi, wi)| (*wi - vi.scale(rho)).norm_sqr()).sum::<f32>().sqrt();
+    (rho, res)
 }
 
 /// Conjugate (matched-filter) beamformer `H^H`, the low-cost alternative
@@ -198,19 +266,7 @@ pub fn conjugate_beamformer(h: &CMat) -> CMat {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn rand_channel(m: usize, k: usize, seed: u64) -> CMat {
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-        CMat::from_fn(m, k, |_, _| {
-            let mut next = || {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                ((state >> 11) as f32 / (1u64 << 53) as f32) - 0.25
-            };
-            Cf32::new(next(), next())
-        })
-    }
+    use crate::testutil::rand_channel;
 
     #[test]
     fn direct_pinv_left_inverts() {
@@ -249,11 +305,60 @@ mod tests {
     }
 
     #[test]
+    fn cholesky_pinv_left_inverts() {
+        let h = rand_channel(64, 16, 11);
+        let w = pinv_cholesky(&h).unwrap();
+        assert_eq!(w.shape(), (16, 64));
+        let wh = w.matmul(&h);
+        assert!(wh.max_abs_diff(&CMat::identity(16)) < 1e-2);
+    }
+
+    #[test]
+    fn cholesky_and_direct_agree() {
+        for (m, k, seed) in [(64, 16, 21), (16, 5, 22), (8, 1, 23), (32, 7, 24)] {
+            let h = rand_channel(m, k, seed);
+            let wd = pinv_direct(&h).unwrap();
+            let wc = pinv_cholesky(&h).unwrap();
+            assert!(wd.max_abs_diff(&wc) < 1e-2, "{m}x{k}");
+        }
+    }
+
+    /// The nearly-duplicate-user regression from the ISSUE: two columns
+    /// differing by ~1e-6. The direct route must *error* (not silently
+    /// produce garbage) and both `pinv` and `pinv_into` must degrade to a
+    /// finite SVD detector.
+    #[test]
+    fn near_duplicate_user_errors_and_degrades_to_svd() {
+        let m = 32;
+        let base = rand_channel(m, 1, 14);
+        let h = CMat::from_fn(m, 2, |r, c| {
+            let mut v = base[(r, 0)];
+            if c == 1 {
+                v += Cf32::new(1e-6, -1e-6 * (r as f32));
+            }
+            v
+        });
+        assert!(pinv_direct(&h).is_err(), "Gauss-Jordan route must report singular");
+        assert!(pinv_cholesky(&h).is_err(), "Cholesky route must report not-PD");
+        let svd_ref = pinv_svd(&h, 1e-5);
+        for method in [PinvMethod::Direct, PinvMethod::Cholesky] {
+            let w = pinv(&h, method);
+            assert!(w.all_finite(), "{method:?} produced non-finite W");
+            assert!(w.max_abs_diff(&svd_ref) < 1e-6, "{method:?} did not fall back to SVD");
+            let mut s = PinvScratch::new(m, 2);
+            let mut out = CMat::zeros(2, m);
+            pinv_into(&h, method, &mut s, &mut out);
+            assert!(out.all_finite());
+            assert!(out.max_abs_diff(&svd_ref) < 1e-6, "{method:?} pinv_into fallback");
+        }
+    }
+
+    #[test]
     fn pinv_into_matches_pinv_both_methods_and_fallback() {
         let h = rand_channel(16, 4, 8);
         let mut s = PinvScratch::new(16, 4);
         let mut out = CMat::zeros(4, 16);
-        for method in [PinvMethod::Direct, PinvMethod::Svd] {
+        for method in [PinvMethod::Direct, PinvMethod::Cholesky, PinvMethod::Svd] {
             pinv_into(&h, method, &mut s, &mut out);
             assert!(out.max_abs_diff(&pinv(&h, method)) < 1e-6, "{method:?}");
         }
@@ -306,6 +411,30 @@ mod tests {
             (est / exact).abs() > 0.5 && (est / exact).abs() < 2.0,
             "estimate {est} vs exact {exact}"
         );
+    }
+
+    /// Matrix with a known large condition number: diagonal "channel"
+    /// with singular values 10 and 0.1 -> cond = 100. The unguarded shift
+    /// used to go indefinite here when `lmax` was unconverged.
+    #[test]
+    fn cond_estimate_known_large_condition_number() {
+        let n = 8;
+        let h = CMat::from_fn(n, n, |r, c| {
+            if r != c {
+                Cf32::ZERO
+            } else if r == n - 1 {
+                Cf32::real(0.1)
+            } else {
+                Cf32::real(10.0)
+            }
+        });
+        let est = cond_estimate(&h, 100);
+        assert!(est > 50.0 && est < 200.0, "cond estimate {est} far from true value 100");
+        // Few iterations (unconverged lmax) must not produce a
+        // wrong-signed / wildly small estimate — worst case it saturates
+        // to infinity, never below the truth by more than 2x.
+        let rough = cond_estimate(&h, 3);
+        assert!(rough > 50.0, "unconverged estimate {rough} collapsed below the true cond");
     }
 
     #[test]

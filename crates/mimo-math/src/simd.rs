@@ -300,6 +300,111 @@ pub(crate) unsafe fn transpose_4x4_avx2(
     _mm256_storeu_pd(dst.add(3 * dst_stride) as *mut f64, c3);
 }
 
+/// Out-of-place conjugate transpose (`dst = src^H`, `cols x rows`). Same
+/// tiling as [`transpose`]; conjugation is a sign-bit flip fused into the
+/// tile stores, so the result is bit-exact on every tier (pure data
+/// movement, no arithmetic). This is the Hermitian kernel behind the ZF
+/// pseudo-inverse's `H^H` operand.
+pub fn conj_transpose(src: &[Cf32], rows: usize, cols: usize, dst: &mut [Cf32], tier: SimdTier) {
+    assert_eq!(src.len(), rows * cols);
+    assert_eq!(dst.len(), rows * cols);
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { conj_transpose_avx2(src, rows, cols, dst) },
+        _ => conj_transpose_scalar(src, rows, cols, dst),
+    }
+}
+
+/// Scalar reference conjugate transpose (cache-blocked).
+pub fn conj_transpose_scalar(src: &[Cf32], rows: usize, cols: usize, dst: &mut [Cf32]) {
+    assert_eq!(src.len(), rows * cols);
+    assert_eq!(dst.len(), rows * cols);
+    const B: usize = 8;
+    for rb in (0..rows).step_by(B) {
+        for cb in (0..cols).step_by(B) {
+            let rmax = (rb + B).min(rows);
+            let cmax = (cb + B).min(cols);
+            for r in rb..rmax {
+                for c in cb..cmax {
+                    dst[c * rows + r] = src[r * cols + c].conj();
+                }
+            }
+        }
+    }
+}
+
+/// AVX2 conjugate transpose: full 8x8 tiles through the in-register
+/// microkernel with the sign flip applied on the transposed columns;
+/// ragged edges fall back to scalar conjugate moves.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and that `src`/`dst` are
+/// `rows * cols` elements.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn conj_transpose_avx2(src: &[Cf32], rows: usize, cols: usize, dst: &mut [Cf32]) {
+    const B: usize = 8;
+    let rfull = rows - rows % B;
+    let cfull = cols - cols % B;
+    for rb in (0..rfull).step_by(B) {
+        for cb in (0..cfull).step_by(B) {
+            for (br, bc) in [(0usize, 0usize), (0, 4), (4, 0), (4, 4)] {
+                conj_transpose_4x4_avx2(
+                    src.as_ptr().add((rb + br) * cols + cb + bc),
+                    cols,
+                    dst.as_mut_ptr().add((cb + bc) * rows + rb + br),
+                    rows,
+                );
+            }
+        }
+    }
+    for r in 0..rfull {
+        for c in cfull..cols {
+            dst[c * rows + r] = src[r * cols + c].conj();
+        }
+    }
+    for r in rfull..rows {
+        for c in 0..cols {
+            dst[c * rows + r] = src[r * cols + c].conj();
+        }
+    }
+}
+
+/// [`transpose_4x4_avx2`] with conjugation fused into the stores: a
+/// `Cf32` viewed as one f64 lane has the imaginary part in the upper
+/// 32 bits, so the f64 sign bit (bit 63) *is* the imaginary sign bit and
+/// one XOR against `-0.0` per register conjugates four samples.
+///
+/// # Safety
+/// Same contract as [`transpose_4x4_avx2`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn conj_transpose_4x4_avx2(
+    src: *const Cf32,
+    src_stride: usize,
+    dst: *mut Cf32,
+    dst_stride: usize,
+) {
+    use core::arch::x86_64::*;
+    let flip = _mm256_set1_pd(-0.0);
+    let r0 = _mm256_loadu_pd(src as *const f64);
+    let r1 = _mm256_loadu_pd(src.add(src_stride) as *const f64);
+    let r2 = _mm256_loadu_pd(src.add(2 * src_stride) as *const f64);
+    let r3 = _mm256_loadu_pd(src.add(3 * src_stride) as *const f64);
+    let t0 = _mm256_unpacklo_pd(r0, r1);
+    let t1 = _mm256_unpackhi_pd(r0, r1);
+    let t2 = _mm256_unpacklo_pd(r2, r3);
+    let t3 = _mm256_unpackhi_pd(r2, r3);
+    let c0 = _mm256_permute2f128_pd(t0, t2, 0x20);
+    let c1 = _mm256_permute2f128_pd(t1, t3, 0x20);
+    let c2 = _mm256_permute2f128_pd(t0, t2, 0x31);
+    let c3 = _mm256_permute2f128_pd(t1, t3, 0x31);
+    _mm256_storeu_pd(dst as *mut f64, _mm256_xor_pd(c0, flip));
+    _mm256_storeu_pd(dst.add(dst_stride) as *mut f64, _mm256_xor_pd(c1, flip));
+    _mm256_storeu_pd(dst.add(2 * dst_stride) as *mut f64, _mm256_xor_pd(c2, flip));
+    _mm256_storeu_pd(dst.add(3 * dst_stride) as *mut f64, _mm256_xor_pd(c3, flip));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,9 +452,7 @@ mod tests {
 
     #[test]
     fn stream_copy_matches_memcpy() {
-        let src: Vec<Cf32> = (0..333)
-            .map(|i| Cf32::new(i as f32, -(i as f32)))
-            .collect();
+        let src: Vec<Cf32> = (0..333).map(|i| Cf32::new(i as f32, -(i as f32))).collect();
         let mut dst = vec![Cf32::ZERO; src.len()];
         stream_copy(&src, &mut dst, SimdTier::detect());
         assert_eq!(src, dst);
@@ -359,9 +462,8 @@ mod tests {
     fn transpose_roundtrip() {
         let rows = 13;
         let cols = 22;
-        let src: Vec<Cf32> = (0..rows * cols)
-            .map(|i| Cf32::new(i as f32, 2.0 * i as f32))
-            .collect();
+        let src: Vec<Cf32> =
+            (0..rows * cols).map(|i| Cf32::new(i as f32, 2.0 * i as f32)).collect();
         let mut t = vec![Cf32::ZERO; src.len()];
         let mut back = vec![Cf32::ZERO; src.len()];
         transpose(&src, rows, cols, &mut t, SimdTier::detect());
@@ -375,9 +477,8 @@ mod tests {
         // in-register microkernel on the AVX2 tier.
         let rows = 16;
         let cols = 24;
-        let src: Vec<Cf32> = (0..rows * cols)
-            .map(|i| Cf32::new(i as f32, -0.5 * i as f32))
-            .collect();
+        let src: Vec<Cf32> =
+            (0..rows * cols).map(|i| Cf32::new(i as f32, -0.5 * i as f32)).collect();
         let mut a = vec![Cf32::ZERO; src.len()];
         let mut b = vec![Cf32::ZERO; src.len()];
         transpose_scalar(&src, rows, cols, &mut a);
@@ -433,6 +534,29 @@ mod proptests {
             transpose_scalar(&src, rows, cols, &mut a);
             transpose(&src, rows, cols, &mut b, SimdTier::detect());
             prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn conj_transpose_simd_equals_scalar(rows in 1usize..40, cols in 1usize..40) {
+            let src: Vec<Cf32> = (0..rows * cols)
+                .map(|i| Cf32::new(0.25 * i as f32 - 3.0, 7.0 - 0.5 * i as f32))
+                .collect();
+            let mut a = vec![Cf32::ZERO; src.len()];
+            let mut b = vec![Cf32::ZERO; src.len()];
+            conj_transpose_scalar(&src, rows, cols, &mut a);
+            conj_transpose(&src, rows, cols, &mut b, SimdTier::detect());
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn conj_transpose_is_conj_of_transpose(rows in 1usize..24, cols in 1usize..24) {
+            let src: Vec<Cf32> = (0..rows * cols).map(|i| Cf32::new(i as f32, 1.0 + i as f32)).collect();
+            let mut t = vec![Cf32::ZERO; src.len()];
+            let mut h = vec![Cf32::ZERO; src.len()];
+            transpose(&src, rows, cols, &mut t, SimdTier::detect());
+            conj_transpose(&src, rows, cols, &mut h, SimdTier::detect());
+            let tc: Vec<Cf32> = t.iter().map(|z| z.conj()).collect();
+            prop_assert_eq!(tc, h);
         }
     }
 }

@@ -46,16 +46,11 @@ pub fn svd(a: &CMat) -> Svd {
     assert!(m >= n, "one-sided Jacobi SVD requires m >= n (got {m}x{n})");
 
     // Working copy of A in f64, column-major for cheap column access.
-    let mut w: Vec<Vec<Cf64>> = (0..n)
-        .map(|c| (0..m).map(|r| a[(r, c)].to_f64()).collect())
-        .collect();
+    let mut w: Vec<Vec<Cf64>> =
+        (0..n).map(|c| (0..m).map(|r| a[(r, c)].to_f64()).collect()).collect();
     // V starts as identity, column-major.
     let mut v: Vec<Vec<Cf64>> = (0..n)
-        .map(|c| {
-            (0..n)
-                .map(|r| if r == c { Cf64::ONE } else { Cf64::ZERO })
-                .collect()
-        })
+        .map(|c| (0..n).map(|r| if r == c { Cf64::ONE } else { Cf64::ZERO }).collect())
         .collect();
 
     for _sweep in 0..MAX_SWEEPS {
@@ -111,9 +106,8 @@ pub fn svd(a: &CMat) -> Svd {
 
     // Extract singular values (column norms) and normalise U.
     let mut order: Vec<usize> = (0..n).collect();
-    let norms: Vec<f64> = (0..n)
-        .map(|c| w[c].iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt())
-        .collect();
+    let norms: Vec<f64> =
+        (0..n).map(|c| w[c].iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()).collect();
     order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
 
     let mut u = CMat::zeros(m, n);

@@ -196,9 +196,8 @@ mod tests {
         let plan = PilotPlan::new(scheme, k, q);
         let est = ChannelEstimator::new(plan.clone(), interp);
         // Ground-truth flat channel.
-        let h_true = CMat::from_fn(m, k, |a, u| {
-            Cf32::new(0.3 + a as f32 * 0.1, -0.2 + u as f32 * 0.4)
-        });
+        let h_true =
+            CMat::from_fn(m, k, |a, u| Cf32::new(0.3 + a as f32 * 0.1, -0.2 + u as f32 * 0.4));
         let mut csi = CsiBuffer::new(m, k, q);
         for sym in 0..plan.pilot_symbols() {
             // Received at antenna `ant`: sum over users of H[ant][u] * pilot_u.

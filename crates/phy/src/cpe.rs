@@ -86,10 +86,7 @@ mod tests {
                 *z *= rot;
             }
             let est = estimate_cpe(ModScheme::Qpsk, &syms);
-            assert!(
-                (est - true_theta).abs() < 0.02,
-                "true {true_theta}, estimated {est}"
-            );
+            assert!((est - true_theta).abs() < 0.02, "true {true_theta}, estimated {est}");
         }
     }
 
@@ -104,10 +101,7 @@ mod tests {
                 *z *= rot;
             }
             let est = estimate_cpe(ModScheme::Qam64, &syms);
-            assert!(
-                (est - true_theta).abs() < 0.01,
-                "true {true_theta}, estimated {est}"
-            );
+            assert!((est - true_theta).abs() < 0.01, "true {true_theta}, estimated {est}");
         }
     }
 

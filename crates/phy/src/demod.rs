@@ -162,9 +162,13 @@ mod tests {
 
     #[test]
     fn fast_demod_matches_exact_bitwise() {
-        for scheme in
-            [ModScheme::Bpsk, ModScheme::Qpsk, ModScheme::Qam16, ModScheme::Qam64, ModScheme::Qam256]
-        {
+        for scheme in [
+            ModScheme::Bpsk,
+            ModScheme::Qpsk,
+            ModScheme::Qam16,
+            ModScheme::Qam64,
+            ModScheme::Qam256,
+        ] {
             let (_bits, noisy) = rand_symbols(scheme, 300, 0.08, 7);
             let mut fast = Vec::new();
             let mut exact = Vec::new();
@@ -333,9 +337,7 @@ mod simd_tests {
 
     #[test]
     fn simd_demod_matches_scalar_exactly() {
-        for scheme in
-            [ModScheme::Qpsk, ModScheme::Qam16, ModScheme::Qam64, ModScheme::Qam256]
-        {
+        for scheme in [ModScheme::Qpsk, ModScheme::Qam16, ModScheme::Qam64, ModScheme::Qam256] {
             let bps = scheme.bits_per_symbol();
             let mut state = 0xDEADBEEFu64;
             let bits: Vec<u8> = (0..bps * 100)

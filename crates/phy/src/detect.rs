@@ -69,10 +69,8 @@ impl Detector {
         let eff = w.matmul(h); // K x K effective channel
         let k = h.cols();
         let signal = eff[(user, user)].norm_sqr();
-        let interference: f32 = (0..k)
-            .filter(|&j| j != user)
-            .map(|j| eff[(user, j)].norm_sqr())
-            .sum();
+        let interference: f32 =
+            (0..k).filter(|&j| j != user).map(|j| eff[(user, j)].norm_sqr()).sum();
         let noise_gain: f32 =
             (0..h.rows()).map(|a| w[(user, a)].norm_sqr()).sum::<f32>() * noise_power;
         signal / (interference + noise_gain).max(f32::MIN_POSITIVE)

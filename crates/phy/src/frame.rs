@@ -102,12 +102,7 @@ impl FrameSchedule {
     }
 
     fn indices_of(&self, t: SymbolType) -> Vec<usize> {
-        self.symbols
-            .iter()
-            .enumerate()
-            .filter(|(_, &s)| s == t)
-            .map(|(i, _)| i)
-            .collect()
+        self.symbols.iter().enumerate().filter(|(_, &s)| s == t).map(|(i, _)| i).collect()
     }
 }
 
@@ -197,12 +192,7 @@ impl CellConfig {
             modulation: ModScheme::Qam64,
             pilot_scheme: PilotScheme::TimeOrthogonal,
             zf_group: 16,
-            ldpc: LdpcParams {
-                base_graph: BaseGraphId::Bg2,
-                z: 56,
-                rate: 1.0 / 3.0,
-                max_iters: 5,
-            },
+            ldpc: LdpcParams { base_graph: BaseGraphId::Bg2, z: 56, rate: 1.0 / 3.0, max_iters: 5 },
             schedule: FrameSchedule::uplink(num_users, data_symbols),
             symbol_duration_ns: 71_000,
         }
@@ -220,12 +210,7 @@ impl CellConfig {
             modulation: ModScheme::Qpsk,
             pilot_scheme: PilotScheme::FrequencyOrthogonal,
             zf_group: 16,
-            ldpc: LdpcParams {
-                base_graph: BaseGraphId::Bg2,
-                z: 12,
-                rate: 1.0 / 3.0,
-                max_iters: 8,
-            },
+            ldpc: LdpcParams { base_graph: BaseGraphId::Bg2, z: 12, rate: 1.0 / 3.0, max_iters: 8 },
             schedule: FrameSchedule::uplink(1, data_symbols),
             symbol_duration_ns: 71_000,
         }
@@ -288,10 +273,7 @@ impl CellConfig {
             return Err("data subcarriers must leave guard bands".into());
         }
         if self.num_users > self.num_antennas {
-            return Err(format!(
-                "K={} exceeds M={}",
-                self.num_users, self.num_antennas
-            ));
+            return Err(format!("K={} exceeds M={}", self.num_users, self.num_antennas));
         }
         if !self.num_data_sc.is_multiple_of(self.num_users)
             && self.pilot_scheme == PilotScheme::FrequencyOrthogonal
@@ -352,10 +334,7 @@ mod tests {
         // bits: 13 symbols * 16 users * 2288 bits = 475 kb per ms.
         let cfg = CellConfig::emulated_rru(64, 16, 13);
         let rate = cfg.uplink_data_rate_bps();
-        assert!(
-            (4.0e8..6.0e8).contains(&rate),
-            "uplink rate {rate} outside the paper's ballpark"
-        );
+        assert!((4.0e8..6.0e8).contains(&rate), "uplink rate {rate} outside the paper's ballpark");
     }
 
     #[test]

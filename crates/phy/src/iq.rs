@@ -94,7 +94,12 @@ mod tests {
     #[test]
     fn slice_roundtrip() {
         let samples: Vec<Cf32> = (0..1000)
-            .map(|i| Cf32::new(((i * 37) % 4000) as f32 / 4000.0 - 0.5, ((i * 59) % 4000) as f32 / 4000.0 - 0.5))
+            .map(|i| {
+                Cf32::new(
+                    ((i * 37) % 4000) as f32 / 4000.0 - 0.5,
+                    ((i * 59) % 4000) as f32 / 4000.0 - 0.5,
+                )
+            })
             .collect();
         let mut bytes = Vec::new();
         pack_samples(&samples, &mut bytes);

@@ -99,10 +99,7 @@ pub fn map_symbol(scheme: ModScheme, v: u32) -> Cf32 {
             let mask = (1u32 << half) - 1;
             let i_bits = v & mask;
             let q_bits = (v >> half) & mask;
-            Cf32::new(
-                gray_to_pam(i_bits, half) * s,
-                gray_to_pam(q_bits, half) * s,
-            )
+            Cf32::new(gray_to_pam(i_bits, half) * s, gray_to_pam(q_bits, half) * s)
         }
     }
 }
@@ -168,13 +165,8 @@ pub fn constellation(scheme: ModScheme) -> Vec<Cf32> {
 mod tests {
     use super::*;
 
-    const SCHEMES: [ModScheme; 5] = [
-        ModScheme::Bpsk,
-        ModScheme::Qpsk,
-        ModScheme::Qam16,
-        ModScheme::Qam64,
-        ModScheme::Qam256,
-    ];
+    const SCHEMES: [ModScheme; 5] =
+        [ModScheme::Bpsk, ModScheme::Qpsk, ModScheme::Qam16, ModScheme::Qam64, ModScheme::Qam256];
 
     #[test]
     fn unit_average_energy() {

@@ -169,9 +169,7 @@ mod tests {
         let n = 139; // prime length gives ideal CAZAC
         let zc = zadoff_chu(5, n);
         for shift in 1..n {
-            let corr: Cf32 = (0..n)
-                .map(|k| zc[k].conj_mul(zc[(k + shift) % n]))
-                .sum();
+            let corr: Cf32 = (0..n).map(|k| zc[k].conj_mul(zc[(k + shift) % n])).sum();
             assert!(corr.abs() < 1e-3 * n as f32, "shift {shift}: |corr| = {}", corr.abs());
         }
     }
@@ -188,8 +186,7 @@ mod tests {
         assert_eq!(plan.pilot_symbols(), 1);
         let pilots: Vec<Vec<Cf32>> = (0..4).map(|u| plan.tx_pilot(0, u)).collect();
         for sc in 0..64 {
-            let active: Vec<usize> =
-                (0..4).filter(|&u| pilots[u][sc] != Cf32::ZERO).collect();
+            let active: Vec<usize> = (0..4).filter(|&u| pilots[u][sc] != Cf32::ZERO).collect();
             assert_eq!(active.len(), 1, "subcarrier {sc} owned by {active:?}");
             assert_eq!(active[0], sc % 4);
         }

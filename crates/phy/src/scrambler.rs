@@ -94,11 +94,7 @@ mod tests {
     fn sequence_has_low_autocorrelation() {
         let bits = GoldSequence::new(0x1234).take(4096);
         for shift in [1usize, 7, 63, 501] {
-            let matches = bits
-                .iter()
-                .zip(bits[shift..].iter())
-                .filter(|(a, b)| a == b)
-                .count();
+            let matches = bits.iter().zip(bits[shift..].iter()).filter(|(a, b)| a == b).count();
             let frac = matches as f64 / (bits.len() - shift) as f64;
             assert!((frac - 0.5).abs() < 0.05, "shift {shift}: match fraction {frac}");
         }

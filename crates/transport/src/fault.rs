@@ -204,8 +204,8 @@ impl FaultInjector {
                 continue;
             }
             let delay = self.sample_delay();
-            let duplicate = self.cfg.duplicate_prob > 0.0
-                && self.rng.gen_bool(self.cfg.duplicate_prob);
+            let duplicate =
+                self.cfg.duplicate_prob > 0.0 && self.rng.gen_bool(self.cfg.duplicate_prob);
             if duplicate {
                 self.stats.duplicated += 1;
                 let dup_delay = self.sample_delay();
@@ -407,11 +407,7 @@ mod tests {
 
     #[test]
     fn iid_loss_is_counted_and_deterministic() {
-        let cfg = FaultConfig {
-            loss: LossModel::Iid { p: 0.2 },
-            seed: 42,
-            ..Default::default()
-        };
+        let cfg = FaultConfig { loss: LossModel::Iid { p: 0.2 }, seed: 42, ..Default::default() };
         let mut a = FaultInjector::new(cfg);
         let mut b = FaultInjector::new(cfg);
         let out_a = a.apply(stream(10, 16));
@@ -502,23 +498,15 @@ mod tests {
         // late, and can slip earlier only as far as displaced peers allow.
         for (pos, pkt) in out.iter().enumerate() {
             let orig = pkts.iter().position(|p| p == pkt).unwrap();
-            assert!(
-                pos.abs_diff(orig) <= 3,
-                "packet moved {} -> {} (beyond max_delay)",
-                orig,
-                pos
-            );
+            assert!(pos.abs_diff(orig) <= 3, "packet moved {} -> {} (beyond max_delay)", orig, pos);
         }
     }
 
     #[test]
     fn duplicates_are_injected_and_counted() {
         let pkts = stream(6, 16);
-        let mut inj = FaultInjector::new(FaultConfig {
-            duplicate_prob: 0.25,
-            seed: 3,
-            ..Default::default()
-        });
+        let mut inj =
+            FaultInjector::new(FaultConfig { duplicate_prob: 0.25, seed: 3, ..Default::default() });
         let out = inj.apply(pkts.clone());
         let st = inj.stats();
         assert!(st.duplicated > 0);

@@ -43,10 +43,7 @@ impl MemFronthaul {
     pub fn pair(capacity: usize) -> (MemFronthaul, MemFronthaul) {
         let a = Arc::new(MpmcQueue::new(capacity));
         let b = Arc::new(MpmcQueue::new(capacity));
-        (
-            MemFronthaul { tx: a.clone(), rx: b.clone() },
-            MemFronthaul { tx: b, rx: a },
-        )
+        (MemFronthaul { tx: a.clone(), rx: b.clone() }, MemFronthaul { tx: b, rx: a })
     }
 
     /// Packets waiting to be received on this side (diagnostics).
@@ -121,13 +118,7 @@ mod tests {
 
     fn test_packet(frame: u32) -> Bytes {
         encode(
-            &PacketHeader {
-                frame,
-                symbol: 0,
-                antenna: 0,
-                dir: PacketDir::Uplink,
-                payload_len: 4,
-            },
+            &PacketHeader { frame, symbol: 0, antenna: 0, dir: PacketDir::Uplink, payload_len: 4 },
             &[1, 2, 3, 4],
         )
     }

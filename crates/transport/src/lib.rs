@@ -11,12 +11,12 @@
 
 pub mod fault;
 pub mod fronthaul;
-pub mod packet;
 pub mod pacing;
+pub mod packet;
 pub mod rru;
 
 pub use fault::{FaultConfig, FaultInjector, FaultStats, FaultyFronthaul, LossModel};
 pub use fronthaul::{Fronthaul, MemFronthaul, UdpFronthaul};
-pub use packet::{decode, encode, PacketDir, PacketError, PacketHeader, HEADER_LEN};
 pub use pacing::Pacer;
+pub use packet::{decode, encode, PacketDir, PacketError, PacketHeader, HEADER_LEN};
 pub use rru::{FrameGroundTruth, RruConfig, RruEmulator};

@@ -81,10 +81,7 @@ mod tests {
             p.wait_next();
         }
         let elapsed = t0.elapsed();
-        assert!(
-            elapsed >= Duration::from_micros(50 * 199),
-            "finished too fast: {elapsed:?}"
-        );
+        assert!(elapsed >= Duration::from_micros(50 * 199), "finished too fast: {elapsed:?}");
         assert!(elapsed < Duration::from_millis(500), "far too slow: {elapsed:?}");
     }
 

@@ -111,13 +111,7 @@ mod tests {
     use super::*;
 
     fn sample_header(payload_len: u32) -> PacketHeader {
-        PacketHeader {
-            frame: 1234,
-            symbol: 7,
-            antenna: 63,
-            dir: PacketDir::Uplink,
-            payload_len,
-        }
+        PacketHeader { frame: 1234, symbol: 7, antenna: 63, dir: PacketDir::Uplink, payload_len }
     }
 
     #[test]

@@ -407,10 +407,7 @@ mod tests {
     #[test]
     fn channels_are_redrawn_per_frame() {
         let (cell, rc) = tiny();
-        let mut rru = RruEmulator::new(
-            cell,
-            RruConfig { fading: FadingModel::Rayleigh, ..rc },
-        );
+        let mut rru = RruEmulator::new(cell, RruConfig { fading: FadingModel::Rayleigh, ..rc });
         let (_, gt0) = rru.generate_frame(0);
         let (_, gt1) = rru.generate_frame(1);
         assert!(gt0.h.max_abs_diff(&gt1.h) > 1e-3);
@@ -454,10 +451,7 @@ mod tests {
     #[test]
     fn per_user_snr_offsets_scale_gains() {
         let cell = CellConfig::tiny_test(1);
-        let rc = RruConfig {
-            user_snr_offsets_db: Some(vec![0.0, -6.0]),
-            ..Default::default()
-        };
+        let rc = RruConfig { user_snr_offsets_db: Some(vec![0.0, -6.0]), ..Default::default() };
         let rru = RruEmulator::new(cell, rc);
         assert!((rru.user_gains[0] - 1.0).abs() < 1e-6);
         assert!((rru.user_gains[1] - 0.501).abs() < 0.01); // -6 dB ~ 1/2

@@ -117,8 +117,7 @@ impl<T> MpmcQueue<T> {
                 ) {
                     Ok(_) => {
                         let value = unsafe { (*slot.value.get()).assume_init_read() };
-                        slot.seq
-                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        slot.seq.store(pos.wrapping_add(self.mask + 1), Ordering::Release);
                         return Some(value);
                     }
                     Err(actual) => pos = actual,

@@ -107,7 +107,14 @@ impl Msg {
     }
 
     /// Creates a completion notification echoing the task coordinates.
-    pub fn complete(task: TaskType, frame: u32, symbol: u32, base: u32, count: u32, worker: u16) -> Self {
+    pub fn complete(
+        task: TaskType,
+        frame: u32,
+        symbol: u32,
+        base: u32,
+        count: u32,
+        worker: u16,
+    ) -> Self {
         Self { task, aux: worker, count, frame, symbol, base, _pad: [0; 11] }
     }
 }

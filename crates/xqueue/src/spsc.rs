@@ -57,10 +57,7 @@ pub fn spsc<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         head: CachePadded::new(AtomicUsize::new(0)),
         tail: CachePadded::new(AtomicUsize::new(0)),
     });
-    (
-        Producer { ring: ring.clone(), cached_tail: 0 },
-        Consumer { ring, cached_head: 0 },
-    )
+    (Producer { ring: ring.clone(), cached_tail: 0 }, Consumer { ring, cached_head: 0 })
 }
 
 impl<T> Producer<T> {
@@ -83,10 +80,7 @@ impl<T> Producer<T> {
 
     /// Approximate occupancy (diagnostics only).
     pub fn len(&self) -> usize {
-        self.ring
-            .head
-            .load(Ordering::Relaxed)
-            .wrapping_sub(self.ring.tail.load(Ordering::Relaxed))
+        self.ring.head.load(Ordering::Relaxed).wrapping_sub(self.ring.tail.load(Ordering::Relaxed))
     }
 
     /// Approximate emptiness (diagnostics only).
@@ -112,10 +106,7 @@ impl<T> Consumer<T> {
 
     /// Approximate occupancy (diagnostics only).
     pub fn len(&self) -> usize {
-        self.ring
-            .head
-            .load(Ordering::Relaxed)
-            .wrapping_sub(self.ring.tail.load(Ordering::Relaxed))
+        self.ring.head.load(Ordering::Relaxed).wrapping_sub(self.ring.tail.load(Ordering::Relaxed))
     }
 
     /// Approximate emptiness (diagnostics only).

@@ -54,8 +54,7 @@ fn main() {
             let mut active = vec![Cf32::ZERO; cell.num_data_sc];
             map.demap_symbols(&rx, &mut active);
             // Normalise to unit constellation power (ZF gives c*I).
-            let p: f32 =
-                active.iter().map(|z| z.norm_sqr()).sum::<f32>() / active.len() as f32;
+            let p: f32 = active.iter().map(|z| z.norm_sqr()).sum::<f32>() / active.len() as f32;
             for z in active.iter_mut() {
                 *z = z.scale(1.0 / p.sqrt().max(1e-12));
             }

@@ -57,10 +57,7 @@ fn main() {
         stats.ber(),
         stats.bler()
     );
-    println!(
-        "uplink MAC rate at this numerology: {:.1} Mbps",
-        cell.uplink_data_rate_bps() / 1e6
-    );
+    println!("uplink MAC rate at this numerology: {:.1} Mbps", cell.uplink_data_rate_bps() / 1e6);
     assert_eq!(stats.bler(), 0.0, "expected error-free decoding at 25 dB");
     println!("all blocks decoded correctly ✓");
 }

@@ -21,8 +21,7 @@ fn main() {
     // Bind both endpoints on ephemeral loopback ports and cross-wire.
     let any: SocketAddr = "127.0.0.1:0".parse().unwrap();
     let mut rru_side = UdpFronthaul::new(any, any).expect("bind RRU socket");
-    let bbu_side =
-        UdpFronthaul::new(any, rru_side.local_addr().unwrap()).expect("bind BBU socket");
+    let bbu_side = UdpFronthaul::new(any, rru_side.local_addr().unwrap()).expect("bind BBU socket");
     rru_side.set_peer(bbu_side.local_addr().unwrap());
     println!(
         "fronthaul: RRU {} -> BBU {}",
@@ -61,11 +60,7 @@ fn main() {
                 }
             }
         }
-        println!(
-            "frame {frame}: {}/{} packets delivered over UDP",
-            received.len(),
-            expected
-        );
+        println!("frame {frame}: {}/{} packets delivered over UDP", received.len(), expected);
         assert_eq!(received.len(), expected, "loopback UDP should not drop at this rate");
 
         let result = engine.process_frame(frame, &received);

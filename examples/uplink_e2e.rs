@@ -12,8 +12,7 @@ use agora_fronthaul::{RruConfig, RruEmulator};
 use agora_phy::{CellConfig, ModScheme};
 
 fn main() {
-    let workers: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let workers: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
 
     // A mid-size cell: 16 antennas, 4 users, 16-QAM, 1 pilot + 4 UL
     // symbols.

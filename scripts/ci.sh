@@ -4,9 +4,13 @@
 #   scripts/ci.sh
 #
 # Runs the release build (the tier-1 artifact), the full workspace test
-# suite, and clippy with warnings promoted to errors. Fails fast.
+# suite, format and clippy gates (warnings promoted to errors), and the
+# release parity smokes. Fails fast.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
 
 echo "== cargo build --release =="
 cargo build --release
@@ -22,6 +26,9 @@ cargo run --release -q -p agora-bench --bin fft_parity
 
 echo "== gemm parity smoke =="
 cargo run --release -q -p agora-bench --bin gemm_parity
+
+echo "== zf parity smoke =="
+cargo run --release -q -p agora-bench --bin zf_parity
 
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings

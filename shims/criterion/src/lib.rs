@@ -117,7 +117,11 @@ impl Criterion {
     }
 
     /// Runs one named benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, mut f: F) -> &mut Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
         let mut samples = Vec::with_capacity(self.sample_size);
         let mut b = Bencher {
             samples: &mut samples,
@@ -225,7 +229,11 @@ mod tests {
             .measurement_time(Duration::from_millis(30))
             .warm_up_time(Duration::from_millis(5));
         c.bench_function("batched", |b| {
-            b.iter_batched(|| vec![1u8; 64], |v| v.iter().map(|&x| x as u64).sum::<u64>(), BatchSize::SmallInput)
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
         });
     }
 }

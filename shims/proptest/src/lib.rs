@@ -384,7 +384,10 @@ mod tests {
         let mut b = crate::test_runner::TestRng::for_test("x::y");
         let s = 0u64..u64::MAX;
         for _ in 0..32 {
-            assert_eq!(crate::Strategy::generate(&s, &mut a), crate::Strategy::generate(&s, &mut b));
+            assert_eq!(
+                crate::Strategy::generate(&s, &mut a),
+                crate::Strategy::generate(&s, &mut b)
+            );
         }
     }
 }

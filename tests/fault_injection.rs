@@ -7,13 +7,11 @@
 //! injector's ground-truth fault log under a fixed seed.
 
 use agora_core::{Engine, EngineConfig};
-use agora_fronthaul::{
-    FaultConfig, FaultInjector, LossModel, RruConfig, RruEmulator,
-};
+use agora_fronthaul::{FaultConfig, FaultInjector, LossModel, RruConfig, RruEmulator};
 use agora_ldpc::BaseGraphId;
 use agora_phy::frame::LdpcParams;
-use agora_phy::{CellConfig, FrameSchedule, ModScheme};
 use agora_phy::pilots::PilotScheme;
+use agora_phy::{CellConfig, FrameSchedule, ModScheme};
 
 /// A reduced 64-antenna, 16-user cell: full paper antenna/user counts
 /// but a 128-point FFT and a short BG2 code so the debug-build test
@@ -28,12 +26,7 @@ fn cell_64x16() -> CellConfig {
         modulation: ModScheme::Qpsk,
         pilot_scheme: PilotScheme::FrequencyOrthogonal,
         zf_group: 16,
-        ldpc: LdpcParams {
-            base_graph: BaseGraphId::Bg2,
-            z: 4,
-            rate: 1.0 / 3.0,
-            max_iters: 8,
-        },
+        ldpc: LdpcParams { base_graph: BaseGraphId::Bg2, z: 4, rate: 1.0 / 3.0, max_iters: 8 },
         schedule: FrameSchedule::uplink(1, 2),
         symbol_duration_ns: 71_000,
     };
@@ -122,7 +115,11 @@ fn lossy_uplink_completes_every_frame_with_reconciled_counters() {
             let gt = &truths[r.frame as usize];
             for symbol in cell.schedule.uplink_indices() {
                 for user in 0..cell.num_users {
-                    assert!(r.decode_ok[symbol][user], "frame {} sym {symbol} user {user}", r.frame);
+                    assert!(
+                        r.decode_ok[symbol][user],
+                        "frame {} sym {symbol} user {user}",
+                        r.frame
+                    );
                     assert_eq!(r.decoded[symbol][user], gt.info_bits[symbol][user]);
                 }
             }

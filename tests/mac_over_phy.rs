@@ -21,10 +21,8 @@ fn transport_blocks_survive_the_air_interface() {
         .collect();
     let segments: Vec<Vec<Vec<u8>>> = tbs.iter().map(|tb| seg.segment(tb)).collect();
 
-    let mut rru = RruEmulator::new(
-        cell.clone(),
-        RruConfig { snr_db: 28.0, seed: 13, ..Default::default() },
-    );
+    let mut rru =
+        RruEmulator::new(cell.clone(), RruConfig { snr_db: 28.0, seed: 13, ..Default::default() });
     let ul_symbols = cell.schedule.uplink_indices();
     let (packets, _gt) = rru.generate_frame_with_bits(
         0,

@@ -20,10 +20,8 @@ fn generate(
     frames: u32,
     seed: u64,
 ) -> (Vec<bytes::Bytes>, Vec<agora_fronthaul::FrameGroundTruth>, f32) {
-    let mut rru = RruEmulator::new(
-        cell.clone(),
-        RruConfig { snr_db: 28.0, seed, ..Default::default() },
-    );
+    let mut rru =
+        RruEmulator::new(cell.clone(), RruConfig { snr_db: 28.0, seed, ..Default::default() });
     let mut packets = Vec::new();
     let mut truths = Vec::new();
     for f in 0..frames {
@@ -102,8 +100,7 @@ fn quantized_and_float_planes_agree_at_operating_snr() {
     float_cfg.noise_power = noise;
     let float_results = Engine::new(float_cfg).process(packets.clone(), 3, false);
 
-    let quant_results =
-        Engine::new(quantized_config(&cell, 2, noise)).process(packets, 3, false);
+    let quant_results = Engine::new(quantized_config(&cell, 2, noise)).process(packets, 3, false);
 
     for (fr, qr) in float_results.iter().zip(quant_results.iter()) {
         assert_eq!(fr.frame, qr.frame);
@@ -214,7 +211,11 @@ fn quantized_plane_counters_reconcile_under_loss() {
             let gt = &truths[r.frame as usize];
             for symbol in cell.schedule.uplink_indices() {
                 for user in 0..cell.num_users {
-                    assert!(r.decode_ok[symbol][user], "frame {} sym {symbol} user {user}", r.frame);
+                    assert!(
+                        r.decode_ok[symbol][user],
+                        "frame {} sym {symbol} user {user}",
+                        r.frame
+                    );
                     assert_eq!(r.decoded[symbol][user], gt.info_bits[symbol][user]);
                 }
             }

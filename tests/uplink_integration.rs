@@ -10,11 +10,13 @@ fn tiny_cell() -> CellConfig {
     CellConfig::tiny_test(2)
 }
 
-fn generate(cell: &CellConfig, frames: u32, seed: u64) -> (Vec<bytes::Bytes>, Vec<agora_fronthaul::FrameGroundTruth>, f32) {
-    let mut rru = RruEmulator::new(
-        cell.clone(),
-        RruConfig { snr_db: 28.0, seed, ..Default::default() },
-    );
+fn generate(
+    cell: &CellConfig,
+    frames: u32,
+    seed: u64,
+) -> (Vec<bytes::Bytes>, Vec<agora_fronthaul::FrameGroundTruth>, f32) {
+    let mut rru =
+        RruEmulator::new(cell.clone(), RruConfig { snr_db: 28.0, seed, ..Default::default() });
     let mut packets = Vec::new();
     let mut truths = Vec::new();
     for f in 0..frames {
