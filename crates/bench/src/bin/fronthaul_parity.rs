@@ -1,0 +1,138 @@
+//! CI smoke: fronthaul delivery parity across I/O paths.
+//! Deterministic (fixed payload patterns), fast (<1 s), exit code 1 on
+//! any violation — `scripts/ci.sh` runs it after the test suite as a
+//! release-build cross-check of the transport plane's contracts:
+//!
+//! * `send_batch`/`recv_batch` over the in-memory link deliver exactly
+//!   the bytes the single-packet calls deliver, in order;
+//! * the batched UDP loopback path (`sendmmsg`/`recvmmsg` when
+//!   available, portable loop otherwise) delivers the same bytes, in
+//!   order, with zero link errors;
+//! * aggregated jumbo datagrams split back into byte-identical packets
+//!   landing in recycled `PacketPool` slots, and every slot is back in
+//!   the pool once the packets drop (no leaks);
+//! * a plain single-packet send interoperates with an aggregated
+//!   receiver.
+
+use agora_fronthaul::{
+    encode, Fronthaul, MemFronthaul, PacketBuf, PacketDir, PacketHeader, PacketPool, UdpFronthaul,
+};
+use std::collections::VecDeque;
+use std::net::SocketAddr;
+use std::process::exit;
+
+fn packets(n: usize) -> Vec<PacketBuf> {
+    (0..n)
+        .map(|i| {
+            let payload: Vec<u8> = (0..64 + (i * 7) % 320).map(|b| (b ^ i) as u8).collect();
+            PacketBuf::from(encode(
+                &PacketHeader {
+                    frame: (i / 8) as u32,
+                    symbol: (i % 8) as u16,
+                    antenna: i as u16,
+                    dir: PacketDir::Uplink,
+                    cell: 0,
+                    payload_len: payload.len() as u32,
+                },
+                &payload,
+            ))
+        })
+        .collect()
+}
+
+fn check(ok: bool, what: &str) {
+    if ok {
+        println!("OK   {what}");
+    } else {
+        println!("FAIL {what}");
+        exit(1);
+    }
+}
+
+fn send_all(fh: &impl Fronthaul, pkts: &[PacketBuf]) {
+    let mut outgoing: VecDeque<PacketBuf> = pkts.iter().cloned().collect();
+    let mut spins = 0u32;
+    while !outgoing.is_empty() {
+        if fh.send_batch(&mut outgoing) == 0 {
+            spins += 1;
+            assert!(spins < 1_000_000, "send stalled");
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn recv_all(fh: &impl Fronthaul, n: usize) -> Vec<PacketBuf> {
+    let mut got = Vec::with_capacity(n);
+    for _ in 0..1_000_000 {
+        let want = n - got.len();
+        fh.recv_batch(&mut got, want);
+        if got.len() == n {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    got
+}
+
+fn bytes_equal(reference: &[PacketBuf], got: &[PacketBuf]) -> bool {
+    reference.len() == got.len() && reference.iter().zip(got).all(|(a, b)| a[..] == b[..])
+}
+
+fn udp_pair() -> (UdpFronthaul, UdpFronthaul) {
+    let any: SocketAddr = "127.0.0.1:0".parse().unwrap();
+    let mut tx = UdpFronthaul::new(any, any).expect("bind tx");
+    let rx = UdpFronthaul::new(any, tx.local_addr().unwrap()).expect("bind rx");
+    tx.set_peer(rx.local_addr().unwrap());
+    (tx, rx)
+}
+
+fn main() {
+    let reference = packets(48);
+
+    // 1. In-memory link: batched calls vs single calls.
+    let (tx, rx) = MemFronthaul::pair(64);
+    send_all(&tx, &reference);
+    let batched = recv_all(&rx, reference.len());
+    for p in &reference {
+        tx.send(p.clone()).expect("mem link sized for the burst");
+    }
+    let single: Vec<PacketBuf> = (0..reference.len()).map(|_| rx.recv().unwrap()).collect();
+    check(bytes_equal(&reference, &batched), "mem batch == reference");
+    check(bytes_equal(&batched, &single), "mem batch == mem single");
+
+    // 2. Batched UDP loopback (mmsg or the portable fallback).
+    let (tx, rx) = udp_pair();
+    send_all(&tx, &reference);
+    let got = recv_all(&rx, reference.len());
+    check(bytes_equal(&reference, &got), "udp batch delivers identical bytes in order");
+    check(
+        tx.link_errors() == (0, 0) && rx.link_errors() == (0, 0),
+        "udp batch round trip has zero link errors",
+    );
+    println!(
+        "     (batched syscalls {})",
+        if tx.batched_syscalls_active() { "active" } else { "unavailable; portable loop" }
+    );
+
+    // 3. Aggregated jumbo datagrams into pooled slots, then recycling.
+    let pool = PacketPool::new(64, 2048);
+    let (tx, rx) = udp_pair();
+    let tx = tx.with_aggregation(16);
+    let rx = rx.with_aggregation(16).with_pool(pool.clone());
+    send_all(&tx, &reference);
+    let got = recv_all(&rx, reference.len());
+    check(bytes_equal(&reference, &got), "aggregated+pooled split is byte-identical");
+    check(got.iter().all(|p| p.is_pooled()), "aggregated receives land in pool slots");
+    drop(got);
+    drop(rx);
+    check(pool.available() == pool.capacity(), "every pool slot returned after packet drop");
+
+    // 4. Plain sender into an aggregated receiver.
+    let (tx, rx) = udp_pair();
+    let rx = rx.with_aggregation(16);
+    tx.send(reference[0].clone()).expect("loopback send");
+    let got = recv_all(&rx, 1);
+    check(bytes_equal(&reference[..1], &got), "plain datagram interoperates with aggregation");
+
+    println!("fronthaul parity: all checks passed");
+}

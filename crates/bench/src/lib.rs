@@ -17,6 +17,8 @@
 //! | `fig13_breakdown` | Fig 13: block latency + milestones, DP vs PP |
 //! | `table4_ablation` | Table 4: optimisation ablations |
 //! | `table5_simd` | Table 5: SIMD-tier sensitivity |
+//! | `fronthaul_batch` | Fig 10 (I/O side): packets/s and intake-to-FFT latency, single vs batched vs aggregated+pooled UDP |
+//! | `fronthaul_parity` | CI smoke: batch/single delivery parity, aggregation split, pool recycling |
 //!
 //! The multi-core latency figures run on the calibrated discrete-event
 //! simulator (`agora_core::sim`) because this machine exposes a single

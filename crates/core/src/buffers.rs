@@ -8,6 +8,7 @@
 //! an unsafe, lock-free grid whose mutable views the caller promises are
 //! disjoint.
 
+use agora_fronthaul::{PacketBuf, HEADER_LEN};
 use agora_math::Cf32;
 use core::cell::UnsafeCell;
 
@@ -93,10 +94,98 @@ impl<T> SharedVec<T> {
     }
 }
 
+/// Zero-copy packet retention for one in-flight frame: one slot per
+/// (symbol, antenna), holding the whole received packet (header +
+/// payload) until the frame retires. FFT tasks read the IQ payload as a
+/// borrowed view straight out of the receive buffer — pooled or heap —
+/// so intake never copies sample bytes.
+///
+/// # Safety contract
+/// Mirrors [`SharedVec`]: synchronisation comes from the engine's
+/// scheduler, not from locks. The network thread is the *sole* writer
+/// ([`Self::store`] / [`Self::clear_all`]); it only clears a slot table
+/// after observing (Acquire on `min_frame`) that the previous occupant
+/// frame retired, and only stores into unoccupied entries. Readers
+/// ([`Self::payload`]) run strictly after the store that filled the
+/// entry, ordered by the task-queue release/acquire edge that dispatched
+/// them, and never survive frame retirement.
+pub struct PacketSlots {
+    slots: UnsafeCell<Box<[Option<PacketBuf>]>>,
+}
+
+// SAFETY: see the scheduler contract above — disjoint-entry writes by a
+// single writer thread, reads ordered behind the filling store by queue
+// edges, clears ordered behind every read by frame retirement.
+unsafe impl Send for PacketSlots {}
+unsafe impl Sync for PacketSlots {}
+
+impl PacketSlots {
+    /// Allocates `n` empty slots.
+    pub fn new(n: usize) -> Self {
+        Self { slots: UnsafeCell::new((0..n).map(|_| None).collect()) }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        // SAFETY: the length is immutable after construction.
+        unsafe { (&*self.slots.get()).len() }
+    }
+
+    /// True if the table has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when a packet is retained at `idx`. Sound under concurrent
+    /// `payload` reads (both are shared reads); the single-writer rule
+    /// makes the answer exact for the network thread.
+    pub fn occupied(&self, idx: usize) -> bool {
+        // SAFETY: shared read; no `&mut` can exist concurrently because
+        // writes only target entries no reader (or occupancy probe)
+        // touches — unoccupied entries or retired frames.
+        unsafe { (*self.slots.get())[idx].is_some() }
+    }
+
+    /// Retains `pkt` at `idx`. Storing over an occupied entry drops the
+    /// previous packet.
+    ///
+    /// # Safety
+    /// Caller is the sole writer thread and no reader holds a view of
+    /// `idx` (no task was dispatched for it, or the caller has exclusive
+    /// access to the whole table).
+    pub unsafe fn store(&self, idx: usize, pkt: PacketBuf) {
+        (*self.slots.get())[idx] = Some(pkt);
+    }
+
+    /// Borrowed payload view (bytes after the 64-byte header) of the
+    /// packet at `idx`, or `None` when the packet never arrived.
+    ///
+    /// # Safety
+    /// The entry must not be concurrently stored or cleared — guaranteed
+    /// for dispatched tasks by the scheduler contract above.
+    pub unsafe fn payload(&self, idx: usize) -> Option<&[u8]> {
+        (*self.slots.get())[idx].as_ref().map(|p| &p[HEADER_LEN..])
+    }
+
+    /// Drops every retained packet (returning pooled buffers to their
+    /// pool).
+    ///
+    /// # Safety
+    /// Caller is the sole writer thread and no reader can touch this
+    /// table: its frame retired (min_frame advanced past it) or the
+    /// engine is quiescent.
+    pub unsafe fn clear_all(&self) {
+        for slot in (*self.slots.get()).iter_mut() {
+            *slot = None;
+        }
+    }
+}
+
 /// All shared buffers for one in-flight frame.
 ///
 /// Layouts (all row-major, sizes derived from the cell config):
-/// * `rx_payload[symbol][antenna]` — raw 3-byte IQ payloads as received.
+/// * `rx_pkts[symbol * M + antenna]` — retained received packets
+///   (zero-copy payload views for the FFT stage).
 /// * `freq[symbol]` — post-FFT active subcarriers of data symbols. With
 ///   the cache-friendly layout: `[block][antenna][8 sc]`; with the
 ///   ablation layout: `[antenna][sc]`.
@@ -110,8 +199,8 @@ impl<T> SharedVec<T> {
 /// * `decoded[symbol][user][bit]` + `decode_ok[symbol][user]`.
 /// * downlink mirrors: `dl_bits`, `dl_freq`, `dl_time`.
 pub struct FrameBuffers {
-    /// Raw received payload bytes per (symbol, antenna).
-    pub rx_payload: SharedVec<u8>,
+    /// Retained received packets per (symbol, antenna).
+    pub rx_pkts: PacketSlots,
     /// Frequency-domain samples per data/pilot symbol.
     pub freq: SharedVec<Cf32>,
     /// Channel estimates.
@@ -140,7 +229,6 @@ pub struct FrameBuffers {
     /// Downlink time-domain samples per (symbol, antenna).
     pub dl_time: SharedVec<Cf32>,
     // --- derived strides ---
-    payload_per_ant: usize,
     freq_per_symbol: usize,
     mk: usize,
     kk: usize,
@@ -175,11 +263,10 @@ pub struct BufferGeometry {
 impl FrameBuffers {
     /// Allocates zeroed buffers for one frame slot.
     pub fn new(g: &BufferGeometry) -> Self {
-        let payload_per_ant = g.samples * 3;
         let freq_per_symbol = g.q * g.m;
         let groups = g.q.div_ceil(g.zf_group);
         Self {
-            rx_payload: SharedVec::new(g.symbols * g.m * payload_per_ant, 0u8),
+            rx_pkts: PacketSlots::new(g.symbols * g.m),
             freq: SharedVec::new(g.symbols * freq_per_symbol, Cf32::ZERO),
             csi: SharedVec::new(g.q * g.m * g.k, Cf32::ZERO),
             det: SharedVec::new(groups * g.k * g.m, Cf32::ZERO),
@@ -192,7 +279,6 @@ impl FrameBuffers {
             dl_bits: SharedVec::new(g.symbols * g.k * g.cap_bits, 0u8),
             dl_freq: SharedVec::new(g.symbols * freq_per_symbol, Cf32::ZERO),
             dl_time: SharedVec::new(g.symbols * g.m * g.samples, Cf32::ZERO),
-            payload_per_ant,
             freq_per_symbol,
             mk: g.m * g.k,
             kk: g.k * g.k,
@@ -202,15 +288,21 @@ impl FrameBuffers {
         }
     }
 
-    /// Byte range of one (symbol, antenna) payload.
-    pub fn payload_range(
-        &self,
-        g: &BufferGeometry,
-        symbol: usize,
-        ant: usize,
-    ) -> core::ops::Range<usize> {
-        let base = (symbol * g.m + ant) * self.payload_per_ant;
-        base..base + self.payload_per_ant
+    /// Slot index of one (symbol, antenna) packet in [`Self::rx_pkts`].
+    pub fn pkt_index(&self, g: &BufferGeometry, symbol: usize, ant: usize) -> usize {
+        symbol * g.m + ant
+    }
+
+    /// Borrowed IQ payload of the retained (symbol, antenna) packet.
+    ///
+    /// # Safety
+    /// Same contract as [`PacketSlots::payload`]; additionally the
+    /// packet must have been stored (the task was only dispatched after
+    /// intake), so the view is always present.
+    pub unsafe fn rx_payload_view(&self, g: &BufferGeometry, symbol: usize, ant: usize) -> &[u8] {
+        self.rx_pkts
+            .payload(self.pkt_index(g, symbol, ant))
+            .expect("missing packet for dispatched task")
     }
 
     /// Range of one symbol's frequency-domain data (all antennas).
@@ -398,21 +490,46 @@ mod tests {
     }
 
     #[test]
-    fn ranges_are_disjoint_across_coordinates() {
+    fn pkt_indices_are_unique_and_tile_the_slot_table() {
         let g = geom();
         let fb = FrameBuffers::new(&g);
-        // Payload ranges for different (symbol, antenna) never overlap.
-        let mut seen: Vec<core::ops::Range<usize>> = Vec::new();
+        // Slot indices for different (symbol, antenna) never collide and
+        // cover the whole table.
+        let mut seen = std::collections::BTreeSet::new();
         for sym in 0..g.symbols {
             for ant in 0..g.m {
-                let r = fb.payload_range(&g, sym, ant);
-                for s in &seen {
-                    assert!(r.end <= s.start || s.end <= r.start, "overlap {r:?} vs {s:?}");
-                }
-                seen.push(r);
+                assert!(seen.insert(fb.pkt_index(&g, sym, ant)), "index collision");
             }
         }
-        assert_eq!(seen.last().unwrap().end, fb.rx_payload.len());
+        assert_eq!(seen.len(), fb.rx_pkts.len());
+        assert_eq!(*seen.iter().next_back().unwrap(), fb.rx_pkts.len() - 1);
+    }
+
+    #[test]
+    fn packet_slots_store_and_view_roundtrip() {
+        use agora_fronthaul::{encode, PacketDir, PacketHeader};
+        let g = geom();
+        let fb = FrameBuffers::new(&g);
+        let payload: Vec<u8> = (0..g.samples * 3).map(|i| i as u8).collect();
+        let hdr = PacketHeader {
+            frame: 7,
+            symbol: 1,
+            antenna: 2,
+            dir: PacketDir::Uplink,
+            cell: 3,
+            payload_len: payload.len() as u32,
+        };
+        let idx = fb.pkt_index(&g, 1, 2);
+        assert!(!fb.rx_pkts.occupied(idx));
+        // SAFETY: single-threaded test — no concurrent access.
+        unsafe {
+            fb.rx_pkts.store(idx, PacketBuf::Heap(encode(&hdr, &payload)));
+            assert!(fb.rx_pkts.occupied(idx));
+            assert_eq!(fb.rx_payload_view(&g, 1, 2), &payload[..]);
+            assert!(fb.rx_pkts.payload(fb.pkt_index(&g, 0, 0)).is_none());
+            fb.rx_pkts.clear_all();
+            assert!(!fb.rx_pkts.occupied(idx));
+        }
     }
 
     #[test]

@@ -187,6 +187,10 @@ pub struct EngineConfig {
     /// `None` keeps the legacy behaviour: incomplete frames are only
     /// reaped by the end-of-input stall detector.
     pub frame_deadline_ns: Option<u64>,
+    /// Packets the network thread requests per `recv_batch` poll when
+    /// driven from a [`agora_fronthaul::Fronthaul`] link (one `recvmmsg`
+    /// syscall drains up to this many).
+    pub rx_batch: usize,
 }
 
 impl EngineConfig {
@@ -204,6 +208,7 @@ impl EngineConfig {
             stale_precoder: false,
             cpe_correction: false,
             frame_deadline_ns: None,
+            rx_batch: 32,
         };
         cfg.clamp_batches();
         cfg
@@ -256,6 +261,9 @@ impl EngineConfig {
         {
             return Err("iterative equalization requires the zero-forcing detector".into());
         }
+        if self.rx_batch == 0 {
+            return Err("rx batch must be at least 1".into());
+        }
         Ok(())
     }
 }
@@ -307,6 +315,13 @@ mod tests {
     fn invalid_worker_count_rejected() {
         let mut cfg = EngineConfig::new(CellConfig::tiny_test(2), 1);
         cfg.num_workers = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_rx_batch_rejected() {
+        let mut cfg = EngineConfig::new(CellConfig::tiny_test(2), 1);
+        cfg.rx_batch = 0;
         assert!(cfg.validate().is_err());
     }
 

@@ -14,7 +14,8 @@ use crate::config::EngineConfig;
 use crate::kernels::{Kernels, WorkerScratch};
 use crate::state::{FrameState, Milestones, Ready};
 use crate::stats::EngineStats;
-use agora_fronthaul::packet::decode as decode_packet;
+use agora_fronthaul::packet::decode_ref;
+use agora_fronthaul::{Fronthaul, PacketBuf};
 use agora_queue::{MpmcQueue, Msg, TaskType};
 use bytes::Bytes;
 use std::collections::HashMap;
@@ -98,6 +99,95 @@ impl TaskQueues {
 
     fn queue(&self, t: TaskType) -> &MpmcQueue<Msg> {
         &self.tasks[crate::stats::type_index(t)]
+    }
+}
+
+/// Network-thread intake state: validates, retains and announces
+/// received packets. The packet itself (pooled or heap) is parked in the
+/// frame slot's [`crate::buffers::PacketSlots`] table, so the FFT stage
+/// reads IQ samples straight out of the receive buffer — intake never
+/// copies payload bytes.
+struct NetIngest<'a> {
+    kernels: &'a Kernels,
+    window: &'a FrameWindow,
+    queues: &'a TaskQueues,
+    stats: &'a EngineStats,
+    min_frame: &'a AtomicU64,
+    /// Which frame currently owns each window slot's packet table. The
+    /// network thread is the sole writer of every table, so this is
+    /// plain thread-local state: a slot is cleared exactly once, at the
+    /// moment its first packet of a new frame arrives.
+    slot_frame: Vec<Option<u32>>,
+}
+
+impl<'a> NetIngest<'a> {
+    fn new(
+        kernels: &'a Kernels,
+        window: &'a FrameWindow,
+        queues: &'a TaskQueues,
+        stats: &'a EngineStats,
+        min_frame: &'a AtomicU64,
+    ) -> Self {
+        Self { kernels, window, queues, stats, min_frame, slot_frame: vec![None; window.window()] }
+    }
+
+    /// Ingests one packet: decode + validate, reject stragglers, apply
+    /// window flow control, retain the buffer in the frame's slot table
+    /// and notify the manager.
+    fn ingest(&mut self, pkt: PacketBuf) {
+        let g = &self.kernels.geom;
+        let win = self.slot_frame.len() as u64;
+        let Ok((hdr, payload)) = decode_ref(&pkt) else {
+            self.stats.rx_error();
+            return;
+        };
+        let (frame, symbol, ant) = (hdr.frame, hdr.symbol as usize, hdr.antenna as usize);
+        // Shape validation: a mis-addressed or mis-sized packet must not
+        // index out of the slot table or hand the FFT a short payload.
+        if symbol >= g.symbols || ant >= g.m || payload.len() != g.samples * 3 {
+            self.stats.rx_error();
+            return;
+        }
+        // Late rejection: the frame's slot has been retired (and may
+        // already belong to a newer frame) — storing would corrupt the
+        // new occupant. Happens to duplicates/stragglers arriving after
+        // their frame completed or was abandoned.
+        if (frame as u64) < self.min_frame.load(Ordering::Acquire) {
+            self.stats.packet_late();
+            return;
+        }
+        // Flow control: wait until the frame's slot is free.
+        while frame as u64 >= self.min_frame.load(Ordering::Acquire) + win {
+            std::thread::yield_now();
+        }
+        let fb = self.window.slot(frame);
+        let slot = (frame as u64 % win) as usize;
+        if self.slot_frame[slot] != Some(frame) {
+            // First packet of `frame` in this slot: drop the previous
+            // occupant's retained packets (returning pooled buffers).
+            // SAFETY: the previous occupant is `frame - k*win` for some
+            // k >= 1, which is below `min_frame` (Acquire above), so the
+            // manager retired it with zero in-flight tasks — no reader
+            // can touch the table; this thread is the sole writer.
+            unsafe { fb.rx_pkts.clear_all() };
+            self.slot_frame[slot] = Some(frame);
+        }
+        let idx = fb.pkt_index(g, symbol, ant);
+        if !fb.rx_pkts.occupied(idx) {
+            // SAFETY: sole writer thread, entry unoccupied, and no task
+            // was dispatched for it yet (dispatch follows the rx message
+            // pushed below).
+            unsafe { fb.rx_pkts.store(idx, pkt) };
+        }
+        // Duplicates drop the new copy (the retained payload is
+        // byte-identical) but still notify the manager, which owns the
+        // duplicate ledger.
+        let msg = Msg::task(TaskType::PacketRx, frame, symbol as u32, ant as u32, 1);
+        let mut m = msg;
+        while let Err(back) = self.queues.rx.push(m) {
+            m = back;
+            std::thread::yield_now();
+        }
     }
 }
 
@@ -187,51 +277,83 @@ impl Engine {
                 let stats = self.stats.clone();
                 scope.spawn(move || {
                     let g = &kernels.geom;
-                    let win = window.window() as u64;
+                    let mut ingest = NetIngest::new(&kernels, &window, &queues, &stats, &min_frame);
                     let mut pace = paced.then(|| {
                         agora_fronthaul::Pacer::new(std::time::Duration::from_nanos(symbol_ns))
                     });
                     let mut last_symbol = u64::MAX;
                     for pkt in packets {
-                        let Ok((hdr, payload)) = decode_packet(&pkt) else { continue };
                         // Pace at symbol boundaries.
                         if let Some(p) = pace.as_mut() {
-                            let sym_abs = hdr.frame as u64 * g.symbols as u64 + hdr.symbol as u64;
-                            if sym_abs != last_symbol {
-                                p.wait_next();
-                                last_symbol = sym_abs;
+                            if let Ok((hdr, _)) = decode_ref(&pkt) {
+                                let sym_abs =
+                                    hdr.frame as u64 * g.symbols as u64 + hdr.symbol as u64;
+                                if sym_abs != last_symbol {
+                                    p.wait_next();
+                                    last_symbol = sym_abs;
+                                }
                             }
                         }
-                        // Late rejection: the frame's slot has been
-                        // retired (and may already belong to a newer
-                        // frame) — writing the payload would corrupt the
-                        // new occupant. Happens to duplicates/stragglers
-                        // arriving after their frame completed or was
-                        // abandoned.
-                        if (hdr.frame as u64) < min_frame.load(Ordering::Acquire) {
-                            stats.packet_late();
-                            continue;
-                        }
-                        // Flow control: wait until the frame's slot is free.
-                        while hdr.frame as u64 >= min_frame.load(Ordering::Acquire) + win {
-                            std::thread::yield_now();
-                        }
-                        let fb = window.slot(hdr.frame);
-                        let range = fb.payload_range(g, hdr.symbol as usize, hdr.antenna as usize);
-                        unsafe { fb.rx_payload.slice_mut(range) }.copy_from_slice(&payload);
-                        let msg = Msg::task(
-                            TaskType::PacketRx,
-                            hdr.frame,
-                            hdr.symbol as u32,
-                            hdr.antenna as u32,
-                            1,
-                        );
-                        let mut m = msg;
-                        while let Err(back) = queues.rx.push(m) {
-                            m = back;
+                        ingest.ingest(PacketBuf::Heap(pkt));
+                    }
+                    net_done.store(true, Ordering::Release);
+                });
+            }
+
+            // --- manager loop (this thread) ---
+            self.manager_loop(start, num_frames, &net_done)
+        })
+    }
+
+    /// Processes `num_frames` frames arriving live over a fronthaul
+    /// link. The network thread drains the link in whole batches per
+    /// poll ([`Fronthaul::recv_batch`] — one `recvmmsg` on UDP links)
+    /// and parks each packet buffer, pooled or heap, in the frame's slot
+    /// table for zero-copy FFT intake. Polling continues until
+    /// `producer_done` is observed true *and* the link is empty, so the
+    /// caller must set it after the last packet has been sent. Returns
+    /// one [`FrameResult`] per frame, in frame order; socket error and
+    /// batch-size counters land in [`Self::stats`].
+    pub fn process_fronthaul<F: Fronthaul + Sync + ?Sized>(
+        &self,
+        fh: &F,
+        num_frames: u32,
+        producer_done: &AtomicBool,
+    ) -> Vec<FrameResult> {
+        let start = Instant::now();
+        let net_done = Arc::new(AtomicBool::new(false));
+        let rx_batch = self.kernels.cfg.rx_batch.max(1);
+
+        std::thread::scope(|scope| {
+            // --- network thread ---
+            {
+                let queues = self.queues.clone();
+                let window = self.window.clone();
+                let min_frame = self.min_frame.clone();
+                let net_done = net_done.clone();
+                let kernels = self.kernels.clone();
+                let stats = self.stats.clone();
+                scope.spawn(move || {
+                    let mut ingest = NetIngest::new(&kernels, &window, &queues, &stats, &min_frame);
+                    let mut batch: Vec<PacketBuf> = Vec::with_capacity(rx_batch);
+                    loop {
+                        let n = fh.recv_batch(&mut batch, rx_batch);
+                        if n > 0 {
+                            stats.record_rx_batch(n);
+                            for pkt in batch.drain(..) {
+                                ingest.ingest(pkt);
+                            }
+                        } else if producer_done.load(Ordering::Acquire) {
+                            // The producer signalled completion after its
+                            // last send, so an empty poll here means the
+                            // link is drained for good.
+                            break;
+                        } else {
                             std::thread::yield_now();
                         }
                     }
+                    let (tx_e, rx_e) = fh.link_errors();
+                    stats.set_link_errors(tx_e, rx_e);
                     net_done.store(true, Ordering::Release);
                 });
             }
@@ -895,7 +1017,7 @@ fn execute(kernels: &Kernels, window: &FrameWindow, scratch: &mut WorkerScratch,
 mod tests {
     use super::*;
     use crate::config::{EngineConfig, EqMode};
-    use agora_fronthaul::{RruConfig, RruEmulator};
+    use agora_fronthaul::{MemFronthaul, RruConfig, RruEmulator};
     use agora_phy::CellConfig;
 
     /// The threaded engine must decode ground truth through both the
@@ -942,5 +1064,57 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Driving the engine straight off a [`Fronthaul`] link must decode
+    /// identically to the packet-list path, drain the link in whole
+    /// batches, and surface the batch/error observability counters.
+    #[test]
+    fn process_fronthaul_drains_batches_and_records_stats() {
+        let cell = CellConfig::tiny_test(2);
+        let mut rru = RruEmulator::new(
+            cell.clone(),
+            RruConfig { snr_db: 30.0, seed: 9, ..Default::default() },
+        );
+        let frames = 2u32;
+        let (tx, rx) = MemFronthaul::pair(1024);
+        // One malformed datagram rides along; intake must count and
+        // skip it without disturbing the frames.
+        tx.send(PacketBuf::Heap(Bytes::from(vec![0xFFu8; 32]))).unwrap();
+        let mut gts = Vec::new();
+        let mut total = 1u64;
+        for f in 0..frames {
+            let (p, gt) = rru.generate_frame(f);
+            total += p.len() as u64;
+            for pkt in p {
+                tx.send(PacketBuf::Heap(pkt)).unwrap();
+            }
+            gts.push(gt);
+        }
+        let mut cfg = EngineConfig::new(cell.clone(), 2);
+        cfg.noise_power = rru.noise_power();
+        let rx_batch = cfg.rx_batch as u64;
+        let engine = Engine::new(cfg);
+        // Everything is already queued, so the producer is done.
+        let done = AtomicBool::new(true);
+        let results = engine.process_fronthaul(&rx, frames, &done);
+        assert_eq!(results.len(), frames as usize);
+        for r in &results {
+            assert!(!r.dropped, "frame {} dropped", r.frame);
+            let gt = &gts[r.frame as usize];
+            for symbol in cell.schedule.uplink_indices() {
+                for user in 0..cell.num_users {
+                    assert!(r.decode_ok[symbol][user], "frame {} sym {symbol} u {user}", r.frame);
+                    assert_eq!(r.decoded[symbol][user], gt.info_bits[symbol][user]);
+                }
+            }
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.rx_batch_packets(), total, "every queued packet drained");
+        assert!(stats.rx_batches() >= total.div_ceil(rx_batch), "batch count sanity");
+        assert!(stats.rx_batch_max() <= rx_batch, "polls bounded by the configured batch");
+        assert!(stats.rx_batch_max() > 1, "a pre-filled link must drain multi-packet batches");
+        assert_eq!(stats.rx_errors(), 1, "the malformed datagram is counted");
+        assert_eq!(stats.link_errors(), (0, 0), "in-memory link has no socket errors");
     }
 }

@@ -11,6 +11,7 @@ use crate::buffers::{FrameBuffers, FrameWindow};
 use crate::config::EngineConfig;
 use crate::kernels::{Kernels, WorkerScratch};
 use agora_fronthaul::packet::decode as decode_packet;
+use agora_fronthaul::PacketBuf;
 use agora_phy::frame::SymbolType;
 use bytes::Bytes;
 
@@ -57,12 +58,18 @@ impl InlineProcessor {
         let cell = self.kernels.cfg.cell.clone();
         let fb = self.window.slot(frame);
 
-        // 1. Ingest payloads.
+        // 1. Ingest packets, retained zero-copy in the slot table (the
+        // `Bytes` clone bumps a refcount; payload bytes are not copied).
+        // SAFETY: single-threaded processor — exclusive table access.
+        // Clearing first drops the slot's previous occupant's packets.
+        unsafe { fb.rx_pkts.clear_all() };
         for pkt in packets {
-            let (hdr, payload) = decode_packet(pkt).expect("bad packet");
+            let (hdr, _) = decode_packet(pkt).expect("bad packet");
             assert_eq!(hdr.frame, frame, "packet from a different frame");
-            let range = fb.payload_range(&g, hdr.symbol as usize, hdr.antenna as usize);
-            unsafe { fb.rx_payload.slice_mut(range) }.copy_from_slice(&payload);
+            let idx = fb.pkt_index(&g, hdr.symbol as usize, hdr.antenna as usize);
+            // SAFETY: exclusive access as above; duplicates overwrite
+            // with byte-identical packets.
+            unsafe { fb.rx_pkts.store(idx, PacketBuf::Heap(pkt.clone())) };
         }
 
         // 2. Pilot FFT + CSI, then interpolation and ZF. FFT work runs in

@@ -244,7 +244,10 @@ impl Kernels {
     /// regions, guaranteed by the scheduler.
     pub fn fft_task(&self, fb: &FrameBuffers, s: &mut WorkerScratch, symbol: usize, ant: usize) {
         let g = &self.geom;
-        let payload = unsafe { fb.rx_payload.slice(fb.payload_range(g, symbol, ant)) };
+        // SAFETY: the scheduler dispatched this (symbol, antenna), so
+        // its packet slot is occupied and no longer written; the view
+        // lives only for this task.
+        let payload = unsafe { fb.rx_payload_view(g, symbol, ant) };
         // The emulated RRU sends CP-less symbols; any leading samples
         // beyond the FFT size are the (empty) prefix and are skipped by
         // the fused gather.
@@ -273,7 +276,9 @@ impl Kernels {
         assert!(count * n <= s.batch_grid.len(), "batch exceeds scratch capacity");
         let skip = g.samples - n;
         for i in 0..count {
-            let payload = unsafe { fb.rx_payload.slice(fb.payload_range(g, symbol, base + i)) };
+            // SAFETY: as in `fft_task` — every antenna in the dispatched
+            // batch has an occupied, no-longer-written packet slot.
+            let payload = unsafe { fb.rx_payload_view(g, symbol, base + i) };
             unpack_bitrev(payload, skip, self.fft.bitrev(), &mut s.batch_grid[i * n..(i + 1) * n]);
         }
         self.fft.execute_batch_prereversed(&mut s.batch_grid[..count * n], Direction::Forward);

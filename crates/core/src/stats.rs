@@ -49,6 +49,19 @@ pub struct EngineStats {
     frames_completed: AtomicU64,
     /// Frames abandoned (deadline or stall) with partial output.
     frames_dropped: AtomicU64,
+    /// Packets rejected at intake as malformed (bad header, out-of-range
+    /// symbol/antenna, or wrong payload size for the cell).
+    rx_errors: AtomicU64,
+    /// Non-empty receive batches drained by the network thread.
+    rx_batches: AtomicU64,
+    /// Packets delivered across those batches.
+    rx_batch_packets: AtomicU64,
+    /// Largest single receive batch observed.
+    rx_batch_max: AtomicU64,
+    /// Socket-level send errors reported by the fronthaul link.
+    link_tx_errors: AtomicU64,
+    /// Socket-level receive errors reported by the fronthaul link.
+    link_rx_errors: AtomicU64,
 }
 
 impl EngineStats {
@@ -157,6 +170,59 @@ impl EngineStats {
         self.frames_dropped.load(Ordering::Relaxed)
     }
 
+    /// Records one malformed packet rejected at intake.
+    pub fn rx_error(&self) {
+        self.rx_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Malformed packets rejected at intake.
+    pub fn rx_errors(&self) -> u64 {
+        self.rx_errors.load(Ordering::Relaxed)
+    }
+
+    /// Records one non-empty receive batch of `n` packets.
+    pub fn record_rx_batch(&self, n: usize) {
+        self.rx_batches.fetch_add(1, Ordering::Relaxed);
+        self.rx_batch_packets.fetch_add(n as u64, Ordering::Relaxed);
+        self.rx_batch_max.fetch_max(n as u64, Ordering::Relaxed);
+    }
+
+    /// Non-empty receive batches drained by the network thread.
+    pub fn rx_batches(&self) -> u64 {
+        self.rx_batches.load(Ordering::Relaxed)
+    }
+
+    /// Packets delivered across all receive batches.
+    pub fn rx_batch_packets(&self) -> u64 {
+        self.rx_batch_packets.load(Ordering::Relaxed)
+    }
+
+    /// Largest single receive batch observed.
+    pub fn rx_batch_max(&self) -> u64 {
+        self.rx_batch_max.load(Ordering::Relaxed)
+    }
+
+    /// Mean packets per non-empty receive batch (None before any batch).
+    pub fn mean_rx_batch(&self) -> Option<f64> {
+        let b = self.rx_batches();
+        if b == 0 {
+            None
+        } else {
+            Some(self.rx_batch_packets() as f64 / b as f64)
+        }
+    }
+
+    /// Publishes the fronthaul link's cumulative socket error counters.
+    pub fn set_link_errors(&self, tx: u64, rx: u64) {
+        self.link_tx_errors.store(tx, Ordering::Relaxed);
+        self.link_rx_errors.store(rx, Ordering::Relaxed);
+    }
+
+    /// Socket-level (tx, rx) error counts from the fronthaul link.
+    pub fn link_errors(&self) -> (u64, u64) {
+        (self.link_tx_errors.load(Ordering::Relaxed), self.link_rx_errors.load(Ordering::Relaxed))
+    }
+
     /// Formats a Table 3-style summary.
     pub fn table(&self) -> String {
         let mut out = String::from("block     tasks    msgs     time/task(us)  total(ms)\n");
@@ -235,5 +301,22 @@ mod tests {
         assert_eq!(s.packets_duplicate(), 2);
         assert_eq!(s.frames_completed(), 1);
         assert_eq!(s.frames_dropped(), 1);
+    }
+
+    #[test]
+    fn rx_batch_and_link_counters() {
+        let s = EngineStats::new(1);
+        assert_eq!(s.mean_rx_batch(), None);
+        s.record_rx_batch(4);
+        s.record_rx_batch(32);
+        s.record_rx_batch(12);
+        assert_eq!(s.rx_batches(), 3);
+        assert_eq!(s.rx_batch_packets(), 48);
+        assert_eq!(s.rx_batch_max(), 32);
+        assert_eq!(s.mean_rx_batch(), Some(16.0));
+        s.rx_error();
+        assert_eq!(s.rx_errors(), 1);
+        s.set_link_errors(2, 5);
+        assert_eq!(s.link_errors(), (2, 5));
     }
 }

@@ -26,7 +26,8 @@
 //! stays causally plausible.
 
 use crate::fronthaul::Fronthaul;
-use crate::packet::decode;
+use crate::packet::decode_ref;
+use crate::pool::PacketBuf;
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -138,6 +139,40 @@ pub struct FaultStats {
     /// Losses per frame id (decoded from the packet header; packets with
     /// undecodable headers are counted in `lost` only).
     pub per_frame_lost: BTreeMap<u32, u32>,
+    /// Losses per originating cell (multi-cell streams share one link).
+    pub per_cell_lost: BTreeMap<u8, u64>,
+    /// Injected duplicates per cell.
+    pub per_cell_duplicated: BTreeMap<u8, u64>,
+    /// Emitted packets per cell (originals + duplicates).
+    pub per_cell_delivered: BTreeMap<u8, u64>,
+    /// Losses per (cell, frame) — the per-cell refinement of
+    /// `per_frame_lost`, for reconciling demuxed engines exactly.
+    pub per_cell_frame_lost: BTreeMap<(u8, u32), u32>,
+}
+
+impl FaultStats {
+    fn note_lost(&mut self, pkt: &[u8]) {
+        self.lost += 1;
+        if let Ok((hdr, _)) = decode_ref(pkt) {
+            *self.per_frame_lost.entry(hdr.frame).or_insert(0) += 1;
+            *self.per_cell_lost.entry(hdr.cell).or_insert(0) += 1;
+            *self.per_cell_frame_lost.entry((hdr.cell, hdr.frame)).or_insert(0) += 1;
+        }
+    }
+
+    fn note_duplicated(&mut self, pkt: &[u8]) {
+        self.duplicated += 1;
+        if let Ok((hdr, _)) = decode_ref(pkt) {
+            *self.per_cell_duplicated.entry(hdr.cell).or_insert(0) += 1;
+        }
+    }
+
+    fn note_delivered(&mut self, pkt: &[u8]) {
+        self.delivered += 1;
+        if let Ok((hdr, _)) = decode_ref(pkt) {
+            *self.per_cell_delivered.entry(hdr.cell).or_insert(0) += 1;
+        }
+    }
 }
 
 /// Offline fault injector: transforms a complete packet stream.
@@ -169,11 +204,8 @@ impl FaultInjector {
         &self.stats
     }
 
-    fn record_loss(stats: &mut FaultStats, pkt: &Bytes) {
-        stats.lost += 1;
-        if let Ok((hdr, _)) = decode(pkt) {
-            *stats.per_frame_lost.entry(hdr.frame).or_insert(0) += 1;
-        }
+    fn record_loss(stats: &mut FaultStats, pkt: &[u8]) {
+        stats.note_lost(pkt);
     }
 
     /// Samples a slot displacement for a delivered packet: `0` (on time)
@@ -207,7 +239,7 @@ impl FaultInjector {
             let duplicate =
                 self.cfg.duplicate_prob > 0.0 && self.rng.gen_bool(self.cfg.duplicate_prob);
             if duplicate {
-                self.stats.duplicated += 1;
+                self.stats.note_duplicated(&pkt);
                 let dup_delay = self.sample_delay();
                 staged.push((i + 1 + dup_delay, seq + 1, i, pkt.clone()));
             }
@@ -225,7 +257,7 @@ impl FaultInjector {
             }
             max_orig = max_orig.max(orig);
             first = false;
-            self.stats.delivered += 1;
+            self.stats.note_delivered(&pkt);
             out.push(pkt);
         }
         out
@@ -237,7 +269,7 @@ struct FaultyState {
     in_burst: bool,
     stats: FaultStats,
     /// Packets awaiting release, keyed by (release tick, admission seq).
-    pending: BTreeMap<(u64, u64), (u64, Bytes)>,
+    pending: BTreeMap<(u64, u64), (u64, PacketBuf)>,
     /// Virtual clock: advances on every admitted packet and every
     /// `recv` poll, so jittered packets drain even when the sender
     /// pauses.
@@ -290,16 +322,17 @@ impl<F: Fronthaul> FaultyFronthaul<F> {
     /// Drains the inner transport and the jitter buffer completely,
     /// returning every packet still owed to the receiver (loss is still
     /// applied to packets pulled from the inner transport).
-    pub fn flush(&self) -> Vec<Bytes> {
+    pub fn flush(&self) -> Vec<PacketBuf> {
         let mut st = self.state.lock().unwrap();
         while let Some(pkt) = self.inner.recv() {
             Self::admit(&self.cfg, &mut st, pkt);
         }
-        let drained: Vec<(u64, Bytes)> = std::mem::take(&mut st.pending).into_values().collect();
+        let drained: Vec<(u64, PacketBuf)> =
+            std::mem::take(&mut st.pending).into_values().collect();
         drained.into_iter().map(|(orig, pkt)| Self::emit(&mut st, orig, pkt)).collect()
     }
 
-    fn admit(cfg: &FaultConfig, st: &mut FaultyState, pkt: Bytes) {
+    fn admit(cfg: &FaultConfig, st: &mut FaultyState, pkt: PacketBuf) {
         st.stats.offered += 1;
         let admission = st.tick;
         st.tick += 1;
@@ -317,26 +350,28 @@ impl<F: Fronthaul> FaultyFronthaul<F> {
         let d = delay(st);
         let duplicate = cfg.duplicate_prob > 0.0 && st.rng.gen_bool(cfg.duplicate_prob);
         if duplicate {
-            st.stats.duplicated += 1;
+            st.stats.note_duplicated(&pkt);
             let dd = delay(st);
             let key = (admission + 1 + dd, st.seq + 1);
+            // Cloning deep-copies pooled packets to the heap, so the
+            // duplicate never aliases the original's pool slot.
             st.pending.insert(key, (admission, pkt.clone()));
         }
         st.pending.insert((admission + d, st.seq), (admission, pkt));
         st.seq += 2;
     }
 
-    fn emit(st: &mut FaultyState, orig: u64, pkt: Bytes) -> Bytes {
+    fn emit(st: &mut FaultyState, orig: u64, pkt: PacketBuf) -> PacketBuf {
         if st.emitted_any && orig < st.max_emitted {
             st.stats.reordered += 1;
         }
         st.max_emitted = st.max_emitted.max(orig);
         st.emitted_any = true;
-        st.stats.delivered += 1;
+        st.stats.note_delivered(&pkt);
         pkt
     }
 
-    fn release(st: &mut FaultyState) -> Option<Bytes> {
+    fn release(st: &mut FaultyState) -> Option<PacketBuf> {
         let (&key, _) = st.pending.iter().next()?;
         if key.0 > st.tick {
             return None;
@@ -347,11 +382,11 @@ impl<F: Fronthaul> FaultyFronthaul<F> {
 }
 
 impl<F: Fronthaul> Fronthaul for FaultyFronthaul<F> {
-    fn send(&self, packet: Bytes) -> bool {
+    fn send(&self, packet: PacketBuf) -> Result<(), PacketBuf> {
         self.inner.send(packet)
     }
 
-    fn recv(&self) -> Option<Bytes> {
+    fn recv(&self) -> Option<PacketBuf> {
         let mut st = self.state.lock().unwrap();
         while let Some(pkt) = self.inner.recv() {
             Self::admit(&self.cfg, &mut st, pkt);
@@ -360,6 +395,10 @@ impl<F: Fronthaul> Fronthaul for FaultyFronthaul<F> {
         // cannot strand jittered packets in the buffer forever.
         st.tick += 1;
         Self::release(&mut st)
+    }
+
+    fn link_errors(&self) -> (u64, u64) {
+        self.inner.link_errors()
     }
 }
 
@@ -379,6 +418,7 @@ mod tests {
                         symbol: 0,
                         antenna: a,
                         dir: PacketDir::Uplink,
+                        cell: 0,
                         payload_len: 3,
                     },
                     &[f as u8, a as u8, 0],
@@ -388,8 +428,8 @@ mod tests {
         out
     }
 
-    fn order_key(pkt: &Bytes) -> (u32, u16) {
-        let (h, _) = decode(pkt).unwrap();
+    fn order_key(pkt: &[u8]) -> (u32, u16) {
+        let (h, _) = decode_ref(pkt).unwrap();
         (h.frame, h.antenna)
     }
 
@@ -475,8 +515,8 @@ mod tests {
         });
         let out = inj.apply(pkts.clone());
         assert_eq!(out.len(), pkts.len(), "reordering must not lose packets");
-        let mut a: Vec<_> = pkts.iter().map(order_key).collect();
-        let mut b: Vec<_> = out.iter().map(order_key).collect();
+        let mut a: Vec<_> = pkts.iter().map(|p| order_key(p)).collect();
+        let mut b: Vec<_> = out.iter().map(|p| order_key(p)).collect();
         assert_ne!(a, b, "30% displacement over 96 packets must reorder");
         a.sort_unstable();
         b.sort_unstable();
@@ -540,7 +580,7 @@ mod tests {
             FaultConfig { loss: LossModel::Iid { p: 0.3 }, seed: 8, ..Default::default() },
         );
         for pkt in stream(8, 16) {
-            assert!(rru.send(pkt));
+            assert!(rru.send(pkt.into()).is_ok());
         }
         let mut got = Vec::new();
         // recv() drains with loss applied; extra polls flush the clock.
@@ -565,7 +605,7 @@ mod tests {
         );
         let pkts = stream(2, 8);
         for pkt in pkts.iter() {
-            assert!(rru.send(pkt.clone()));
+            assert!(rru.send(pkt.clone().into()).is_ok());
         }
         // A single poll cannot release everything (displacements up to 64).
         let first = faulty.recv();
@@ -574,8 +614,8 @@ mod tests {
             rest.insert(0, p);
         }
         assert_eq!(rest.len(), pkts.len(), "flush must release every buffered packet");
-        let mut a: Vec<_> = pkts.iter().map(order_key).collect();
-        let mut b: Vec<_> = rest.iter().map(order_key).collect();
+        let mut a: Vec<_> = pkts.iter().map(|p| order_key(p)).collect();
+        let mut b: Vec<_> = rest.iter().map(|p| order_key(p)).collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
@@ -589,7 +629,7 @@ mod tests {
             FaultConfig { loss: LossModel::Iid { p: 1.0 }, ..Default::default() },
         );
         // Downlink (send) path is never faulted, even at 100% loss.
-        assert!(faulty.send(stream(1, 1).pop().unwrap()));
+        assert!(faulty.send(stream(1, 1).pop().unwrap().into()).is_ok());
         assert!(rru.recv().is_some());
     }
 

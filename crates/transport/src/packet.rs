@@ -5,8 +5,25 @@
 //! many 24-bit IQ samples as the number of OFDM subcarriers" (§5.2). The
 //! header is padded to 64 bytes so the payload starts cache-line aligned
 //! after a kernel-bypass receive.
+//!
+//! Wire layout (little-endian):
+//!
+//! | offset | field       |
+//! |--------|-------------|
+//! | 0..4   | magic       |
+//! | 4..8   | frame       |
+//! | 8..10  | symbol      |
+//! | 10..12 | antenna     |
+//! | 12     | direction   |
+//! | 13     | cell id     |
+//! | 14..16 | (pad)       |
+//! | 16..20 | payload_len |
+//! | 20..64 | (pad)       |
+//!
+//! The cell id byte was carved out of the former alignment padding, so
+//! single-cell packets from older encoders decode as cell 0 unchanged.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 /// Header magic ("AGRA" little-endian) for cheap corruption detection.
 pub const MAGIC: u32 = 0x4152_4741;
@@ -34,6 +51,8 @@ pub struct PacketHeader {
     pub antenna: u16,
     /// Direction of travel.
     pub dir: PacketDir,
+    /// Originating cell (multi-cell streams share one socket).
+    pub cell: u8,
     /// Payload length in bytes (`3 * samples`).
     pub payload_len: u32,
 }
@@ -73,36 +92,69 @@ pub fn encode(header: &PacketHeader, payload: &[u8]) -> Bytes {
     buf.put_u16_le(header.symbol);
     buf.put_u16_le(header.antenna);
     buf.put_u8(header.dir as u8);
-    buf.put_bytes(0, 3); // alignment
+    buf.put_u8(header.cell);
+    buf.put_bytes(0, 2); // alignment
     buf.put_u32_le(payload.len() as u32);
     buf.put_bytes(0, HEADER_LEN - 20); // pad header to 64 bytes
     buf.put_slice(payload);
     buf.freeze()
 }
 
-/// Decodes a packet, returning the header and a zero-copy payload slice.
-pub fn decode(packet: &Bytes) -> Result<(PacketHeader, Bytes), PacketError> {
+/// Encodes a packet into a caller-provided buffer (e.g. a pooled slot),
+/// returning the total packet length. Allocation-free.
+///
+/// # Panics
+/// If `out` is shorter than `HEADER_LEN + payload.len()`.
+pub fn encode_into(header: &PacketHeader, payload: &[u8], out: &mut [u8]) -> usize {
+    debug_assert_eq!(header.payload_len as usize, payload.len());
+    let total = HEADER_LEN + payload.len();
+    assert!(out.len() >= total, "encode_into buffer too small: {} < {total}", out.len());
+    out[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    out[4..8].copy_from_slice(&header.frame.to_le_bytes());
+    out[8..10].copy_from_slice(&header.symbol.to_le_bytes());
+    out[10..12].copy_from_slice(&header.antenna.to_le_bytes());
+    out[12] = header.dir as u8;
+    out[13] = header.cell;
+    out[14..16].fill(0);
+    out[16..20].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    out[20..HEADER_LEN].fill(0);
+    out[HEADER_LEN..total].copy_from_slice(payload);
+    total
+}
+
+/// Decodes a packet from any byte slice, returning the header and a
+/// borrowed payload view — no copy, no refcount traffic. This is the
+/// intake path: pooled receive buffers are decoded in place and the
+/// payload view lives as long as the buffer does.
+pub fn decode_ref(packet: &[u8]) -> Result<(PacketHeader, &[u8]), PacketError> {
     if packet.len() < HEADER_LEN {
         return Err(PacketError::TooShort);
     }
-    let mut cur = &packet[..];
-    if cur.get_u32_le() != MAGIC {
+    let magic = u32::from_le_bytes(packet[0..4].try_into().expect("4-byte slice"));
+    if magic != MAGIC {
         return Err(PacketError::BadMagic);
     }
-    let frame = cur.get_u32_le();
-    let symbol = cur.get_u16_le();
-    let antenna = cur.get_u16_le();
-    let dir = match cur.get_u8() {
+    let frame = u32::from_le_bytes(packet[4..8].try_into().expect("4-byte slice"));
+    let symbol = u16::from_le_bytes(packet[8..10].try_into().expect("2-byte slice"));
+    let antenna = u16::from_le_bytes(packet[10..12].try_into().expect("2-byte slice"));
+    let dir = match packet[12] {
         0 => PacketDir::Uplink,
         1 => PacketDir::Downlink,
         _ => return Err(PacketError::BadDirection),
     };
-    cur.advance(3);
-    let payload_len = cur.get_u32_le();
+    let cell = packet[13];
+    let payload_len = u32::from_le_bytes(packet[16..20].try_into().expect("4-byte slice"));
     if packet.len() != HEADER_LEN + payload_len as usize {
         return Err(PacketError::LengthMismatch);
     }
-    let header = PacketHeader { frame, symbol, antenna, dir, payload_len };
+    let header = PacketHeader { frame, symbol, antenna, dir, cell, payload_len };
+    Ok((header, &packet[HEADER_LEN..]))
+}
+
+/// Decodes a packet, returning the header and a zero-copy payload slice
+/// sharing the input's refcount (for callers that must own the payload).
+pub fn decode(packet: &Bytes) -> Result<(PacketHeader, Bytes), PacketError> {
+    let (header, _) = decode_ref(packet)?;
     Ok((header, packet.slice(HEADER_LEN..)))
 }
 
@@ -111,7 +163,14 @@ mod tests {
     use super::*;
 
     fn sample_header(payload_len: u32) -> PacketHeader {
-        PacketHeader { frame: 1234, symbol: 7, antenna: 63, dir: PacketDir::Uplink, payload_len }
+        PacketHeader {
+            frame: 1234,
+            symbol: 7,
+            antenna: 63,
+            dir: PacketDir::Uplink,
+            cell: 0,
+            payload_len,
+        }
     }
 
     #[test]
@@ -125,9 +184,43 @@ mod tests {
     }
 
     #[test]
+    fn decode_ref_matches_decode() {
+        let payload: Vec<u8> = (0..100).map(|i| (i * 3) as u8).collect();
+        let pkt = encode(&PacketHeader { cell: 3, ..sample_header(100) }, &payload);
+        let (h_owned, p_owned) = decode(&pkt).unwrap();
+        let (h_ref, p_ref) = decode_ref(&pkt).unwrap();
+        assert_eq!(h_owned, h_ref);
+        assert_eq!(&p_owned[..], p_ref);
+        assert_eq!(h_ref.cell, 3);
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let payload: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let h = PacketHeader { cell: 7, ..sample_header(200) };
+        let reference = encode(&h, &payload);
+        let mut slot = vec![0xAAu8; 1024];
+        let n = encode_into(&h, &payload, &mut slot);
+        assert_eq!(n, reference.len());
+        assert_eq!(&slot[..n], &reference[..]);
+    }
+
+    #[test]
     fn header_is_exactly_64_bytes() {
         let pkt = encode(&sample_header(0), &[]);
         assert_eq!(pkt.len(), 64);
+    }
+
+    #[test]
+    fn cell_id_occupies_former_padding() {
+        // A pre-multi-cell encoder zeroed byte 13; such packets decode as
+        // cell 0, and the cell id roundtrips through that byte.
+        let pkt = encode(&PacketHeader { cell: 9, ..sample_header(0) }, &[]);
+        assert_eq!(pkt[13], 9);
+        let mut raw = pkt.to_vec();
+        raw[13] = 0;
+        let (h, _) = decode(&Bytes::from(raw)).unwrap();
+        assert_eq!(h.cell, 0);
     }
 
     #[test]
@@ -195,6 +288,7 @@ mod proptests {
             frame in any::<u32>(),
             symbol in any::<u16>(),
             antenna in any::<u16>(),
+            cell in any::<u8>(),
             dl in any::<bool>(),
             payload in proptest::collection::vec(any::<u8>(), 0..256),
         ) {
@@ -203,6 +297,7 @@ mod proptests {
                 symbol,
                 antenna,
                 dir: if dl { PacketDir::Downlink } else { PacketDir::Uplink },
+                cell,
                 payload_len: payload.len() as u32,
             };
             let (back, p) = decode(&encode(&h, &payload)).unwrap();
@@ -217,7 +312,7 @@ mod proptests {
             let payload = vec![7u8; 96];
             let h = PacketHeader {
                 frame: 1, symbol: 2, antenna: 3,
-                dir: PacketDir::Uplink, payload_len: 96,
+                dir: PacketDir::Uplink, cell: 0, payload_len: 96,
             };
             let pkt = encode(&h, &payload);
             let truncated = pkt.slice(..cut.min(pkt.len() - 1));

@@ -71,6 +71,9 @@ pub struct RruConfig {
     /// exercises the estimator's interpolation and the per-group ZF
     /// approximation.
     pub delay_spread_taps: usize,
+    /// Cell id stamped into every packet header; multi-cell generators
+    /// share one fronthaul socket and demux on this byte.
+    pub cell_id: u8,
 }
 
 impl Default for RruConfig {
@@ -83,6 +86,7 @@ impl Default for RruConfig {
             redraw_channel: true,
             phase_drift_rad: 0.0,
             delay_spread_taps: 0,
+            cell_id: 0,
         }
     }
 }
@@ -234,9 +238,18 @@ impl RruEmulator {
         };
         let mut packets = Vec::with_capacity(self.cell.symbols_per_frame() * m);
         let mut info_bits: Vec<Vec<Vec<u8>>> = vec![Vec::new(); self.cell.symbols_per_frame()];
+        // Per-symbol scratch, hoisted out of the hot loop.
+        let mut time_buf = vec![Cf32::ZERO; self.ofdm.symbol_len()];
+        let mut freq_rx = vec![Cf32::ZERO; q];
+        let mut bytes_buf = Vec::new();
 
         let mut pilot_counter = 0usize;
-        for (sym_idx, &sym_type) in self.cell.schedule.symbols().to_vec().iter().enumerate() {
+        // Indexed access (`schedule.symbol` returns by value) instead of
+        // iterating `symbols()` or `info_bits`: the loop body mutably
+        // borrows `self` and writes `info_bits` only on uplink symbols.
+        #[allow(clippy::needless_range_loop)]
+        for sym_idx in 0..self.cell.symbols_per_frame() {
+            let sym_type = self.cell.schedule.symbol(sym_idx);
             // 1. Build each user's frequency-domain symbol.
             match sym_type {
                 SymbolType::Pilot => {
@@ -286,12 +299,10 @@ impl RruEmulator {
 
             // 2. Mix through the channel per antenna, add noise, IFFT,
             // quantise, packetise.
-            let mut time_buf = vec![Cf32::ZERO; self.ofdm.symbol_len()];
-            let mut freq_rx = vec![Cf32::ZERO; q];
-            let mut bytes_buf = Vec::new();
             // Common phase error accumulated by this symbol (identical on
             // every antenna — it originates at the clock, not the array).
             let cpe = Cf32::cis(self.cfg.phase_drift_rad * sym_idx as f32);
+            let gain = self.tx_gain();
             for ant in 0..m {
                 for sc in 0..q {
                     let mut acc = Cf32::ZERO;
@@ -310,14 +321,18 @@ impl RruEmulator {
                 self.ofdm.modulate(&freq_rx, &mut time_buf);
                 // Headroom scaling: OFDM time samples are small after the
                 // 1/N IFFT; scale into the 12-bit range without clipping.
-                let gain = self.tx_gain();
-                let scaled: Vec<Cf32> = time_buf.iter().map(|z| z.scale(gain)).collect();
-                pack_samples(&scaled, &mut bytes_buf);
+                // In place — `modulate` fully rewrites `time_buf` for the
+                // next antenna.
+                for z in time_buf.iter_mut() {
+                    *z = z.scale(gain);
+                }
+                pack_samples(&time_buf, &mut bytes_buf);
                 let header = PacketHeader {
                     frame,
                     symbol: sym_idx as u16,
                     antenna: ant as u16,
                     dir: PacketDir::Uplink,
+                    cell: self.cfg.cell_id,
                     payload_len: bytes_buf.len() as u32,
                 };
                 packets.push(encode(&header, &bytes_buf));

@@ -10,8 +10,9 @@
 //! Run with: `cargo run --release --example udp_fronthaul`
 
 use agora_core::{EngineConfig, InlineProcessor};
-use agora_fronthaul::{Fronthaul, RruConfig, RruEmulator, UdpFronthaul};
+use agora_fronthaul::{Fronthaul, PacketBuf, PacketPool, RruConfig, RruEmulator, UdpFronthaul};
 use agora_phy::CellConfig;
+use std::collections::VecDeque;
 use std::net::SocketAddr;
 
 fn main() {
@@ -21,7 +22,10 @@ fn main() {
     // Bind both endpoints on ephemeral loopback ports and cross-wire.
     let any: SocketAddr = "127.0.0.1:0".parse().unwrap();
     let mut rru_side = UdpFronthaul::new(any, any).expect("bind RRU socket");
-    let bbu_side = UdpFronthaul::new(any, rru_side.local_addr().unwrap()).expect("bind BBU socket");
+    // Receive into recycled pool slots: steady-state RX never allocates.
+    let bbu_side = UdpFronthaul::new(any, rru_side.local_addr().unwrap())
+        .expect("bind BBU socket")
+        .with_pool(PacketPool::new(256, 2048));
     rru_side.set_peer(bbu_side.local_addr().unwrap());
     println!(
         "fronthaul: RRU {} -> BBU {}",
@@ -40,25 +44,21 @@ fn main() {
         let (packets, gt) = rru.generate_frame(frame);
         let expected = packets.len();
 
-        // Transmit over UDP (with retry on socket backpressure) ...
-        for pkt in packets {
-            let mut sent = rru_side.send(pkt.clone());
-            while !sent {
-                std::thread::yield_now();
-                sent = rru_side.send(pkt.clone());
-            }
-        }
-        // ... and receive on the baseband side.
+        // Transmit over UDP in sendmmsg batches, draining the receive
+        // side between bursts so the socket buffer never overflows.
+        let mut outbox: VecDeque<PacketBuf> = packets.into_iter().map(PacketBuf::Heap).collect();
         let mut received = Vec::with_capacity(expected);
+        let mut batch: Vec<PacketBuf> = Vec::new();
         let mut spins = 0u64;
-        while received.len() < expected && spins < 5_000_000 {
-            match bbu_side.recv() {
-                Some(p) => received.push(p),
-                None => {
-                    spins += 1;
-                    std::thread::yield_now();
-                }
+        while (!outbox.is_empty() || received.len() < expected) && spins < 5_000_000 {
+            if !outbox.is_empty() && rru_side.send_batch(&mut outbox) == 0 {
+                std::thread::yield_now();
             }
+            if bbu_side.recv_batch(&mut batch, 64) == 0 {
+                spins += 1;
+                std::thread::yield_now();
+            }
+            received.extend(batch.drain(..).map(PacketBuf::into_bytes));
         }
         println!("frame {frame}: {}/{} packets delivered over UDP", received.len(), expected);
         assert_eq!(received.len(), expected, "loopback UDP should not drop at this rate");
