@@ -1,0 +1,256 @@
+//! CI smoke: multi-cell deployment parity.
+//! Deterministic (seeded generators), fast, exit code 1 on any
+//! violation — `scripts/ci.sh` runs it after the test suite as a
+//! release-build cross-check of the deployment layer's contracts:
+//!
+//! * a C=4 deployment over ONE faulty link reconciles per-cell
+//!   loss/dup/frame ledgers *exactly* against the fault injector's
+//!   ground-truth counters (no packet mis-charged to another cell);
+//! * the demux delivery counts match the injector's per-cell delivery
+//!   ledger, and misrouted packets are counted, not delivered;
+//! * under loss-free faults (dup + reorder), every `FrameResult` a
+//!   deployment emits is bit-identical — decoded bits, decode flags,
+//!   frame ids, drop status — to running each cell's packets through
+//!   its own standalone `Engine`.
+
+use agora_core::deploy::{Deployment, DeploymentConfig};
+use agora_core::{Engine, EngineConfig, FrameResult};
+use agora_fronthaul::packet::decode_ref;
+use agora_fronthaul::{
+    FaultConfig, Fronthaul, LossModel, MemFronthaul, MultiCellGenerator, PacketBuf, RruConfig,
+    RruEmulator,
+};
+use agora_phy::CellConfig;
+use bytes::Bytes;
+use std::process::exit;
+use std::sync::atomic::AtomicBool;
+
+const CELLS: usize = 4;
+const FRAMES: u32 = 4;
+
+fn check(ok: bool, what: &str) {
+    if ok {
+        println!("OK   {what}");
+    } else {
+        println!("FAIL {what}");
+        exit(1);
+    }
+}
+
+fn rrus(seed_base: u64) -> (CellConfig, Vec<RruEmulator>, Vec<f32>) {
+    let cell = CellConfig::tiny_test(2);
+    let rrus: Vec<RruEmulator> = (0..CELLS)
+        .map(|c| {
+            RruEmulator::new(
+                cell.clone(),
+                RruConfig {
+                    snr_db: 30.0,
+                    seed: seed_base + c as u64,
+                    cell_id: c as u8,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    let noise = rrus.iter().map(|r| r.noise_power()).collect();
+    (cell, rrus, noise)
+}
+
+fn link_for(cell: &CellConfig) -> (MemFronthaul, MemFronthaul) {
+    // Size for the whole run (with duplication headroom) so the ring
+    // never drops and the ledgers reconcile exactly.
+    let per_frame = cell.symbols_per_frame() * cell.num_antennas;
+    MemFronthaul::pair((2 * CELLS * per_frame * FRAMES as usize).next_power_of_two())
+}
+
+fn deployment_for(cell: &CellConfig, noise: &[f32], deadline: Option<u64>) -> Deployment {
+    let cells = noise
+        .iter()
+        .map(|&n| {
+            let mut cfg = EngineConfig::new(cell.clone(), 1);
+            cfg.noise_power = n;
+            cfg.frame_deadline_ns = deadline;
+            cfg
+        })
+        .collect();
+    Deployment::new(DeploymentConfig::new(cells, CELLS))
+}
+
+/// C=4 over one faulty link: per-cell loss/dup/frame ledgers reconcile
+/// exactly against the injector's counters.
+fn ledger_reconciliation() {
+    let (cell, rrus, noise) = rrus(1000);
+    let mut generator = MultiCellGenerator::new(rrus).with_faults(FaultConfig {
+        loss: LossModel::Iid { p: 0.03 },
+        reorder_prob: 0.05,
+        max_delay: 8,
+        duplicate_prob: 0.03,
+        seed: 11,
+    });
+    let (tx, rx) = link_for(&cell);
+    let truths = generator.run(&tx, FRAMES);
+    let fs = generator.stats().clone();
+    check(fs.lost > 0, "ledger: 3% loss fired over the run");
+    check(fs.duplicated > 0, "ledger: 3% duplication fired over the run");
+
+    let deployment = deployment_for(&cell, &noise, Some(700_000_000));
+    let done = AtomicBool::new(true);
+    let results = deployment.process_fronthaul(&rx, FRAMES, &done);
+    check(results.iter().all(|r| r.len() == FRAMES as usize), "ledger: every cell emits 4 frames");
+
+    let stats = deployment.stats();
+    let demux = deployment.demux_stats();
+    check(demux.misrouted() == 0, "ledger: no misrouted packets in a 4-cell stream");
+    check(
+        stats.link().rx_batch_packets() == fs.delivered,
+        "ledger: every surviving packet drained from the shared link",
+    );
+    for c in 0..CELLS {
+        let cid = c as u8;
+        let s = stats.cell(c);
+        check(
+            demux.routed(c) == fs.per_cell_delivered.get(&cid).copied().unwrap_or(0),
+            &format!("ledger: cell {c} demux count matches the delivery ledger"),
+        );
+        check(
+            s.packets_lost() == fs.per_cell_lost.get(&cid).copied().unwrap_or(0),
+            &format!("ledger: cell {c} loss reconciles"),
+        );
+        check(
+            s.packets_duplicate() + s.packets_late()
+                == fs.per_cell_duplicated.get(&cid).copied().unwrap_or(0),
+            &format!("ledger: cell {c} dup+late equals injected duplicates"),
+        );
+        for r in &results[c] {
+            let lost_here = fs.per_cell_frame_lost.get(&(cid, r.frame)).copied().unwrap_or(0);
+            check(
+                r.dropped == (lost_here > 0),
+                &format!("ledger: cell {c} frame {} drop status matches frame loss", r.frame),
+            );
+            if !r.dropped {
+                let gt = &truths[c][r.frame as usize];
+                let ok = cell.schedule.uplink_indices().into_iter().all(|sym| {
+                    (0..cell.num_users)
+                        .all(|u| r.decode_ok[sym][u] && r.decoded[sym][u] == gt.info_bits[sym][u])
+                });
+                check(ok, &format!("ledger: cell {c} frame {} decodes ground truth", r.frame));
+            }
+        }
+    }
+    let roll = stats.rollup();
+    check(roll.packets_lost() == fs.lost, "ledger: rolled-up loss equals total injected loss");
+    check(
+        roll.frames_completed() + roll.frames_dropped() == (CELLS as u64) * FRAMES as u64,
+        "ledger: rollup accounts for every frame",
+    );
+}
+
+/// Loss-free faults (dup + reorder): deployment results are
+/// bit-identical to per-cell standalone engines fed the demuxed stream.
+fn bit_identical_vs_standalone() {
+    let (cell, rrus, noise) = rrus(2000);
+    let mut generator = MultiCellGenerator::new(rrus).with_faults(FaultConfig {
+        loss: LossModel::None,
+        reorder_prob: 0.08,
+        max_delay: 8,
+        duplicate_prob: 0.05,
+        seed: 23,
+    });
+    let (tx, rx) = link_for(&cell);
+    let _truths = generator.run(&tx, FRAMES);
+
+    // Capture the exact delivered stream, then replay it to the
+    // deployment over a fresh link and to per-cell standalone engines.
+    let mut stream: Vec<Bytes> = Vec::new();
+    let mut batch = Vec::new();
+    while rx.recv_batch(&mut batch, 64) > 0 {
+        for pkt in batch.drain(..) {
+            stream.push(pkt.into_bytes());
+        }
+    }
+    check(stream.len() as u64 == generator.stats().delivered, "parity: captured whole stream");
+
+    let (tx2, rx2) = link_for(&cell);
+    for p in &stream {
+        tx2.send(PacketBuf::Heap(p.clone())).expect("replay link sized for the run");
+    }
+    let deployment = deployment_for(&cell, &noise, None);
+    let done = AtomicBool::new(true);
+    let dep_results = deployment.process_fronthaul(&rx2, FRAMES, &done);
+
+    for c in 0..CELLS {
+        let mine: Vec<Bytes> = stream
+            .iter()
+            .filter(|p| decode_ref(p).expect("valid packets").0.cell as usize == c)
+            .cloned()
+            .collect();
+        let mut cfg = EngineConfig::new(cell.clone(), 2);
+        cfg.noise_power = noise[c];
+        let engine = Engine::new(cfg);
+        let solo = engine.process(mine, FRAMES, false);
+        check(solo.len() == dep_results[c].len(), &format!("parity: cell {c} frame counts match"));
+        for (a, b) in solo.iter().zip(&dep_results[c]) {
+            let same = frame_results_equal(a, b);
+            check(same, &format!("parity: cell {c} frame {} bit-identical", a.frame));
+        }
+        // The duplicate/late split depends on arrival timing, but the
+        // sum is the injected duplicate count either way.
+        let solo_dups = engine.stats().packets_duplicate() + engine.stats().packets_late();
+        let dep = deployment.stats().cell(c);
+        check(
+            solo_dups == dep.packets_duplicate() + dep.packets_late(),
+            &format!("parity: cell {c} duplicate ledger matches"),
+        );
+    }
+}
+
+/// Everything except timing milestones (wall-clock, inherently run
+/// dependent) must match bit for bit.
+fn frame_results_equal(a: &FrameResult, b: &FrameResult) -> bool {
+    a.frame == b.frame
+        && a.dropped == b.dropped
+        && a.lost_packets == b.lost_packets
+        && a.decode_ok == b.decode_ok
+        && a.decoded == b.decoded
+}
+
+/// Packets naming an undeployed cell are counted and dropped.
+fn misroute_counting() {
+    let (cell, rrus, noise) = rrus(3000);
+    let mut rogue = RruEmulator::new(
+        cell.clone(),
+        RruConfig { snr_db: 30.0, seed: 77, cell_id: 7, ..Default::default() },
+    );
+    let (tx, rx) = link_for(&cell);
+    let (rogue_pkts, _) = rogue.generate_frame(0);
+    let rogue_count = rogue_pkts.len() as u64;
+    for p in rogue_pkts {
+        tx.send(PacketBuf::Heap(p)).unwrap();
+    }
+    let mut generator = MultiCellGenerator::new(rrus);
+    let _ = generator.run(&tx, FRAMES);
+
+    let deployment = deployment_for(&cell, &noise, None);
+    let done = AtomicBool::new(true);
+    let results = deployment.process_fronthaul(&rx, FRAMES, &done);
+    check(
+        results.iter().all(|r| r.iter().all(|f| !f.dropped)),
+        "misroute: all real cells complete despite the rogue stream",
+    );
+    check(
+        deployment.stats().link().packets_misrouted() == rogue_count,
+        "misroute: every rogue packet counted",
+    );
+    check(deployment.demux_stats().misrouted() == rogue_count, "misroute: demux counter agrees");
+    check(
+        (0..CELLS).all(|c| deployment.stats().cell(c).rx_errors() == 0),
+        "misroute: rogue packets never reach a cell's intake",
+    );
+}
+
+fn main() {
+    ledger_reconciliation();
+    bit_identical_vs_standalone();
+    misroute_counting();
+    println!("deployment parity: all checks passed");
+}

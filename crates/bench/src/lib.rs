@@ -19,6 +19,8 @@
 //! | `table5_simd` | Table 5: SIMD-tier sensitivity |
 //! | `fronthaul_batch` | Fig 10 (I/O side): packets/s and intake-to-FFT latency, single vs batched vs aggregated+pooled UDP |
 //! | `fronthaul_parity` | CI smoke: batch/single delivery parity, aggregation split, pool recycling |
+//! | `fig8_cells` | Fig 8, deployment flavour: aggregate throughput vs cell count at a fixed total core budget |
+//! | `deployment_parity` | CI smoke: multi-cell ledger reconciliation, demux counts, bit-identical vs standalone engines |
 //!
 //! The multi-core latency figures run on the calibrated discrete-event
 //! simulator (`agora_core::sim`) because this machine exposes a single

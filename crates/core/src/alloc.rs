@@ -48,41 +48,70 @@ impl core::fmt::Display for AllocError {
 
 impl std::error::Error for AllocError {}
 
-/// Computes a static cores-per-block allocation.
+/// One share of work competing for the core budget — a task block inside
+/// a cell (the §5.4 pipeline variant) or a whole cell inside a server
+/// (the deployment supervisor). The solver is the same either way.
+#[derive(Debug, Clone, Copy)]
+pub struct ShareWork {
+    /// Total compute time per frame (or epoch), in nanoseconds.
+    pub total_ns: u64,
+    /// Upper bound on how many cores this share can use at once.
+    pub max_parallelism: usize,
+}
+
+/// Computes a cores-per-share allocation — the generalized §5.4 solver.
 ///
-/// Returns `cores[i]` aligned with `blocks[i]`. Every block gets at least
-/// `ceil(total_ns / frame_ns)` cores (the keep-up constraint); remaining
-/// cores go to the block with the largest `total_ns / cores` (the
-/// latency-minimising greedy step), capped by the block's parallelism.
-pub fn allocate_cores(
-    blocks: &[BlockWork],
+/// Returns `cores[i]` aligned with `work[i]`. Every share gets at least
+/// `max(min_cores, ceil(total_ns / frame_ns))` cores (the keep-up
+/// constraint); remaining cores go to the share with the largest
+/// `total_ns / cores` (the latency-minimising greedy step), capped by
+/// the share's parallelism.
+pub fn allocate_weighted(
+    work: &[ShareWork],
     num_workers: usize,
     frame_ns: u64,
+    min_cores: usize,
 ) -> Result<Vec<usize>, AllocError> {
     assert!(frame_ns > 0);
+    assert!(min_cores > 0);
     let mut cores: Vec<usize> =
-        blocks.iter().map(|b| b.total_ns.div_ceil(frame_ns).max(1) as usize).collect();
+        work.iter().map(|w| (w.total_ns.div_ceil(frame_ns) as usize).max(min_cores)).collect();
     let needed: usize = cores.iter().sum();
     if needed > num_workers {
         return Err(AllocError::NotEnoughCores { needed });
     }
     let mut spare = num_workers - needed;
     while spare > 0 {
-        // Give the next core to the block with the worst per-core time
+        // Give the next core to the share with the worst per-core time
         // that can still use another core.
         let candidate =
-            (0..blocks.len()).filter(|&i| cores[i] < blocks[i].max_parallelism).max_by(|&a, &b| {
-                let ta = blocks[a].total_ns as f64 / cores[a] as f64;
-                let tb = blocks[b].total_ns as f64 / cores[b] as f64;
+            (0..work.len()).filter(|&i| cores[i] < work[i].max_parallelism).max_by(|&a, &b| {
+                let ta = work[a].total_ns as f64 / cores[a] as f64;
+                let tb = work[b].total_ns as f64 / cores[b] as f64;
                 ta.partial_cmp(&tb).unwrap()
             });
         match candidate {
             Some(i) => cores[i] += 1,
-            None => break, // every block saturated its parallelism
+            None => break, // every share saturated its parallelism
         }
         spare -= 1;
     }
     Ok(cores)
+}
+
+/// Computes a static cores-per-block allocation for the pipeline
+/// variant. Thin wrapper over [`allocate_weighted`] with a one-core
+/// floor per block.
+pub fn allocate_cores(
+    blocks: &[BlockWork],
+    num_workers: usize,
+    frame_ns: u64,
+) -> Result<Vec<usize>, AllocError> {
+    let work: Vec<ShareWork> = blocks
+        .iter()
+        .map(|b| ShareWork { total_ns: b.total_ns, max_parallelism: b.max_parallelism })
+        .collect();
+    allocate_weighted(&work, num_workers, frame_ns, 1)
 }
 
 /// Expands a cores-per-block allocation into per-worker task-type lists
@@ -110,6 +139,7 @@ pub fn worker_assignments(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn blocks() -> Vec<BlockWork> {
         vec![
@@ -159,6 +189,96 @@ mod tests {
         ];
         let cores = allocate_cores(&b, 16, 1_000_000).unwrap();
         assert!(cores[0] <= 2 && cores[1] <= 3, "{cores:?}");
+    }
+
+    #[test]
+    fn all_blocks_saturated_leaves_spare_cores_unassigned() {
+        // Every block capped at its parallelism with cores to spare: the
+        // greedy loop must stop at the caps, not spin or overassign.
+        let b = vec![
+            BlockWork { task: TaskType::Fft, total_ns: 5_000, max_parallelism: 2 },
+            BlockWork { task: TaskType::Zf, total_ns: 7_000, max_parallelism: 1 },
+            BlockWork { task: TaskType::Decode, total_ns: 9_000, max_parallelism: 3 },
+        ];
+        let cores = allocate_cores(&b, 32, 1_000_000).unwrap();
+        assert_eq!(cores, vec![2, 1, 3]);
+        assert_eq!(cores.iter().sum::<usize>(), 6, "26 spare cores stay unassigned");
+    }
+
+    #[test]
+    fn single_block_gets_everything_up_to_its_cap() {
+        let b = vec![BlockWork { task: TaskType::Decode, total_ns: 50_000, max_parallelism: 64 }];
+        // Cap above the worker count: the block takes the whole budget.
+        assert_eq!(allocate_cores(&b, 8, 1_000_000).unwrap(), vec![8]);
+        // Cap below the worker count: the block stops at the cap.
+        let b = vec![BlockWork { task: TaskType::Decode, total_ns: 50_000, max_parallelism: 5 }];
+        assert_eq!(allocate_cores(&b, 8, 1_000_000).unwrap(), vec![5]);
+        // Rate-constrained minimum still applies with one block.
+        let b =
+            vec![BlockWork { task: TaskType::Decode, total_ns: 3_500_000, max_parallelism: 64 }];
+        let cores = allocate_cores(&b, 8, 1_000_000).unwrap();
+        assert!(cores[0] >= 4, "keep-up needs ceil(3.5) = 4 cores: {cores:?}");
+    }
+
+    #[test]
+    fn weighted_minimum_floor_applies_per_share() {
+        let work = vec![
+            ShareWork { total_ns: 0, max_parallelism: 8 },
+            ShareWork { total_ns: 1_000, max_parallelism: 8 },
+        ];
+        // min_cores = 2: even the idle share keeps two cores.
+        let cores = allocate_weighted(&work, 8, u64::MAX, 2).unwrap();
+        assert!(cores[0] >= 2 && cores[1] >= 2, "{cores:?}");
+        assert_eq!(cores.iter().sum::<usize>(), 8);
+        // Budget below the floors is an error naming the true need.
+        let err = allocate_weighted(&work, 3, u64::MAX, 2).unwrap_err();
+        assert_eq!(err, AllocError::NotEnoughCores { needed: 4 });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Keep-up constraint: wherever the parallelism cap allows it,
+        /// every returned allocation satisfies `total_ns / cores <=
+        /// frame_ns` — i.e. `cores >= ceil(total_ns / frame_ns)`.
+        #[test]
+        fn keep_up_constraint_holds(
+            n_blocks in 1usize..6,
+            seed in 0u64..4096,
+            frame_ns in 100_000u64..2_000_000,
+            extra in 0usize..24,
+        ) {
+            let mut s = seed;
+            let mut next = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s >> 33
+            };
+            let blocks: Vec<BlockWork> = (0..n_blocks)
+                .map(|_| BlockWork {
+                    task: TaskType::Decode,
+                    total_ns: next() % 10_000_000,
+                    max_parallelism: 1 + (next() % 32) as usize,
+                })
+                .collect();
+            let minimum: usize = blocks
+                .iter()
+                .map(|b| b.total_ns.div_ceil(frame_ns).max(1) as usize)
+                .sum();
+            let num_workers = minimum + extra;
+            let cores = allocate_cores(&blocks, num_workers, frame_ns).unwrap();
+            prop_assert_eq!(cores.len(), blocks.len());
+            let mut assigned = 0usize;
+            for (b, &c) in blocks.iter().zip(&cores) {
+                let need = b.total_ns.div_ceil(frame_ns).max(1) as usize;
+                prop_assert!(
+                    c >= need,
+                    "block needs {} cores for keep-up, got {} (frame {} ns, work {} ns)",
+                    need, c, frame_ns, b.total_ns
+                );
+                assigned += c;
+            }
+            prop_assert!(assigned <= num_workers, "over-assigned: {} > {}", assigned, num_workers);
+        }
     }
 
     #[test]

@@ -1,0 +1,689 @@
+//! Multi-cell deployment: C independent cell engines on one shared
+//! worker-core budget.
+//!
+//! The paper's engine serves one `M × K` cell; a production site serves
+//! many from the same server. A [`Deployment`] instantiates one
+//! [`CellCore`](crate::engine) per cell — its own frame window, task
+//! queues, stats and flow-control watermark, so cells never share frame
+//! state — and spawns a single pool of workers. Each worker is *assigned*
+//! to one cell at a time (an atomic it re-reads every poll) and executes
+//! only that cell's queues, giving strict per-cell buffer ownership: a
+//! worker finishes its current task before an assignment change takes
+//! effect, and task/completion queue edges order all buffer access.
+//!
+//! A [`Supervisor`] generalizes the §5.4 core-allocation solver from
+//! task-groups-within-a-cell to cells-within-a-server: each epoch it
+//! samples per-cell busy time from [`EngineStats`], solves for the
+//! load-proportional core split, and migrates at most a few workers
+//! toward overloaded cells — gated by hysteresis so balanced loads never
+//! thrash. Epochs are counted in completed frames, not wall-clock time,
+//! so supervised runs are reproducible in tests.
+//!
+//! One fronthaul socket feeds all cells: the network thread drains
+//! `recv_batch` and routes each packet by its header cell byte via
+//! [`CellDemux`]. Packets naming a cell outside the deployment are
+//! counted (`packets_misrouted`) and dropped — never delivered to cell 0.
+
+use crate::alloc::{allocate_weighted, ShareWork};
+use crate::config::EngineConfig;
+use crate::engine::{execute, CellCore, FrameResult, PRIORITY};
+use crate::kernels::WorkerScratch;
+use crate::stats::EngineStats;
+use agora_fronthaul::demux::{CellDemux, Route};
+use agora_fronthaul::{Fronthaul, PacketBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Supervisor policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Frames (summed across cells) per reallocation epoch.
+    pub epoch_frames: u64,
+    /// A worker migrates only when the receiving cell's per-core load
+    /// exceeds the donor's by this fraction (0.25 = 25%). Keeps balanced
+    /// deployments from thrashing cores back and forth.
+    pub hysteresis: f64,
+    /// Upper bound on worker migrations per epoch (gradual rebalancing).
+    pub max_moves_per_epoch: usize,
+    /// Every cell keeps at least this many workers, no matter how idle.
+    pub min_cores_per_cell: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self { epoch_frames: 4, hysteresis: 0.25, max_moves_per_epoch: 1, min_cores_per_cell: 1 }
+    }
+}
+
+/// The cells-over-shared-cores core reallocator: the §5.4 solver with
+/// cells as the competing shares, plus hysteresis-gated migration.
+///
+/// Pure state machine — [`Supervisor::step`] maps a per-cell busy-time
+/// sample to the next allocation with no clocks or randomness, so tests
+/// drive it deterministically.
+#[derive(Debug)]
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    alloc: Vec<usize>,
+    epochs: u64,
+    migrations: u64,
+}
+
+impl Supervisor {
+    /// Even initial split of `total_cores` over `num_cells` (remainder
+    /// to the lowest cell ids).
+    ///
+    /// # Panics
+    /// If the budget cannot give every cell its configured minimum.
+    pub fn new(num_cells: usize, total_cores: usize, cfg: SupervisorConfig) -> Self {
+        assert!(num_cells > 0, "a deployment has at least one cell");
+        assert!(cfg.min_cores_per_cell > 0, "cells need at least one core");
+        assert!(
+            total_cores >= num_cells * cfg.min_cores_per_cell,
+            "core budget {total_cores} below {num_cells} cells x {} minimum",
+            cfg.min_cores_per_cell
+        );
+        let base = total_cores / num_cells;
+        let rem = total_cores % num_cells;
+        let alloc = (0..num_cells).map(|c| base + usize::from(c < rem)).collect();
+        Self { cfg, alloc, epochs: 0, migrations: 0 }
+    }
+
+    /// Current cores-per-cell allocation.
+    pub fn allocation(&self) -> &[usize] {
+        &self.alloc
+    }
+
+    /// Total workers migrated since start.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Epochs stepped since start.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// One reallocation epoch: `busy_ns[c]` is cell `c`'s busy time over
+    /// the elapsed epoch. Returns the (possibly updated) allocation.
+    ///
+    /// The target split comes from [`allocate_weighted`] — the same
+    /// greedy latency-minimiser the pipeline variant uses, with each
+    /// cell's floor at `min_cores_per_cell`. The supervisor then walks
+    /// toward the target with at most `max_moves_per_epoch` single-core
+    /// moves, each gated on the receiver's per-core load exceeding the
+    /// donor's by the hysteresis margin.
+    pub fn step(&mut self, busy_ns: &[u64]) -> &[usize] {
+        assert_eq!(busy_ns.len(), self.alloc.len(), "one busy sample per cell");
+        self.epochs += 1;
+        let total: usize = self.alloc.iter().sum();
+        let min = self.cfg.min_cores_per_cell;
+        // Leave every *other* cell its floor; the rest is one cell's cap.
+        let cap = total - (self.alloc.len() - 1) * min;
+        let work: Vec<ShareWork> =
+            busy_ns.iter().map(|&b| ShareWork { total_ns: b, max_parallelism: cap }).collect();
+        // `frame_ns = u64::MAX` disables the keep-up minimum (an epoch
+        // has no deadline); floors come from `min_cores`. The budget
+        // always suffices: `new` checked `total >= cells * min`.
+        let target = allocate_weighted(&work, total, u64::MAX, min)
+            .expect("allocation feasible by construction");
+
+        let load = |busy: u64, cores: usize| busy as f64 / cores as f64;
+        for _ in 0..self.cfg.max_moves_per_epoch {
+            // Receiver: the under-target cell with the worst per-core
+            // load; donor: the over-target cell with the best.
+            let recv =
+                (0..self.alloc.len()).filter(|&c| self.alloc[c] < target[c]).max_by(|&a, &b| {
+                    load(busy_ns[a], self.alloc[a])
+                        .partial_cmp(&load(busy_ns[b], self.alloc[b]))
+                        .unwrap()
+                });
+            let donor = (0..self.alloc.len())
+                .filter(|&c| self.alloc[c] > target[c] && self.alloc[c] > min)
+                .min_by(|&a, &b| {
+                    load(busy_ns[a], self.alloc[a])
+                        .partial_cmp(&load(busy_ns[b], self.alloc[b]))
+                        .unwrap()
+                });
+            let (Some(r), Some(d)) = (recv, donor) else { break };
+            let l_recv = load(busy_ns[r], self.alloc[r]);
+            let l_donor = load(busy_ns[d], self.alloc[d]);
+            if l_recv <= l_donor * (1.0 + self.cfg.hysteresis) {
+                break;
+            }
+            self.alloc[d] -= 1;
+            self.alloc[r] += 1;
+            self.migrations += 1;
+        }
+        &self.alloc
+    }
+}
+
+/// Configuration for a multi-cell deployment.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// One engine configuration per cell (index = cell id on the wire).
+    /// Each cell's `num_workers` field is ignored — workers come from
+    /// the shared pool.
+    pub cells: Vec<EngineConfig>,
+    /// Shared worker-core budget across all cells.
+    pub total_workers: usize,
+    /// Core-reallocation policy.
+    pub supervisor: SupervisorConfig,
+    /// Packets requested per `recv_batch` poll on the shared socket.
+    pub rx_batch: usize,
+}
+
+impl DeploymentConfig {
+    /// Default supervisor and batch sizing for the given cells/budget.
+    pub fn new(cells: Vec<EngineConfig>, total_workers: usize) -> Self {
+        Self { cells, total_workers, supervisor: SupervisorConfig::default(), rx_batch: 32 }
+    }
+
+    /// Sanity checks across the whole deployment.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cells.is_empty() {
+            return Err("deployment needs at least one cell".into());
+        }
+        if self.cells.len() > u8::MAX as usize + 1 {
+            return Err("cell ids are one byte on the wire: at most 256 cells".into());
+        }
+        let floor = self.cells.len() * self.supervisor.min_cores_per_cell.max(1);
+        if self.total_workers < floor {
+            return Err(format!(
+                "total_workers {} below the {} needed for {} cells",
+                self.total_workers,
+                floor,
+                self.cells.len()
+            ));
+        }
+        if self.rx_batch == 0 {
+            return Err("rx batch must be at least 1".into());
+        }
+        for (c, cell) in self.cells.iter().enumerate() {
+            let mut cfg = cell.clone();
+            cfg.num_workers = 1; // pooled: the per-cell field is unused
+            cfg.validate().map_err(|e| format!("cell {c}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregated deployment statistics: per-cell [`EngineStats`] plus the
+/// shared link's counters (rx batches, socket errors, misrouted
+/// packets), with a merged roll-up view.
+#[derive(Clone)]
+pub struct DeploymentStats {
+    cells: Vec<Arc<EngineStats>>,
+    link: Arc<EngineStats>,
+    total_workers: usize,
+}
+
+impl DeploymentStats {
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// One cell's counters.
+    pub fn cell(&self, c: usize) -> &EngineStats {
+        &self.cells[c]
+    }
+
+    /// The shared link's counters (rx batches, link errors, misrouted).
+    pub fn link(&self) -> &EngineStats {
+        &self.link
+    }
+
+    /// Merges link + every cell into one fresh sink.
+    pub fn rollup(&self) -> EngineStats {
+        let total = EngineStats::new(self.total_workers);
+        total.merge(&self.link);
+        for c in &self.cells {
+            total.merge(c);
+        }
+        total
+    }
+
+    /// Per-cell frame/packet ledgers plus the rolled-up summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (c, s) in self.cells.iter().enumerate() {
+            out.push_str(&format!("cell {c}: {}", s.summary()));
+        }
+        out.push_str(&format!("total: {}", self.rollup().summary()));
+        out
+    }
+}
+
+struct SupervisorState {
+    supervisor: Supervisor,
+    /// Per-cell cumulative busy-ns at the last epoch boundary.
+    last_busy: Vec<u64>,
+    /// Total completed+dropped frames that end the next epoch.
+    next_epoch: u64,
+}
+
+/// C cell engines sharing one worker pool, one fronthaul socket, and a
+/// core-reallocation supervisor.
+pub struct Deployment {
+    cells: Vec<CellCore>,
+    stats: DeploymentStats,
+    demux: CellDemux,
+    /// Worker id -> currently assigned cell id.
+    assign: Arc<Vec<AtomicUsize>>,
+    sup: Mutex<SupervisorState>,
+    epoch_frames: u64,
+    rx_batch: usize,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Deployment {
+    /// Builds the per-cell cores and spawns the shared worker pool.
+    ///
+    /// # Panics
+    /// If `cfg` fails [`DeploymentConfig::validate`].
+    pub fn new(cfg: DeploymentConfig) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid deployment config: {e}"));
+        let total = cfg.total_workers;
+        let cells: Vec<CellCore> = cfg.cells.into_iter().map(|c| CellCore::new(c, total)).collect();
+        let supervisor = Supervisor::new(cells.len(), total, cfg.supervisor);
+
+        // Initial worker->cell map from the even split.
+        let mut worker_cell = Vec::with_capacity(total);
+        for (c, &n) in supervisor.allocation().iter().enumerate() {
+            worker_cell.extend(std::iter::repeat_n(c, n));
+        }
+        let assign: Arc<Vec<AtomicUsize>> =
+            Arc::new(worker_cell.into_iter().map(AtomicUsize::new).collect());
+
+        let stats = DeploymentStats {
+            cells: cells.iter().map(|c| c.stats.clone()).collect(),
+            link: Arc::new(EngineStats::new(total)),
+            total_workers: total,
+        };
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let workers = (0..total)
+            .map(|wid| {
+                let cells = cells.clone();
+                let assign = assign.clone();
+                let shutdown = shutdown.clone();
+                std::thread::Builder::new()
+                    .name(format!("agora-pool-{wid}"))
+                    .spawn(move || pool_worker_loop(wid, &cells, &assign, &shutdown))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+
+        let last_busy = vec![0; cells.len()];
+        let demux = CellDemux::new(cells.len());
+        Self {
+            cells,
+            stats,
+            demux,
+            assign,
+            sup: Mutex::new(SupervisorState {
+                supervisor,
+                last_busy,
+                next_epoch: cfg.supervisor.epoch_frames,
+            }),
+            epoch_frames: cfg.supervisor.epoch_frames,
+            rx_batch: cfg.rx_batch,
+            shutdown,
+            workers,
+        }
+    }
+
+    /// Number of deployed cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Aggregated statistics (live).
+    pub fn stats(&self) -> &DeploymentStats {
+        &self.stats
+    }
+
+    /// The shared-socket demux counters (per-cell routed, misrouted,
+    /// undecodable), cumulative across `process_fronthaul` calls.
+    pub fn demux_stats(&self) -> &agora_fronthaul::demux::DemuxStats {
+        self.demux.stats()
+    }
+
+    /// Snapshot of the supervisor's cores-per-cell allocation.
+    pub fn allocation(&self) -> Vec<usize> {
+        self.sup.lock().unwrap().supervisor.allocation().to_vec()
+    }
+
+    /// Workers migrated between cells since start.
+    pub fn migrations(&self) -> u64 {
+        self.sup.lock().unwrap().supervisor.migrations()
+    }
+
+    /// Processes `frames_per_cell` frames for every cell from one shared
+    /// fronthaul link. The calling thread becomes the demux/network
+    /// thread; one manager thread per cell tracks that cell's frame
+    /// dependencies. Returns `results[cell]` in frame order, exactly as
+    /// each cell's standalone [`crate::Engine`] would.
+    ///
+    /// Per-cell flow control holds the *shared* intake when one cell's
+    /// window is full (head-of-line blocking) — the same backpressure a
+    /// shared socket has; the supervisor exists to shift cores before
+    /// that point.
+    pub fn process_fronthaul<F: Fronthaul + Sync + ?Sized>(
+        &self,
+        fh: &F,
+        frames_per_cell: u32,
+        producer_done: &AtomicBool,
+    ) -> Vec<Vec<FrameResult>> {
+        let start = Instant::now();
+        let net_done = AtomicBool::new(false);
+        let link = &self.stats.link;
+        let demux = &self.demux;
+
+        std::thread::scope(|scope| {
+            // --- per-cell manager threads ---
+            let managers: Vec<_> = self
+                .cells
+                .iter()
+                .map(|core| {
+                    let net_done = &net_done;
+                    scope.spawn(move || core.manager_loop(start, frames_per_cell, net_done))
+                })
+                .collect();
+
+            // --- demux/network loop (this thread) ---
+            let mut ingests: Vec<_> = self.cells.iter().map(|c| c.ingest_state()).collect();
+            let mut batch: Vec<PacketBuf> = Vec::with_capacity(self.rx_batch);
+            loop {
+                let n = fh.recv_batch(&mut batch, self.rx_batch);
+                if n > 0 {
+                    link.record_rx_batch(n);
+                    for pkt in batch.drain(..) {
+                        match demux.classify(&pkt) {
+                            Route::Cell(c) => ingests[c].ingest(pkt),
+                            Route::Misrouted => link.packet_misrouted(),
+                            Route::Undecodable => link.rx_error(),
+                        }
+                    }
+                } else if producer_done.load(Ordering::Acquire) {
+                    break;
+                } else {
+                    std::thread::yield_now();
+                }
+                self.maybe_reallocate();
+            }
+            let (tx_e, rx_e) = fh.link_errors();
+            link.set_link_errors(tx_e, rx_e);
+            net_done.store(true, Ordering::Release);
+            // Keep stepping the supervisor while managers drain their
+            // tails, so late-epoch load still rebalances.
+            let results: Vec<Vec<FrameResult>> = managers
+                .into_iter()
+                .map(|m| {
+                    while !m.is_finished() {
+                        self.maybe_reallocate();
+                        std::thread::yield_now();
+                    }
+                    m.join().expect("cell manager panicked")
+                })
+                .collect();
+            results
+        })
+    }
+
+    /// Runs a supervisor epoch if enough frames completed since the last
+    /// one, and applies any allocation change to the worker pool.
+    fn maybe_reallocate(&self) {
+        if self.epoch_frames == 0 {
+            return;
+        }
+        let done: u64 =
+            self.stats.cells.iter().map(|s| s.frames_completed() + s.frames_dropped()).sum();
+        let mut st = self.sup.lock().unwrap();
+        if done < st.next_epoch {
+            return;
+        }
+        st.next_epoch = done + self.epoch_frames;
+        let busy: Vec<u64> = self.stats.cells.iter().map(|s| s.total_busy_ns()).collect();
+        let delta: Vec<u64> =
+            busy.iter().zip(&st.last_busy).map(|(b, l)| b.saturating_sub(*l)).collect();
+        st.last_busy = busy;
+        st.supervisor.step(&delta);
+        self.apply_allocation(st.supervisor.allocation());
+    }
+
+    /// Reassigns the fewest workers that realize `alloc`: cells over
+    /// their share yield their highest-numbered workers to cells under
+    /// it. Running tasks finish on the old cell; the worker re-reads its
+    /// assignment before every poll.
+    fn apply_allocation(&self, alloc: &[usize]) {
+        let mut have = vec![0usize; alloc.len()];
+        for a in self.assign.iter() {
+            have[a.load(Ordering::Relaxed)] += 1;
+        }
+        let mut surplus: Vec<usize> = Vec::new();
+        for (wid, a) in self.assign.iter().enumerate().rev() {
+            let c = a.load(Ordering::Relaxed);
+            if have[c] > alloc[c] {
+                have[c] -= 1;
+                surplus.push(wid);
+            }
+        }
+        for (c, (&want, &h)) in alloc.iter().zip(&have).enumerate() {
+            for _ in h..want {
+                let wid = surplus.pop().expect("allocation sums preserved");
+                self.assign[wid].store(c, Ordering::Release);
+            }
+        }
+    }
+}
+
+impl Drop for Deployment {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Shared-pool worker: polls the queues of whichever cell it is
+/// currently assigned to, in the same priority order as a dedicated
+/// engine worker. Scratch is per-cell (geometries differ between cells).
+fn pool_worker_loop(wid: usize, cells: &[CellCore], assign: &[AtomicUsize], shutdown: &AtomicBool) {
+    let mut scratches: Vec<WorkerScratch> = cells.iter().map(|c| c.kernels.scratch()).collect();
+    'outer: while !shutdown.load(Ordering::Acquire) {
+        let cell = assign[wid].load(Ordering::Acquire);
+        let core = &cells[cell];
+        for &t in &PRIORITY {
+            if let Some(msg) = core.queues.queue(t).pop() {
+                let t0 = Instant::now();
+                execute(&core.kernels, &core.window, &mut scratches[cell], &msg);
+                let ns = t0.elapsed().as_nanos() as u64;
+                core.stats.record(wid, msg.task, msg.count as u64, ns);
+                let done = agora_queue::Msg::complete(
+                    msg.task, msg.frame, msg.symbol, msg.base, msg.count, wid as u16,
+                );
+                let mut m = done;
+                while let Err(back) = core.queues.complete.push(m) {
+                    m = back;
+                    std::thread::yield_now();
+                }
+                continue 'outer;
+            }
+        }
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agora_fronthaul::{MemFronthaul, MultiCellGenerator, RruConfig, RruEmulator};
+    use agora_phy::CellConfig;
+
+    #[test]
+    fn supervisor_initial_split_is_even() {
+        let s = Supervisor::new(4, 8, SupervisorConfig::default());
+        assert_eq!(s.allocation(), &[2, 2, 2, 2]);
+        let s = Supervisor::new(3, 8, SupervisorConfig::default());
+        assert_eq!(s.allocation(), &[3, 3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "core budget")]
+    fn supervisor_rejects_budget_below_floor() {
+        let cfg = SupervisorConfig { min_cores_per_cell: 2, ..Default::default() };
+        Supervisor::new(4, 7, cfg);
+    }
+
+    /// The acceptance-criteria scenario: one loaded cell among idle
+    /// ones. The supervisor must move >= 1 core from an idle cell to the
+    /// loaded one within a bounded number of epochs — no wall clock,
+    /// pure `step` calls.
+    #[test]
+    fn skewed_load_migrates_cores_within_bounded_epochs() {
+        let mut s = Supervisor::new(4, 8, SupervisorConfig::default());
+        // Cell 1 is saturated (8 ms busy per epoch); the rest are idle.
+        let busy = [0u64, 8_000_000, 0, 0];
+        let mut first_migration = None;
+        for epoch in 1..=8 {
+            s.step(&busy);
+            if first_migration.is_none() && s.migrations() > 0 {
+                first_migration = Some(epoch);
+            }
+        }
+        assert_eq!(first_migration, Some(1), "an idle->loaded move happens immediately");
+        // With max_moves 1/epoch and 3 donor cells at the floor of 1,
+        // the allocation converges to [1, 5, 1, 1] within 3 epochs.
+        assert_eq!(s.allocation(), &[1, 5, 1, 1]);
+        assert_eq!(s.migrations(), 3, "converged: no further thrash after the target");
+    }
+
+    #[test]
+    fn balanced_load_never_thrashes() {
+        let mut s = Supervisor::new(2, 8, SupervisorConfig::default());
+        for _ in 0..16 {
+            s.step(&[1_000_000, 1_050_000]); // within the 25% band
+        }
+        assert_eq!(s.migrations(), 0);
+        assert_eq!(s.allocation(), &[4, 4]);
+    }
+
+    #[test]
+    fn all_idle_cells_never_thrash() {
+        let mut s = Supervisor::new(4, 8, SupervisorConfig::default());
+        for _ in 0..8 {
+            s.step(&[0, 0, 0, 0]);
+        }
+        assert_eq!(s.migrations(), 0);
+    }
+
+    #[test]
+    fn load_reversal_migrates_back() {
+        let mut s = Supervisor::new(2, 6, SupervisorConfig::default());
+        for _ in 0..4 {
+            s.step(&[9_000_000, 0]);
+        }
+        assert_eq!(s.allocation(), &[5, 1]);
+        for _ in 0..8 {
+            s.step(&[0, 9_000_000]);
+        }
+        assert_eq!(s.allocation(), &[1, 5], "cores follow the load when it moves");
+    }
+
+    #[test]
+    fn min_cores_floor_is_respected() {
+        let cfg = SupervisorConfig { min_cores_per_cell: 2, ..Default::default() };
+        let mut s = Supervisor::new(3, 9, cfg);
+        for _ in 0..16 {
+            s.step(&[50_000_000, 0, 0]);
+        }
+        assert!(s.allocation().iter().all(|&c| c >= 2), "{:?}", s.allocation());
+        assert_eq!(s.allocation().iter().sum::<usize>(), 9);
+    }
+
+    fn tiny_cell_cfg(cell_id: u8, seed: u64) -> (EngineConfig, RruEmulator) {
+        let cell = CellConfig::tiny_test(2);
+        let rru = RruEmulator::new(
+            cell.clone(),
+            RruConfig { snr_db: 30.0, seed, cell_id, ..Default::default() },
+        );
+        let mut cfg = EngineConfig::new(cell, 1);
+        cfg.noise_power = rru.noise_power();
+        (cfg, rru)
+    }
+
+    /// End-to-end C=2: both cells decode their own ground truth from one
+    /// shared link, and per-cell stats stay separate.
+    #[test]
+    fn two_cell_deployment_decodes_both_cells() {
+        let frames = 2u32;
+        let (cfg0, rru0) = tiny_cell_cfg(0, 301);
+        let (cfg1, rru1) = tiny_cell_cfg(1, 302);
+        let schedule = cfg0.cell.schedule.clone();
+        let users = cfg0.cell.num_users;
+        let mut generator = MultiCellGenerator::new(vec![rru0, rru1]);
+        let (tx, rx) = MemFronthaul::pair(4096);
+        let truths = generator.run(&tx, frames);
+
+        let deployment = Deployment::new(DeploymentConfig::new(vec![cfg0, cfg1], 2));
+        let done = AtomicBool::new(true);
+        let results = deployment.process_fronthaul(&rx, frames, &done);
+        assert_eq!(results.len(), 2);
+        for (cell, res) in results.iter().enumerate() {
+            assert_eq!(res.len(), frames as usize, "cell {cell}");
+            for r in res {
+                assert!(!r.dropped, "cell {cell} frame {} dropped", r.frame);
+                let gt = &truths[cell][r.frame as usize];
+                for symbol in schedule.uplink_indices() {
+                    for user in 0..users {
+                        assert!(r.decode_ok[symbol][user], "cell {cell} frame {}", r.frame);
+                        assert_eq!(r.decoded[symbol][user], gt.info_bits[symbol][user]);
+                    }
+                }
+            }
+        }
+        let stats = deployment.stats();
+        assert_eq!(stats.cell(0).frames_completed(), frames as u64);
+        assert_eq!(stats.cell(1).frames_completed(), frames as u64);
+        assert_eq!(stats.rollup().frames_completed(), 2 * frames as u64);
+        assert_eq!(stats.link().packets_misrouted(), 0);
+    }
+
+    /// A packet naming cell 7 in a C=2 deployment is counted and
+    /// dropped; both real cells still complete every frame.
+    #[test]
+    fn misrouted_packets_counted_and_dropped() {
+        let frames = 1u32;
+        let (cfg0, rru0) = tiny_cell_cfg(0, 311);
+        let (cfg1, rru1) = tiny_cell_cfg(1, 313);
+        let (_, mut rogue) = tiny_cell_cfg(7, 312);
+        let (tx, rx) = MemFronthaul::pair(4096);
+        // A rogue stream for cell 7 rides along on the same link.
+        let (rogue_pkts, _) = rogue.generate_frame(0);
+        let rogue_count = rogue_pkts.len() as u64;
+        for p in rogue_pkts {
+            tx.send(PacketBuf::Heap(p)).unwrap();
+        }
+        let mut generator = MultiCellGenerator::new(vec![rru0, rru1]);
+        let truths = generator.run(&tx, frames);
+
+        let deployment = Deployment::new(DeploymentConfig::new(vec![cfg0, cfg1], 2));
+        let done = AtomicBool::new(true);
+        let results = deployment.process_fronthaul(&rx, frames, &done);
+        for (cell, res) in results.iter().enumerate() {
+            assert_eq!(res.len(), 1);
+            assert!(!res[0].dropped, "cell {cell} survived the rogue stream");
+            assert!(!truths[cell].is_empty());
+        }
+        let stats = deployment.stats();
+        assert_eq!(stats.link().packets_misrouted(), rogue_count);
+        assert_eq!(stats.rollup().packets_misrouted(), rogue_count);
+        assert_eq!(stats.cell(0).rx_errors(), 0, "rogue packets never reach a cell");
+    }
+}

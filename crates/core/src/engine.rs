@@ -82,10 +82,10 @@ impl FrameResult {
     }
 }
 
-struct TaskQueues {
-    tasks: Vec<MpmcQueue<Msg>>,
-    complete: MpmcQueue<Msg>,
-    rx: MpmcQueue<Msg>,
+pub(crate) struct TaskQueues {
+    pub(crate) tasks: Vec<MpmcQueue<Msg>>,
+    pub(crate) complete: MpmcQueue<Msg>,
+    pub(crate) rx: MpmcQueue<Msg>,
 }
 
 impl TaskQueues {
@@ -97,7 +97,7 @@ impl TaskQueues {
         }
     }
 
-    fn queue(&self, t: TaskType) -> &MpmcQueue<Msg> {
+    pub(crate) fn queue(&self, t: TaskType) -> &MpmcQueue<Msg> {
         &self.tasks[crate::stats::type_index(t)]
     }
 }
@@ -107,7 +107,7 @@ impl TaskQueues {
 /// frame slot's [`crate::buffers::PacketSlots`] table, so the FFT stage
 /// reads IQ samples straight out of the receive buffer — intake never
 /// copies payload bytes.
-struct NetIngest<'a> {
+pub(crate) struct NetIngest<'a> {
     kernels: &'a Kernels,
     window: &'a FrameWindow,
     queues: &'a TaskQueues,
@@ -134,7 +134,7 @@ impl<'a> NetIngest<'a> {
     /// Ingests one packet: decode + validate, reject stragglers, apply
     /// window flow control, retain the buffer in the frame's slot table
     /// and notify the manager.
-    fn ingest(&mut self, pkt: PacketBuf) {
+    pub(crate) fn ingest(&mut self, pkt: PacketBuf) {
         let g = &self.kernels.geom;
         let win = self.slot_frame.len() as u64;
         let Ok((hdr, payload)) = decode_ref(&pkt) else {
@@ -191,14 +191,54 @@ impl<'a> NetIngest<'a> {
     }
 }
 
-/// The running engine: spawned workers plus shared state.
+/// The per-cell processing core: kernels, frame window, task queues,
+/// stats and the flow-control watermark — everything the manager,
+/// network and worker threads share for ONE cell. [`Engine`] wraps a
+/// single core with a dedicated worker pool; [`crate::deploy::
+/// Deployment`] runs several cores on one shared pool and migrates
+/// workers between them at runtime.
+#[derive(Clone)]
+pub(crate) struct CellCore {
+    pub(crate) kernels: Arc<Kernels>,
+    pub(crate) window: Arc<FrameWindow>,
+    pub(crate) queues: Arc<TaskQueues>,
+    pub(crate) stats: Arc<EngineStats>,
+    pub(crate) min_frame: Arc<AtomicU64>,
+}
+
+impl CellCore {
+    /// Builds the shared state for one cell. `stats_workers` sizes the
+    /// per-worker busy-time table — the engine passes its own pool size,
+    /// a deployment the *global* pool size so any worker can record
+    /// against any cell.
+    pub(crate) fn new(mut cfg: EngineConfig, stats_workers: usize) -> Self {
+        cfg.clamp_batches();
+        let frame_window = cfg.frame_window;
+        let kernels = Arc::new(Kernels::new(cfg));
+        let window = Arc::new(FrameWindow::new(kernels.geom, frame_window));
+        // Queue capacity: enough for every task message of all in-flight
+        // frames (demod dominates: q/8 messages per symbol).
+        let g = &kernels.geom;
+        let cap = (g.symbols * (g.m + g.q + g.k + 8) * frame_window).next_power_of_two();
+        Self {
+            kernels,
+            window,
+            queues: Arc::new(TaskQueues::new(cap)),
+            stats: Arc::new(EngineStats::new(stats_workers)),
+            min_frame: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Fresh network-thread intake state bound to this core.
+    pub(crate) fn ingest_state(&self) -> NetIngest<'_> {
+        NetIngest::new(&self.kernels, &self.window, &self.queues, &self.stats, &self.min_frame)
+    }
+}
+
+/// The running engine: spawned workers plus one cell's shared state.
 pub struct Engine {
-    kernels: Arc<Kernels>,
-    window: Arc<FrameWindow>,
-    queues: Arc<TaskQueues>,
-    stats: Arc<EngineStats>,
+    core: CellCore,
     shutdown: Arc<AtomicBool>,
-    min_frame: Arc<AtomicU64>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -209,27 +249,14 @@ impl Engine {
     }
 
     /// Builds an engine with an explicit worker policy.
-    pub fn with_policy(mut cfg: EngineConfig, policy: WorkerPolicy) -> Self {
-        cfg.clamp_batches();
+    pub fn with_policy(cfg: EngineConfig, policy: WorkerPolicy) -> Self {
         let num_workers = cfg.num_workers;
-        let frame_window = cfg.frame_window;
-        let kernels = Arc::new(Kernels::new(cfg));
-        let window = Arc::new(FrameWindow::new(kernels.geom, frame_window));
-        // Queue capacity: enough for every task message of all in-flight
-        // frames (demod dominates: q/8 messages per symbol).
-        let g = &kernels.geom;
-        let cap = (g.symbols * (g.m + g.q + g.k + 8) * frame_window).next_power_of_two();
-        let queues = Arc::new(TaskQueues::new(cap));
-        let stats = Arc::new(EngineStats::new(num_workers));
+        let core = CellCore::new(cfg, num_workers);
         let shutdown = Arc::new(AtomicBool::new(false));
-        let min_frame = Arc::new(AtomicU64::new(0));
 
         let workers = (0..num_workers)
             .map(|wid| {
-                let kernels = kernels.clone();
-                let window = window.clone();
-                let queues = queues.clone();
-                let stats = stats.clone();
+                let core = core.clone();
                 let shutdown = shutdown.clone();
                 let my_types: Vec<TaskType> = match &policy {
                     WorkerPolicy::DataParallel => PRIORITY.to_vec(),
@@ -238,23 +265,31 @@ impl Engine {
                 std::thread::Builder::new()
                     .name(format!("agora-worker-{wid}"))
                     .spawn(move || {
-                        worker_loop(wid, &kernels, &window, &queues, &stats, &shutdown, &my_types)
+                        worker_loop(
+                            wid,
+                            &core.kernels,
+                            &core.window,
+                            &core.queues,
+                            &core.stats,
+                            &shutdown,
+                            &my_types,
+                        )
                     })
                     .expect("failed to spawn worker")
             })
             .collect();
 
-        Self { kernels, window, queues, stats, shutdown, min_frame, workers }
+        Self { core, shutdown, workers }
     }
 
     /// Statistics sink (live; read after `process` for Table 3 numbers).
     pub fn stats(&self) -> &EngineStats {
-        &self.stats
+        &self.core.stats
     }
 
     /// The engine's kernel set (geometry, plans).
     pub fn kernels(&self) -> &Kernels {
-        &self.kernels
+        &self.core.kernels
     }
 
     /// Processes `num_frames` frames worth of packets. A network thread
@@ -264,20 +299,16 @@ impl Engine {
     pub fn process(&self, packets: Vec<Bytes>, num_frames: u32, paced: bool) -> Vec<FrameResult> {
         let start = Instant::now();
         let net_done = Arc::new(AtomicBool::new(false));
-        let symbol_ns = self.kernels.cfg.cell.symbol_duration_ns;
+        let symbol_ns = self.core.kernels.cfg.cell.symbol_duration_ns;
 
         std::thread::scope(|scope| {
             // --- network thread ---
             {
-                let queues = self.queues.clone();
-                let window = self.window.clone();
-                let min_frame = self.min_frame.clone();
+                let core = self.core.clone();
                 let net_done = net_done.clone();
-                let kernels = self.kernels.clone();
-                let stats = self.stats.clone();
                 scope.spawn(move || {
-                    let g = &kernels.geom;
-                    let mut ingest = NetIngest::new(&kernels, &window, &queues, &stats, &min_frame);
+                    let g = &core.kernels.geom;
+                    let mut ingest = core.ingest_state();
                     let mut pace = paced.then(|| {
                         agora_fronthaul::Pacer::new(std::time::Duration::from_nanos(symbol_ns))
                     });
@@ -301,7 +332,7 @@ impl Engine {
             }
 
             // --- manager loop (this thread) ---
-            self.manager_loop(start, num_frames, &net_done)
+            self.core.manager_loop(start, num_frames, &net_done)
         })
     }
 
@@ -322,19 +353,16 @@ impl Engine {
     ) -> Vec<FrameResult> {
         let start = Instant::now();
         let net_done = Arc::new(AtomicBool::new(false));
-        let rx_batch = self.kernels.cfg.rx_batch.max(1);
+        let rx_batch = self.core.kernels.cfg.rx_batch.max(1);
 
         std::thread::scope(|scope| {
             // --- network thread ---
             {
-                let queues = self.queues.clone();
-                let window = self.window.clone();
-                let min_frame = self.min_frame.clone();
+                let core = self.core.clone();
                 let net_done = net_done.clone();
-                let kernels = self.kernels.clone();
-                let stats = self.stats.clone();
                 scope.spawn(move || {
-                    let mut ingest = NetIngest::new(&kernels, &window, &queues, &stats, &min_frame);
+                    let stats = core.stats.clone();
+                    let mut ingest = core.ingest_state();
                     let mut batch: Vec<PacketBuf> = Vec::with_capacity(rx_batch);
                     loop {
                         let n = fh.recv_batch(&mut batch, rx_batch);
@@ -359,11 +387,22 @@ impl Engine {
             }
 
             // --- manager loop (this thread) ---
-            self.manager_loop(start, num_frames, &net_done)
+            self.core.manager_loop(start, num_frames, &net_done)
         })
     }
+}
 
-    fn manager_loop(
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl CellCore {
+    pub(crate) fn manager_loop(
         &self,
         start: Instant,
         num_frames: u32,
@@ -920,16 +959,7 @@ impl Engine {
     }
 }
 
-impl Drop for Engine {
-    fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Release);
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-    }
-}
-
-fn worker_loop(
+pub(crate) fn worker_loop(
     wid: usize,
     kernels: &Kernels,
     window: &FrameWindow,
@@ -960,7 +990,12 @@ fn worker_loop(
     }
 }
 
-fn execute(kernels: &Kernels, window: &FrameWindow, scratch: &mut WorkerScratch, msg: &Msg) {
+pub(crate) fn execute(
+    kernels: &Kernels,
+    window: &FrameWindow,
+    scratch: &mut WorkerScratch,
+    msg: &Msg,
+) {
     let fb = window.slot(msg.frame);
     let symbol = msg.symbol as usize;
     let base = msg.base as usize;

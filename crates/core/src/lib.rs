@@ -12,7 +12,10 @@
 //!   and pipeline-parallel (BigStation-style) worker policies.
 //! * [`inline_engine`]: deterministic single-threaded processor for
 //!   BER/BLER experiments.
-//! * [`alloc`]: core allocation for the pipeline-parallel variant (§5.4).
+//! * [`deploy`]: multi-cell deployments — C cell engines on one shared
+//!   worker pool with a dynamic core-reallocation supervisor.
+//! * [`alloc`]: core allocation for the pipeline-parallel variant
+//!   (§5.4), generalized to any shares-over-cores split.
 //! * [`stats`]: per-block busy-time accounting (Table 3).
 //! * [`sim`]: the calibrated discrete-event schedule simulator used for
 //!   the multi-core performance figures (see DESIGN.md §3, substitution
@@ -21,6 +24,7 @@
 pub mod alloc;
 pub mod buffers;
 pub mod config;
+pub mod deploy;
 pub mod engine;
 pub mod inline_engine;
 pub mod kernels;
@@ -29,6 +33,7 @@ pub mod state;
 pub mod stats;
 
 pub use config::{Ablation, BatchSizes, DetectorKind, EngineConfig};
+pub use deploy::{Deployment, DeploymentConfig, DeploymentStats, Supervisor, SupervisorConfig};
 pub use engine::{Engine, FrameResult, WorkerPolicy};
 pub use inline_engine::InlineProcessor;
 pub use kernels::Kernels;

@@ -52,6 +52,9 @@ pub struct EngineStats {
     /// Packets rejected at intake as malformed (bad header, out-of-range
     /// symbol/antenna, or wrong payload size for the cell).
     rx_errors: AtomicU64,
+    /// Packets addressed to a cell id outside the deployment — dropped at
+    /// the demux, never delivered to cell 0 by default.
+    packets_misrouted: AtomicU64,
     /// Non-empty receive batches drained by the network thread.
     rx_batches: AtomicU64,
     /// Packets delivered across those batches.
@@ -180,6 +183,16 @@ impl EngineStats {
         self.rx_errors.load(Ordering::Relaxed)
     }
 
+    /// Records one packet addressed to an unknown cell id.
+    pub fn packet_misrouted(&self) {
+        self.packets_misrouted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Packets addressed to a cell id outside the deployment.
+    pub fn packets_misrouted(&self) -> u64 {
+        self.packets_misrouted.load(Ordering::Relaxed)
+    }
+
     /// Records one non-empty receive batch of `n` packets.
     pub fn record_rx_batch(&self, n: usize) {
         self.rx_batches.fetch_add(1, Ordering::Relaxed);
@@ -221,6 +234,81 @@ impl EngineStats {
     /// Socket-level (tx, rx) error counts from the fronthaul link.
     pub fn link_errors(&self) -> (u64, u64) {
         (self.link_tx_errors.load(Ordering::Relaxed), self.link_rx_errors.load(Ordering::Relaxed))
+    }
+
+    /// Accumulates `other`'s counters into `self`, so per-cell stats
+    /// roll up into one sink without hand-summing every counter.
+    /// Additive counters add; `rx_batch_max` takes the max; link error
+    /// gauges add (each cell reports its own link's cumulative counts).
+    /// Per-worker busy time adds by worker id — deployments size every
+    /// cell's sink to the global pool, so ids line up.
+    pub fn merge(&self, other: &EngineStats) {
+        for i in 0..NUM_TASK_TYPES {
+            self.busy_ns[i].fetch_add(other.busy_ns[i].load(Ordering::Relaxed), Ordering::Relaxed);
+            self.tasks[i].fetch_add(other.tasks[i].load(Ordering::Relaxed), Ordering::Relaxed);
+            self.messages[i]
+                .fetch_add(other.messages[i].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        for (w, o) in self.worker_busy_ns.iter().zip(&other.worker_busy_ns) {
+            w.fetch_add(o.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.packets_lost.fetch_add(other.packets_lost(), Ordering::Relaxed);
+        self.packets_late.fetch_add(other.packets_late(), Ordering::Relaxed);
+        self.packets_duplicate.fetch_add(other.packets_duplicate(), Ordering::Relaxed);
+        self.frames_completed.fetch_add(other.frames_completed(), Ordering::Relaxed);
+        self.frames_dropped.fetch_add(other.frames_dropped(), Ordering::Relaxed);
+        self.rx_errors.fetch_add(other.rx_errors(), Ordering::Relaxed);
+        self.packets_misrouted.fetch_add(other.packets_misrouted(), Ordering::Relaxed);
+        self.rx_batches.fetch_add(other.rx_batches(), Ordering::Relaxed);
+        self.rx_batch_packets.fetch_add(other.rx_batch_packets(), Ordering::Relaxed);
+        self.rx_batch_max.fetch_max(other.rx_batch_max(), Ordering::Relaxed);
+        let (tx, rx) = other.link_errors();
+        self.link_tx_errors.fetch_add(tx, Ordering::Relaxed);
+        self.link_rx_errors.fetch_add(rx, Ordering::Relaxed);
+    }
+
+    /// One-paragraph human-readable summary: frame ledger, packet
+    /// ledger, and the busiest task blocks. Complements [`Self::table`]
+    /// (which is per-block timing only).
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "frames: {} completed, {} dropped | packets: {} lost, {} late, {} dup, {} rx-err, {} misrouted\n",
+            self.frames_completed(),
+            self.frames_dropped(),
+            self.packets_lost(),
+            self.packets_late(),
+            self.packets_duplicate(),
+            self.rx_errors(),
+            self.packets_misrouted(),
+        );
+        if let Some(mean) = self.mean_rx_batch() {
+            out.push_str(&format!(
+                "rx: {} batches, {} packets (mean {:.1}/batch, max {})\n",
+                self.rx_batches(),
+                self.rx_batch_packets(),
+                mean,
+                self.rx_batch_max(),
+            ));
+        }
+        let (tx_e, rx_e) = self.link_errors();
+        if tx_e + rx_e > 0 {
+            out.push_str(&format!("link errors: {tx_e} tx, {rx_e} rx\n"));
+        }
+        let mut blocks: Vec<(usize, u64)> = (0..NUM_TASK_TYPES)
+            .map(|i| (i, self.busy_ns[i].load(Ordering::Relaxed)))
+            .filter(|&(_, ns)| ns > 0)
+            .collect();
+        blocks.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
+        if !blocks.is_empty() {
+            out.push_str("busy: ");
+            let parts: Vec<String> = blocks
+                .iter()
+                .map(|&(i, ns)| format!("{} {:.2}ms", TYPE_NAMES[i], ns as f64 / 1e6))
+                .collect();
+            out.push_str(&parts.join(", "));
+            out.push('\n');
+        }
+        out
     }
 
     /// Formats a Table 3-style summary.
@@ -301,6 +389,57 @@ mod tests {
         assert_eq!(s.packets_duplicate(), 2);
         assert_eq!(s.frames_completed(), 1);
         assert_eq!(s.frames_dropped(), 1);
+    }
+
+    #[test]
+    fn merge_rolls_up_counters() {
+        let a = EngineStats::new(2);
+        a.record(0, TaskType::Fft, 2, 5000);
+        a.frame_completed();
+        a.add_packets_lost(3);
+        a.record_rx_batch(8);
+        a.set_link_errors(1, 0);
+        let b = EngineStats::new(2);
+        b.record(1, TaskType::Fft, 1, 2000);
+        b.record(1, TaskType::Zf, 1, 9000);
+        b.frame_completed();
+        b.frame_dropped();
+        b.packet_misrouted();
+        b.record_rx_batch(32);
+        b.set_link_errors(0, 4);
+
+        let total = EngineStats::new(2);
+        total.merge(&a);
+        total.merge(&b);
+        assert_eq!(total.tasks(TaskType::Fft), 3);
+        assert_eq!(total.busy_ns(TaskType::Fft), 7000);
+        assert_eq!(total.tasks(TaskType::Zf), 1);
+        assert_eq!(total.worker_busy_ns(0), 5000);
+        assert_eq!(total.worker_busy_ns(1), 11_000);
+        assert_eq!(total.frames_completed(), 2);
+        assert_eq!(total.frames_dropped(), 1);
+        assert_eq!(total.packets_lost(), 3);
+        assert_eq!(total.packets_misrouted(), 1);
+        assert_eq!(total.rx_batches(), 2);
+        assert_eq!(total.rx_batch_packets(), 40);
+        assert_eq!(total.rx_batch_max(), 32);
+        assert_eq!(total.link_errors(), (1, 4));
+    }
+
+    #[test]
+    fn summary_reports_ledgers_and_busiest_blocks() {
+        let s = EngineStats::new(1);
+        s.frame_completed();
+        s.packet_misrouted();
+        s.record(0, TaskType::Decode, 4, 80_000);
+        s.record(0, TaskType::Fft, 4, 10_000);
+        let text = s.summary();
+        assert!(text.contains("1 completed"));
+        assert!(text.contains("1 misrouted"));
+        // Busiest block listed first.
+        let decode_at = text.find("Decode").unwrap();
+        let fft_at = text.find("FFT").unwrap();
+        assert!(decode_at < fft_at, "blocks sorted by busy time:\n{text}");
     }
 
     #[test]

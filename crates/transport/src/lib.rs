@@ -10,11 +10,14 @@
 //! * [`fronthaul`]: the [`Fronthaul`] transport trait — lock-free
 //!   in-memory rings (DPDK stand-in) and real UDP sockets with batched,
 //!   pooled, error-counted I/O.
+//! * [`demux`]: cell-aware routing of one socket's receive stream to
+//!   per-cell intakes (multi-cell deployments).
 //! * [`rru`]: the emulated RRU / IQ sample generator with ground truth.
 //! * [`gen`]: the paced, fault-injecting multi-cell traffic generator.
 //! * [`pacing`]: nanosecond-precision symbol pacing.
 //! * [`fault`]: deterministic fault injection (loss/reorder/dup/jitter).
 
+pub mod demux;
 pub mod fault;
 pub mod fronthaul;
 pub mod gen;
@@ -24,6 +27,7 @@ pub mod pool;
 pub mod rru;
 pub mod sys;
 
+pub use demux::{CellDemux, DemuxStats, Route};
 pub use fault::{FaultConfig, FaultInjector, FaultStats, FaultyFronthaul, LossModel};
 pub use fronthaul::{Fronthaul, MemFronthaul, UdpFronthaul};
 pub use gen::MultiCellGenerator;

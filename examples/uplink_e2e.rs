@@ -65,6 +65,7 @@ fn main() {
         );
     }
     println!("\nblock errors: {errors}/{blocks}");
+    println!("\nrun summary:\n{}", engine.stats().summary().trim_end());
     println!("\nper-block execution stats (Table 3 style):\n{}", engine.stats().table());
     assert_eq!(errors, 0, "all blocks must decode correctly at 25 dB");
     println!("all {blocks} blocks decoded correctly ✓");

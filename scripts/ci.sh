@@ -33,6 +33,9 @@ cargo run --release -q -p agora-bench --bin zf_parity
 echo "== fronthaul parity smoke =="
 cargo run --release -q -p agora-bench --bin fronthaul_parity
 
+echo "== deployment parity smoke =="
+cargo run --release -q -p agora-bench --bin deployment_parity
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
