@@ -1,0 +1,182 @@
+//! Antenna-cluster partitioned ZF: critical-path speedup measurement.
+//!
+//! The staged ZF path splits `W = (H^H H)^{-1} H^H` into per-cluster
+//! partial Grams (`H_i^H H_i` over an antenna slice) that run on
+//! independent workers, a deterministic tree fold, and a column-sharded
+//! Cholesky solve. A single core does the *same* total work plus the
+//! fold, so the win is parallelism: this bench times each stage in
+//! isolation and reports the **critical path** a C-worker execution
+//! pays — `max_i partial(i) + max_j reduce(j)` — against the monolithic
+//! `pinv_into` chain.
+//!
+//! The 64x16 clusters=1 row also measures the Gram share of the
+//! monolithic task, which calibrates the simulator's
+//! `agora_core::sim::MEASURED_ZF_GRAM_FRAC` split.
+//!
+//! Writes `results/zf_cluster.csv`. Exits non-zero if the M=256 K=16
+//! clusters=4 critical path falls below the PR's >=2x acceptance floor,
+//! or if the M=64 clusters=1 staged path regresses the monolithic task.
+
+use agora_bench::csv::write_csv;
+use agora_math::simd::SimdTier;
+use agora_math::{
+    gram_accumulate_with_tier, gram_reduce, pinv_from_gram_slice_into, pinv_into, CMat, Cf32,
+    PinvMethod, PinvScratch,
+};
+use agora_phy::ClusterPlan;
+use std::time::Instant;
+
+/// Timing trials per configuration; the minimum is reported.
+const TRIALS: usize = 5;
+
+fn bench<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / reps as f64);
+    }
+    best
+}
+
+fn channel(m: usize, k: usize) -> CMat {
+    CMat::from_fn(m, k, |r, c| {
+        let i = (r * k + c) as u64;
+        Cf32::new(
+            ((i * 2654435761 % 1000) as f32 / 1000.0) - 0.5,
+            ((i * 40503 % 1000) as f32 / 1000.0) - 0.5,
+        )
+    })
+}
+
+fn main() {
+    let tier = SimdTier::detect();
+    let k = 16usize;
+    println!("Antenna-cluster partitioned ZF critical path (detected tier: {tier:?})");
+    println!(
+        "{:>6} {:>4} {:>9} | {:>11} {:>11} {:>11} {:>11} {:>6}",
+        "M", "K", "clusters", "mono_ns", "partial_ns", "reduce_ns", "critical", "x"
+    );
+    let mut rows = Vec::new();
+    let mut gate_256x4 = 0.0f64;
+    let mut gate_64x1 = 0.0f64;
+    let mut gram_frac_64 = 0.0f64;
+    for m in [64usize, 128, 256] {
+        let h = channel(m, k);
+        let reps = ((1usize << 24) / (m * k * k)).max(32);
+        let mut s = PinvScratch::with_tier(m, k, tier);
+        let mut out_mono = CMat::zeros(k, m);
+        let mono = bench(reps, || {
+            pinv_into(std::hint::black_box(&h), PinvMethod::Cholesky, &mut s, &mut out_mono);
+            std::hint::black_box(&out_mono);
+        });
+        for clusters in [1usize, 2, 4, 8] {
+            let plan = ClusterPlan::new(m, clusters);
+            // Per-cluster partial Grams: each would run on its own
+            // worker, so the stage cost is the slowest cluster.
+            let mut parts = vec![Cf32::ZERO; clusters * k * k];
+            let mut ah = vec![Cf32::ZERO; k * plan.max_len()];
+            let mut max_partial = 0.0f64;
+            for cluster in 0..clusters {
+                let rows_r = plan.range(cluster);
+                let len = rows_r.len();
+                let a = &h.as_slice()[rows_r.start * k..rows_r.end * k];
+                let part = &mut parts[cluster * k * k..(cluster + 1) * k * k] as *mut [Cf32];
+                let t = bench(reps, || {
+                    // SAFETY: single-threaded bench; re-borrowed per rep.
+                    let part = unsafe { &mut *part };
+                    agora_math::simd::conj_transpose(a, len, k, &mut ah[..k * len], tier);
+                    part.fill(Cf32::ZERO);
+                    gram_accumulate_with_tier(len, k, &ah[..k * len], a, part, tier);
+                    std::hint::black_box(&part);
+                });
+                max_partial = max_partial.max(t);
+            }
+            // Column-sharded reduce + solve (uplink-only model:
+            // shards == clusters). Each shard folds the partials itself
+            // and solves its own column slice; stage cost is the
+            // slowest shard.
+            let solve_plan = ClusterPlan::new(m, clusters);
+            let mut staged = CMat::zeros(k, m);
+            let mut max_reduce = 0.0f64;
+            for shard in 0..clusters {
+                let cols = solve_plan.range(shard);
+                let mut out = CMat::zeros(k, cols.len());
+                let t = bench(reps, || {
+                    gram_reduce(std::hint::black_box(&parts), s.gram_mut().as_mut_slice());
+                    pinv_from_gram_slice_into(
+                        &h,
+                        PinvMethod::Cholesky,
+                        cols.start,
+                        cols.len(),
+                        &mut s,
+                        &mut out,
+                    );
+                    std::hint::black_box(&out);
+                });
+                max_reduce = max_reduce.max(t);
+                for u in 0..k {
+                    for (c, a) in cols.clone().enumerate() {
+                        staged[(u, a)] = out[(u, c)];
+                    }
+                }
+            }
+            let critical = max_partial + max_reduce;
+            let x = mono / critical;
+            println!(
+                "{m:>6} {k:>4} {clusters:>9} | {mono:>11.0} {max_partial:>11.0} {max_reduce:>11.0} {critical:>11.0} {x:>5.2}x"
+            );
+            // Staged output must agree with the monolithic detector: bit
+            // for bit at clusters=1, to f32 rounding otherwise (the tree
+            // fold reassociates the Gram sum).
+            if clusters == 1 {
+                let same =
+                    staged.as_slice().iter().zip(out_mono.as_slice().iter()).all(|(a, b)| {
+                        a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits()
+                    });
+                if !same {
+                    println!("FAIL: clusters=1 staged detector is not bit-identical (M={m})");
+                    std::process::exit(1);
+                }
+            } else {
+                let diff = staged.max_abs_diff(&out_mono) as f64;
+                if diff > 1e-3 {
+                    println!("FAIL: staged detector diverges ({diff:.2e}) at M={m} C={clusters}");
+                    std::process::exit(1);
+                }
+            }
+            rows.push(format!(
+                "{m},{k},{clusters},{mono:.0},{max_partial:.0},{max_reduce:.0},{critical:.0},{x:.2}"
+            ));
+            if m == 256 && clusters == 4 {
+                gate_256x4 = x;
+            }
+            if m == 64 && clusters == 1 {
+                gate_64x1 = x;
+                gram_frac_64 = max_partial / mono;
+            }
+        }
+    }
+    let p = write_csv(
+        "zf_cluster",
+        "m,k,clusters,monolithic_ns,partial_ns,reduce_ns,critical_ns,speedup",
+        &rows,
+    );
+    println!("\nwrote {}", p.display());
+    println!(
+        "64x16 Gram share of the monolithic task: {gram_frac_64:.2} (feeds MEASURED_ZF_GRAM_FRAC)"
+    );
+    // Acceptance gates: parallel win at scale, no single-cluster tax.
+    if gate_256x4 < 2.0 {
+        println!("FAIL: 256x16 clusters=4 critical path {gate_256x4:.2}x is below the >=2x floor");
+        std::process::exit(1);
+    }
+    if gate_64x1 < 0.85 {
+        println!(
+            "FAIL: 64x16 clusters=1 staged path regresses the monolithic task ({gate_64x1:.2}x)"
+        );
+        std::process::exit(1);
+    }
+}

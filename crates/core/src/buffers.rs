@@ -212,6 +212,12 @@ pub struct FrameBuffers {
     /// Per-group Gram matrices (`K x K`), for the iterative equalizer's
     /// CG solves and Neumann noise estimates.
     pub gram: SharedVec<Cf32>,
+    /// Per-(group, cluster) partial Gram matrices (`K x K`) for the
+    /// antenna-cluster partitioned ZF path: cluster `c` publishes
+    /// `H_c^H H_c` here, and the reduce task folds the partials in fixed
+    /// cluster order. Unused (zero-length stride reuse aside) when
+    /// `clusters == 1`.
+    pub gram_part: SharedVec<Cf32>,
     /// Soft demodulator output.
     pub llr: SharedVec<f32>,
     /// Quantised soft demodulator output (fixed-point decoding plane).
@@ -232,6 +238,7 @@ pub struct FrameBuffers {
     freq_per_symbol: usize,
     mk: usize,
     kk: usize,
+    clusters: usize,
     llr_per_user: usize,
     info_bits: usize,
     dl_bits_per_user: usize,
@@ -254,6 +261,8 @@ pub struct BufferGeometry {
     pub block: usize,
     /// ZF group size.
     pub zf_group: usize,
+    /// Antenna clusters for the partitioned-ZF path (1 = monolithic).
+    pub clusters: usize,
     /// Coded-bit capacity per (symbol, user).
     pub cap_bits: usize,
     /// Information bits per code block.
@@ -272,6 +281,7 @@ impl FrameBuffers {
             det: SharedVec::new(groups * g.k * g.m, Cf32::ZERO),
             pre: SharedVec::new(groups * g.m * g.k, Cf32::ZERO),
             gram: SharedVec::new(groups * g.k * g.k, Cf32::ZERO),
+            gram_part: SharedVec::new(groups * g.clusters * g.k * g.k, Cf32::ZERO),
             llr: SharedVec::new(g.symbols * g.k * g.cap_bits, 0.0f32),
             llr_i8: SharedVec::new(g.symbols * g.k * g.cap_bits, 0i8),
             decoded: SharedVec::new(g.symbols * g.k * g.info_bits, 0u8),
@@ -282,6 +292,7 @@ impl FrameBuffers {
             freq_per_symbol,
             mk: g.m * g.k,
             kk: g.k * g.k,
+            clusters: g.clusters,
             llr_per_user: g.cap_bits,
             info_bits: g.info_bits,
             dl_bits_per_user: g.cap_bits,
@@ -345,6 +356,22 @@ impl FrameBuffers {
     pub fn gram_range(&self, group: usize) -> core::ops::Range<usize> {
         let base = group * self.kk;
         base..base + self.kk
+    }
+
+    /// Range of one (group, cluster) partial Gram matrix (`K x K`
+    /// row-major). Clusters of a group are adjacent, so the reduce task
+    /// reads all of a group's partials through one contiguous view.
+    pub fn gram_part_range(&self, group: usize, cluster: usize) -> core::ops::Range<usize> {
+        debug_assert!(cluster < self.clusters, "cluster out of range");
+        let base = (group * self.clusters + cluster) * self.kk;
+        base..base + self.kk
+    }
+
+    /// Combined range of all of a group's partial Grams, in cluster
+    /// order — the reduce task's input view.
+    pub fn gram_part_group_range(&self, group: usize) -> core::ops::Range<usize> {
+        let base = group * self.clusters * self.kk;
+        base..base + self.clusters * self.kk
     }
 
     /// Range of one (symbol, user) LLR block.
@@ -452,6 +479,7 @@ mod tests {
             samples: 64,
             block: 8,
             zf_group: 16,
+            clusters: 2,
             cap_bits: 64,
             info_bits: 20,
         }
@@ -557,6 +585,29 @@ mod tests {
             total += r.len();
         }
         assert_eq!(total, fb.gram.len());
+    }
+
+    #[test]
+    fn gram_part_ranges_tile_buffer() {
+        let g = geom();
+        let fb = FrameBuffers::new(&g);
+        let groups = g.q.div_ceil(g.zf_group);
+        // Per-(group, cluster) ranges are disjoint, K x K each, and tile
+        // the plane; a group's clusters are adjacent so the group view
+        // is exactly their concatenation in cluster order.
+        let mut next = 0;
+        for group in 0..groups {
+            let gr = fb.gram_part_group_range(group);
+            assert_eq!(gr.start, next);
+            for cluster in 0..g.clusters {
+                let r = fb.gram_part_range(group, cluster);
+                assert_eq!(r.len(), g.k * g.k);
+                assert_eq!(r.start, next, "cluster ranges not adjacent");
+                next = r.end;
+            }
+            assert_eq!(gr.end, next);
+        }
+        assert_eq!(next, fb.gram_part.len());
     }
 
     #[test]

@@ -92,6 +92,14 @@ pub struct Ablation {
     /// configuration the paper offloads to). Disabled, the engine keeps
     /// the float plane — the A/B for fig-style runs.
     pub quantized_decoder: bool,
+    /// Antenna-cluster partitioned ZF: split each group's `H^H H` Gram
+    /// into [`EngineConfig::antenna_clusters`] per-cluster partial Grams
+    /// computed by independent workers, reduced in fixed cluster-index
+    /// order (deterministic f32 sum order) before the solve. With one
+    /// cluster the staged path is bit-identical to the monolithic
+    /// `zf_task`; disabled, the monolithic task runs regardless of the
+    /// cluster count. Only meaningful for the zero-forcing detector.
+    pub clustered_zf: bool,
 }
 
 impl Default for Ablation {
@@ -109,6 +117,7 @@ impl Default for Ablation {
             detector: DetectorKind::ZeroForcing,
             realtime_process: true,
             quantized_decoder: false,
+            clustered_zf: false,
         }
     }
 }
@@ -191,6 +200,12 @@ pub struct EngineConfig {
     /// driven from a [`agora_fronthaul::Fronthaul`] link (one `recvmmsg`
     /// syscall drains up to this many).
     pub rx_batch: usize,
+    /// Antenna clusters for the partitioned ZF path
+    /// (`ablation.clustered_zf`): each ZF group's Gram is computed as
+    /// this many per-cluster partials in parallel and tree-reduced in
+    /// fixed cluster order. Must be between 1 and the cell's antenna
+    /// count; 1 degenerates to a single partial plus a copy-reduce.
+    pub antenna_clusters: usize,
 }
 
 impl EngineConfig {
@@ -209,6 +224,7 @@ impl EngineConfig {
             cpe_correction: false,
             frame_deadline_ns: None,
             rx_batch: 32,
+            antenna_clusters: 1,
         };
         cfg.clamp_batches();
         cfg
@@ -263,6 +279,18 @@ impl EngineConfig {
         }
         if self.rx_batch == 0 {
             return Err("rx batch must be at least 1".into());
+        }
+        if self.antenna_clusters == 0 {
+            return Err("antenna clusters must be at least 1".into());
+        }
+        if self.antenna_clusters > self.cell.num_antennas {
+            return Err(format!(
+                "antenna clusters {} exceed antenna count {}",
+                self.antenna_clusters, self.cell.num_antennas
+            ));
+        }
+        if self.ablation.clustered_zf && self.ablation.detector != DetectorKind::ZeroForcing {
+            return Err("clustered ZF requires the zero-forcing detector".into());
         }
         Ok(())
     }
@@ -332,6 +360,24 @@ mod tests {
         cfg.validate().expect("iterative + zero-forcing must validate");
         cfg.ablation.detector = DetectorKind::Mmse;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn antenna_cluster_bounds_enforced() {
+        let mut cfg = EngineConfig::new(CellConfig::tiny_test(2), 2);
+        assert_eq!(cfg.antenna_clusters, 1, "clusters default to one");
+        assert!(!cfg.ablation.clustered_zf, "clustered ZF defaults off");
+        cfg.ablation.clustered_zf = true;
+        cfg.antenna_clusters = cfg.cell.num_antennas;
+        cfg.validate().expect("clusters = antennas must validate");
+        cfg.antenna_clusters = 0;
+        assert!(cfg.validate().is_err(), "zero clusters rejected");
+        cfg.antenna_clusters = cfg.cell.num_antennas + 1;
+        assert!(cfg.validate().is_err(), "clusters > antennas rejected");
+        cfg.antenna_clusters = 2;
+        cfg.ablation.detector = DetectorKind::Mmse;
+        cfg.ablation.clustered_zf = true;
+        assert!(cfg.validate().is_err(), "clustered ZF needs zero-forcing");
     }
 
     #[test]

@@ -217,9 +217,12 @@ impl CellCore {
         let kernels = Arc::new(Kernels::new(cfg));
         let window = Arc::new(FrameWindow::new(kernels.geom, frame_window));
         // Queue capacity: enough for every task message of all in-flight
-        // frames (demod dominates: q/8 messages per symbol).
+        // frames (demod dominates: q/8 messages per symbol; the staged
+        // ZF path adds up to ~2 messages per (group, cluster)).
         let g = &kernels.geom;
-        let cap = (g.symbols * (g.m + g.q + g.k + 8) * frame_window).next_power_of_two();
+        let staged_zf = g.clusters * (g.q.div_ceil(g.zf_group) * 2 + 8);
+        let cap =
+            ((g.symbols * (g.m + g.q + g.k + 8) + staged_zf) * frame_window).next_power_of_two();
         Self {
             kernels,
             window,
@@ -469,6 +472,10 @@ impl CellCore {
                         g.q,
                         cell.num_zf_groups(),
                     );
+                    if kernels.clustered_zf() {
+                        st =
+                            st.with_clustered_zf(kernels.zf_clusters(), kernels.zf_reduce_shards());
+                    }
                     st.milestones.first_packet_ns = now_ns(start);
                     st.milestones.processing_start_ns = now_ns(start);
                     for r in st.initial_work() {
@@ -565,7 +572,17 @@ impl CellCore {
                         }
                     }
                     TaskType::Zf => {
-                        ready = st.on_zf_done(msg.count as usize);
+                        // Staged path: the echoed `symbol` carries the ZF
+                        // stage — 0 = monolithic task, 1..=C = cluster
+                        // partial, above C = reduce shard (base = group).
+                        let clusters = kernels.zf_clusters();
+                        ready = if !kernels.clustered_zf() {
+                            st.on_zf_done(msg.count as usize)
+                        } else if (1..=clusters).contains(&symbol) {
+                            st.on_zf_partial_done(msg.base as usize, msg.count as usize)
+                        } else {
+                            st.on_zf_reduce_done(msg.base as usize)
+                        };
                         if st.zf_complete() && st.milestones.zf_done_ns == 0 {
                             st.milestones.zf_done_ns = now_ns(start);
                             zf_complete.insert(frame);
@@ -753,11 +770,45 @@ impl CellCore {
             Ready::Fft { .. } => unreachable!("FFT dispatch handled by the run accumulator"),
             Ready::AllZf => {
                 let groups = self.kernels.cfg.cell.num_zf_groups();
-                let mut base = 0u32;
-                while (base as usize) < groups {
-                    let count = batch.zf.min(groups - base as usize) as u32;
-                    pushed += self.push_task(Msg::task(TaskType::Zf, frame, 0, base, count));
-                    base += count;
+                if self.kernels.clustered_zf() {
+                    // Stage one: per-cluster partial-Gram sweeps over all
+                    // groups. Stage is encoded as `symbol = cluster + 1`
+                    // (it survives the completion echo; `aux` does not).
+                    for cluster in 0..self.kernels.zf_clusters() as u32 {
+                        let mut base = 0u32;
+                        while (base as usize) < groups {
+                            let count = batch.zf.min(groups - base as usize) as u32;
+                            pushed += self.push_task(Msg::task(
+                                TaskType::Zf,
+                                frame,
+                                cluster + 1,
+                                base,
+                                count,
+                            ));
+                            base += count;
+                        }
+                    }
+                } else {
+                    let mut base = 0u32;
+                    while (base as usize) < groups {
+                        let count = batch.zf.min(groups - base as usize) as u32;
+                        pushed += self.push_task(Msg::task(TaskType::Zf, frame, 0, base, count));
+                        base += count;
+                    }
+                }
+            }
+            Ready::ZfReduce { group } => {
+                // Stage two: `symbol = C + 1 + shard`, `base` carries the
+                // group index.
+                let c = self.kernels.zf_clusters() as u32;
+                for shard in 0..self.kernels.zf_reduce_shards() as u32 {
+                    pushed += self.push_task(Msg::task(
+                        TaskType::Zf,
+                        frame,
+                        c + 1 + shard,
+                        group as u32,
+                        1,
+                    ));
                 }
             }
             Ready::DemodSymbol { symbol } => {
@@ -1011,8 +1062,17 @@ pub(crate) fn execute(
             }
         }
         TaskType::Zf => {
-            for i in 0..count {
-                kernels.zf_task(fb, scratch, base + i);
+            let clusters = kernels.zf_clusters();
+            if !kernels.clustered_zf() {
+                for i in 0..count {
+                    kernels.zf_task(fb, scratch, base + i);
+                }
+            } else if (1..=clusters).contains(&symbol) {
+                for i in 0..count {
+                    kernels.gram_partial_task(fb, scratch, base + i, symbol - 1);
+                }
+            } else {
+                kernels.zf_reduce_task(fb, scratch, base, symbol - clusters - 1);
             }
         }
         TaskType::Demod => kernels.demod_task(fb, scratch, msg.frame, symbol, base, count),
@@ -1096,6 +1156,55 @@ mod tests {
                         );
                         assert_eq!(r.decoded[symbol][user], gt.info_bits[symbol][user]);
                     }
+                }
+            }
+        }
+    }
+
+    /// The staged antenna-cluster ZF path must decode the same bits as
+    /// the monolithic path under the real scheduler, for both the
+    /// direct solve (with its sharded reduce) and the iterative CG mode
+    /// (single-shard reduce).
+    #[test]
+    fn threaded_clustered_zf_matches_monolithic_bits() {
+        let cell = CellConfig::tiny_test(2);
+        let mut rru = RruEmulator::new(
+            cell.clone(),
+            RruConfig { snr_db: 30.0, seed: 45, ..Default::default() },
+        );
+        let frames = 2u32;
+        let mut packets = Vec::new();
+        for f in 0..frames {
+            let (p, _) = rru.generate_frame(f);
+            packets.extend(p);
+        }
+        let run = |clusters: usize, iterative: bool| {
+            let mut cfg = EngineConfig::new(cell.clone(), 2);
+            cfg.noise_power = rru.noise_power();
+            if iterative {
+                cfg.ablation.eq_mode = EqMode::Iterative;
+            }
+            if clusters > 0 {
+                cfg.ablation.clustered_zf = true;
+                cfg.antenna_clusters = clusters;
+            }
+            let mut results = Engine::new(cfg).process(packets.clone(), frames, false);
+            results.sort_by_key(|r| r.frame);
+            results
+        };
+        for iterative in [false, true] {
+            let mono = run(0, iterative);
+            for clusters in [1, 4] {
+                let staged = run(clusters, iterative);
+                assert_eq!(mono.len(), staged.len());
+                for (m, s) in mono.iter().zip(staged.iter()) {
+                    assert!(!s.dropped, "clusters={clusters} frame {} dropped", s.frame);
+                    assert_eq!(
+                        m.decoded, s.decoded,
+                        "clusters={clusters} iterative={iterative} frame {}",
+                        s.frame
+                    );
+                    assert_eq!(m.decode_ok, s.decode_ok);
                 }
             }
         }

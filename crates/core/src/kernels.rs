@@ -13,8 +13,8 @@ use agora_fft::{Direction, FftPlan, SubcarrierMap};
 use agora_ldpc::{DecodeConfig, DecodeConfigI8, Decoder, DecoderI8, Encoder, RateMatch};
 use agora_math::simd::{stream_copy, SimdTier};
 use agora_math::{
-    gram_pair_with_tier, normalize_precoder_in_place, pinv_into, CMat, Cf32, Gemm, PinvMethod,
-    PinvScratch,
+    gram_accumulate_with_tier, gram_pair_with_tier, gram_reduce, normalize_precoder_in_place,
+    pinv_from_gram_slice_into, pinv_into, CMat, Cf32, Gemm, PinvMethod, PinvScratch,
 };
 use agora_phy::demod::{demod_soft_i8, demod_soft_simd};
 use agora_phy::equalize::{cg_solve_gram, neumann_diag_inv, CgScratch, CG_MAX_ITERS, CG_REL_TOL};
@@ -22,6 +22,7 @@ use agora_phy::frame::SymbolType;
 use agora_phy::iq::{unpack_sample, BYTES_PER_SAMPLE};
 use agora_phy::modulation::{map_symbol, ModScheme};
 use agora_phy::pilots::PilotPlan;
+use agora_phy::ClusterPlan;
 
 /// Immutable, shared kernel state.
 pub struct Kernels {
@@ -88,6 +89,14 @@ pub struct WorkerScratch {
     zf_det: CMat,
     zf_pre: CMat,
     zf_pinv: PinvScratch,
+    /// Conjugate-transpose staging for one cluster's partial Gram
+    /// (`K x max_len` under the balanced antenna split) — the partitioned
+    /// ZF path's per-cluster `H_c^H` operand.
+    zf_part_ah: Vec<Cf32>,
+    /// Reduce-shard solve staging: one `K x width` matrix per distinct
+    /// shard width (at most two under the balanced split). Empty when the
+    /// reduce is unsharded — the full-width solve lands in `zf_det`.
+    zf_shard: Vec<CMat>,
     /// Formed detector staging for the iterative mode's downlink
     /// precoder (`K x M`) — the `det` plane holds `H^H` there, so the
     /// true ZF solution needs its own home.
@@ -118,6 +127,9 @@ impl Kernels {
             samples: cell.samples_per_symbol(),
             block: cfg.demod_block,
             zf_group: cell.zf_group,
+            // The partial-Gram plane only exists on the staged path; keep
+            // it a single (unused) tile per group otherwise.
+            clusters: if cfg.ablation.clustered_zf { cfg.antenna_clusters } else { 1 },
             cap_bits: cell.bits_per_symbol_per_user(),
             info_bits: cell.info_bits_per_symbol(),
         };
@@ -194,6 +206,18 @@ impl Kernels {
             zf_det: CMat::zeros(g.k, g.m),
             zf_pre: CMat::zeros(g.m, g.k),
             zf_pinv: PinvScratch::with_tier(g.m, g.k, self.gemm_tier),
+            zf_part_ah: vec![Cf32::ZERO; g.k * ClusterPlan::new(g.m, g.clusters).max_len()],
+            zf_shard: {
+                let shards = self.zf_reduce_shards();
+                if shards > 1 {
+                    let plan = ClusterPlan::new(g.m, shards);
+                    let mut widths: Vec<usize> = (0..shards).map(|i| plan.range(i).len()).collect();
+                    widths.dedup();
+                    widths.into_iter().map(|w| CMat::zeros(g.k, w)).collect()
+                } else {
+                    Vec::new()
+                }
+            },
             zf_w: CMat::zeros(g.k, g.m),
             cg: CgScratch::new(g.k),
             cg_b: vec![Cf32::ZERO; g.k],
@@ -443,6 +467,175 @@ impl Kernels {
             fb.det.slice_mut(fb.det_range(group)).copy_from_slice(s.zf_det.as_slice());
             if need_pre {
                 fb.pre.slice_mut(fb.pre_range(group)).copy_from_slice(s.zf_pre.as_slice());
+            }
+        }
+    }
+
+    /// Whether the staged (antenna-cluster partitioned) ZF path is on.
+    pub fn clustered_zf(&self) -> bool {
+        self.cfg.ablation.clustered_zf
+    }
+
+    /// Antenna clusters of the staged ZF path (1 when it's off).
+    pub fn zf_clusters(&self) -> usize {
+        self.geom.clusters
+    }
+
+    /// True when the zero-forcing path runs in iterative (CG) mode.
+    fn zf_iterative(&self) -> bool {
+        use crate::config::DetectorKind;
+        self.cfg.ablation.eq_mode == EqMode::Iterative
+            && self.cfg.ablation.detector == DetectorKind::ZeroForcing
+    }
+
+    /// Reduce shards per group on the staged ZF path. The solve is
+    /// sharded across the detector's antenna columns (one shard per
+    /// cluster) only when nothing needs the full detector in one place:
+    /// the downlink precoder normalisation scales by the *global* max
+    /// antenna power, and the iterative mode's reduce publishes one
+    /// shared Gram plane — both force a single reduce task.
+    pub fn zf_reduce_shards(&self) -> usize {
+        if self.has_downlink || self.zf_iterative() {
+            1
+        } else {
+            self.geom.clusters
+        }
+    }
+
+    /// Stage one of the partitioned ZF path: compute the partial Gram
+    /// `H_c^H H_c` over cluster `cluster`'s contiguous antenna rows of
+    /// group `group`'s channel and publish it in the partial-Gram plane.
+    ///
+    /// The zero-fill + [`gram_accumulate_with_tier`] pair is bit-identical
+    /// to a fresh `gram_pair` over the same rows, so a single cluster
+    /// reproduces the monolithic Gram exactly.
+    pub fn gram_partial_task(
+        &self,
+        fb: &FrameBuffers,
+        s: &mut WorkerScratch,
+        group: usize,
+        cluster: usize,
+    ) {
+        let g = &self.geom;
+        let plan = ClusterPlan::new(g.m, g.clusters);
+        let rows = plan.range(cluster);
+        let len = rows.len();
+        let sc = group * g.zf_group;
+        let csi = unsafe { fb.csi.slice(fb.csi_range(sc)) };
+        // The cluster's antennas are contiguous rows of the `M x K`
+        // row-major CSI slice — the Gram's A operand needs no staging.
+        let a = &csi[rows.start * g.k..rows.end * g.k];
+        debug_assert!(g.k * len <= s.zf_part_ah.len(), "cluster staging too small");
+        let ah = &mut s.zf_part_ah[..g.k * len];
+        agora_math::simd::conj_transpose(a, len, g.k, ah, self.gemm_tier);
+        let out = unsafe { fb.gram_part.slice_mut(fb.gram_part_range(group, cluster)) };
+        out.fill(Cf32::ZERO);
+        gram_accumulate_with_tier(len, g.k, ah, a, out, self.gemm_tier);
+    }
+
+    /// Stage two of the partitioned ZF path: fold group `group`'s partial
+    /// Grams in fixed cluster order (every shard folds all of them — the
+    /// factorisation inputs are bit-identical across shards), then solve
+    /// shard `shard`'s antenna-column slice of the detector.
+    ///
+    /// With a single shard this runs the full monolithic tail (precoder
+    /// transpose, normalisation, publication); sharded reduces skip the
+    /// precoder entirely (only dispatched when the schedule has no
+    /// downlink) and publish their detector columns element-wise, so
+    /// concurrent shards never alias.
+    pub fn zf_reduce_task(
+        &self,
+        fb: &FrameBuffers,
+        s: &mut WorkerScratch,
+        group: usize,
+        shard: usize,
+    ) {
+        let g = &self.geom;
+        let shards = self.zf_reduce_shards();
+        debug_assert!(shard < shards, "reduce shard out of range");
+        let sc = group * g.zf_group;
+        let csi = unsafe { fb.csi.slice(fb.csi_range(sc)) };
+        s.zf_h.as_mut_slice().copy_from_slice(csi);
+        // Deterministic tree reduction: a fixed left fold over the
+        // cluster-ordered partial plane. Identical bits in every shard.
+        let parts = unsafe { fb.gram_part.slice(fb.gram_part_group_range(group)) };
+        gram_reduce(parts, s.zf_pinv.gram_mut().as_mut_slice());
+
+        if self.zf_iterative() {
+            // Iterative mode: publish the folded Gram and `H^H`; the CG
+            // solves happen at demod time. Mirrors the monolithic
+            // iterative arm of [`Self::zf_task`] with the Gram swapped
+            // for the reduction result.
+            debug_assert_eq!(shards, 1);
+            s.zf_h.hermitian_into(&mut s.zf_det);
+            unsafe {
+                fb.gram
+                    .slice_mut(fb.gram_range(group))
+                    .copy_from_slice(s.zf_pinv.gram_mut().as_slice());
+                fb.det.slice_mut(fb.det_range(group)).copy_from_slice(s.zf_det.as_slice());
+            }
+            if self.has_downlink {
+                pinv_from_gram_slice_into(
+                    &s.zf_h,
+                    self.pinv_method,
+                    0,
+                    g.m,
+                    &mut s.zf_pinv,
+                    &mut s.zf_w,
+                );
+                s.zf_w.transpose_into(&mut s.zf_pre);
+                normalize_precoder_in_place(&mut s.zf_pre);
+                unsafe {
+                    fb.pre.slice_mut(fb.pre_range(group)).copy_from_slice(s.zf_pre.as_slice());
+                }
+            }
+            return;
+        }
+
+        if shards == 1 {
+            // Unsharded direct mode: full-width solve from the folded
+            // Gram, then the monolithic tail.
+            pinv_from_gram_slice_into(
+                &s.zf_h,
+                self.pinv_method,
+                0,
+                g.m,
+                &mut s.zf_pinv,
+                &mut s.zf_det,
+            );
+            s.zf_det.transpose_into(&mut s.zf_pre);
+            normalize_precoder_in_place(&mut s.zf_pre);
+            unsafe {
+                fb.det.slice_mut(fb.det_range(group)).copy_from_slice(s.zf_det.as_slice());
+                fb.pre.slice_mut(fb.pre_range(group)).copy_from_slice(s.zf_pre.as_slice());
+            }
+            return;
+        }
+
+        // Sharded direct mode: solve only this shard's antenna columns.
+        // Per-RHS-column independence of the triangular sweeps makes the
+        // assembled detector bit-identical to the full-width solve.
+        let cols = ClusterPlan::new(g.m, shards).range(shard);
+        let out = s
+            .zf_shard
+            .iter_mut()
+            .find(|m| m.shape() == (g.k, cols.len()))
+            .expect("no shard staging for this width");
+        pinv_from_gram_slice_into(
+            &s.zf_h,
+            self.pinv_method,
+            cols.start,
+            cols.len(),
+            &mut s.zf_pinv,
+            out,
+        );
+        let det_base = fb.det_range(group).start;
+        for u in 0..g.k {
+            for (j, a) in cols.clone().enumerate() {
+                debug_assert!(a < g.m, "detector column out of range");
+                // Element-precise writes: concurrent shards of the same
+                // group target disjoint column sets of the same plane.
+                unsafe { fb.det.write(det_base + u * g.m + a, out[(u, j)]) };
             }
         }
     }
@@ -933,6 +1126,42 @@ mod tests {
         assert_eq!(s.zf_h.shape(), (k.geom.m, k.geom.k));
         assert_eq!(s.zf_det.shape(), (k.geom.k, k.geom.m));
         assert_eq!(s.zf_pre.shape(), (k.geom.m, k.geom.k));
+    }
+
+    /// Satellite sizing audit for the partitioned-ZF scratch at large
+    /// arrays: every staging buffer is sized from the validated
+    /// `EngineConfig` at construction, wide enough for the widest
+    /// cluster/shard and no wider.
+    #[test]
+    fn clustered_scratch_sized_from_config_at_large_m() {
+        use agora_phy::ClusterPlan;
+        for m in [128usize, 256] {
+            for clusters in [1usize, 4, 8, 6] {
+                let mut cfg = EngineConfig::new(CellConfig::emulated_rru(m, 16, 2), 2);
+                cfg.ablation.clustered_zf = true;
+                cfg.antenna_clusters = clusters;
+                let k = Kernels::new(cfg);
+                assert_eq!(k.zf_clusters(), clusters);
+                let s = k.scratch();
+                let plan = ClusterPlan::new(m, clusters);
+                assert_eq!(s.zf_part_ah.len(), k.geom.k * plan.max_len());
+                // Uplink-only direct mode shards the reduce per cluster;
+                // staging must cover exactly the distinct shard widths.
+                let shards = k.zf_reduce_shards();
+                assert_eq!(shards, clusters);
+                if shards > 1 {
+                    let widths: std::collections::BTreeSet<usize> =
+                        (0..shards).map(|i| ClusterPlan::new(m, shards).range(i).len()).collect();
+                    let staged: std::collections::BTreeSet<usize> =
+                        s.zf_shard.iter().map(|c| c.shape().1).collect();
+                    assert_eq!(staged, widths, "m={m} clusters={clusters}");
+                    assert!(s.zf_shard.iter().all(|c| c.shape().0 == k.geom.k));
+                    assert!(s.zf_shard.len() <= 2, "balanced split has at most two widths");
+                } else {
+                    assert!(s.zf_shard.is_empty(), "unsharded reduce solves into zf_det");
+                }
+            }
+        }
     }
 
     /// The fused unpack → bit-reversal gather plus `execute_prereversed`

@@ -26,6 +26,12 @@ pub enum Ready {
     },
     /// All ZF groups (dispatched together once pilots are done).
     AllZf,
+    /// One group's ZF reduce (staged path: every cluster's partial Gram
+    /// for the group has been published).
+    ZfReduce {
+        /// Subcarrier group index.
+        group: usize,
+    },
     /// Demodulation for a whole symbol (manager batches subcarriers).
     DemodSymbol {
         /// Symbol index.
@@ -94,6 +100,15 @@ pub struct FrameState {
     pilot_ffts_remaining: usize,
     zf_dispatched: bool,
     zf_done: usize,
+    /// Staged ZF: clusters per group (0 = monolithic path, staged
+    /// accounting off).
+    zf_clusters: usize,
+    /// Staged ZF: reduce shards per group.
+    zf_reduce_shards: usize,
+    /// Staged ZF: per-group partial-Gram completions.
+    zf_partials: Vec<usize>,
+    /// Staged ZF: per-group reduce-shard completions.
+    zf_reduces: Vec<usize>,
     demod_dispatched: Vec<bool>,
     demod_done: Vec<usize>,
     decode_dispatched: Vec<bool>,
@@ -136,6 +151,10 @@ impl FrameState {
             pilot_ffts_remaining: pilot_ffts,
             zf_dispatched: false,
             zf_done: 0,
+            zf_clusters: 0,
+            zf_reduce_shards: 0,
+            zf_partials: Vec::new(),
+            zf_reduces: Vec::new(),
             demod_dispatched: vec![false; symbols],
             demod_done: vec![0; symbols],
             decode_dispatched: vec![false; symbols],
@@ -148,6 +167,19 @@ impl FrameState {
             ifft_done: vec![0; symbols],
             dl_iffts_remaining: dl_symbols * m,
         }
+    }
+
+    /// Switches the tracker to the staged (antenna-cluster partitioned)
+    /// ZF accounting: each group needs `clusters` partial-Gram
+    /// completions before its reduce becomes ready, and `reduce_shards`
+    /// reduce completions before the group counts toward `zf_done`.
+    pub fn with_clustered_zf(mut self, clusters: usize, reduce_shards: usize) -> Self {
+        assert!(clusters >= 1 && reduce_shards >= 1);
+        self.zf_clusters = clusters;
+        self.zf_reduce_shards = reduce_shards;
+        self.zf_partials = vec![0; self.zf_groups];
+        self.zf_reduces = vec![0; self.zf_groups];
+        self
     }
 
     /// The frame schedule.
@@ -228,6 +260,37 @@ impl FrameState {
             }
         }
         out
+    }
+
+    /// A batch of partial-Gram tasks (one cluster each, groups
+    /// `base..base + count`) completed. A group whose last cluster just
+    /// published becomes reduce-ready — the fixed-order fold must only
+    /// fire once every partial it reads is in place.
+    pub fn on_zf_partial_done(&mut self, base: usize, count: usize) -> Vec<Ready> {
+        debug_assert!(self.zf_clusters > 0, "staged accounting without clustered ZF");
+        let mut out = Vec::new();
+        for group in base..base + count {
+            self.zf_partials[group] += 1;
+            debug_assert!(self.zf_partials[group] <= self.zf_clusters);
+            if self.zf_partials[group] == self.zf_clusters {
+                out.push(Ready::ZfReduce { group });
+            }
+        }
+        out
+    }
+
+    /// One reduce shard of a group completed. The group counts toward
+    /// `zf_done` (with the usual unlock cascade) only once *all* of its
+    /// shards have published their detector columns.
+    pub fn on_zf_reduce_done(&mut self, group: usize) -> Vec<Ready> {
+        debug_assert!(self.zf_clusters > 0, "staged accounting without clustered ZF");
+        self.zf_reduces[group] += 1;
+        debug_assert!(self.zf_reduces[group] <= self.zf_reduce_shards);
+        if self.zf_reduces[group] == self.zf_reduce_shards {
+            self.on_zf_done(1)
+        } else {
+            Vec::new()
+        }
     }
 
     /// Demodulation progress on a symbol (in subcarriers).
@@ -526,5 +589,35 @@ mod tests {
     #[test]
     fn uplink_frame_has_no_initial_work() {
         assert!(ul_state().initial_work().is_empty());
+    }
+
+    #[test]
+    fn staged_zf_reduce_fires_only_when_all_partials_land() {
+        // 2 groups x 3 clusters x 2 reduce shards.
+        let mut st =
+            FrameState::new(0, FrameSchedule::uplink(1, 1), 4, 2, 32, 2).with_clustered_zf(3, 2);
+        for ant in 0..4 {
+            st.on_packet(0, ant);
+            st.on_packet(1, ant);
+            st.on_fft_done(1, 1);
+        }
+        let r = st.on_fft_done(0, 4);
+        assert_eq!(r, vec![Ready::AllZf]);
+        // Two clusters across both groups: no reduce yet.
+        assert!(st.on_zf_partial_done(0, 2).is_empty());
+        assert!(st.on_zf_partial_done(0, 2).is_empty());
+        // Third cluster finishes group 0 first, then group 1.
+        assert_eq!(st.on_zf_partial_done(0, 1), vec![Ready::ZfReduce { group: 0 }]);
+        assert_eq!(st.on_zf_partial_done(1, 1), vec![Ready::ZfReduce { group: 1 }]);
+        // One shard of each group: ZF still incomplete, nothing unlocked.
+        assert!(st.on_zf_reduce_done(0).is_empty());
+        assert!(st.on_zf_reduce_done(1).is_empty());
+        assert!(!st.zf_complete());
+        // Final shards: group 0 completes silently (group 1 pending),
+        // group 1's completion runs the usual post-ZF unlock cascade.
+        assert!(st.on_zf_reduce_done(0).is_empty());
+        let r = st.on_zf_reduce_done(1);
+        assert!(st.zf_complete());
+        assert_eq!(r, vec![Ready::DemodSymbol { symbol: 1 }]);
     }
 }

@@ -194,6 +194,31 @@ impl Cholesky {
         }
     }
 
+    /// [`Cholesky::solve_into`] without the RHS copy: `x` arrives already
+    /// holding `B` and is swept in place. Because the sweep operates on
+    /// each RHS column independently (elementwise row scaling plus
+    /// cross-row eliminations of full-width rows — no cross-column
+    /// accumulation anywhere), solving any contiguous column slice of a
+    /// wider system is bit-identical to the same columns of the full
+    /// solve. The antenna-cluster ZF reduce stages its `H^H` column slice
+    /// straight into the output and solves here.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn solve_in_place(l: &CMat, x: &mut CMat, tier: SimdTier) {
+        let n = l.rows();
+        let nrhs = x.cols();
+        assert_eq!(l.shape(), (n, n), "factor must be square");
+        assert_eq!(x.rows(), n, "RHS row count must match");
+        match tier {
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2 => unsafe {
+                crate::gemm_simd::chol_solve_avx2(l.as_slice(), n, x.as_mut_slice(), nrhs);
+            },
+            _ => solve_sweep_scalar(l, x, nrhs),
+        }
+    }
+
     /// Allocation-free inverse `A^{-1}` from a factor computed by
     /// [`Cholesky::factor_into`]: inverts the triangular factor row by row
     /// (each row one `(1, i, n)` GEMM over the solved prefix), then forms

@@ -141,6 +141,83 @@ unsafe fn tile_masked<const R: usize>(
     }
 }
 
+/// Accumulating register tile: like [`tile`], but the accumulators start
+/// from the prior contents of C instead of zero, so the store performs
+/// `C += A * B`. Because the accumulator is seeded *before* the `k` loop,
+/// every output element sees `prior + p0 + p1 + ...` in strictly
+/// sequential order — the exact association of a scalar loop that
+/// continues accumulating into a live output.
+#[target_feature(enable = "avx2")]
+unsafe fn tile_acc<const R: usize, const C: usize>(
+    a: *const Cf32,
+    lda: usize,
+    b: *const Cf32,
+    ldb: usize,
+    k: usize,
+    c: *mut Cf32,
+    ldc: usize,
+) {
+    let mut acc = [[_mm256_setzero_ps(); C]; R];
+    for r in 0..R {
+        for q in 0..C {
+            acc[r][q] = _mm256_loadu_ps(c.add(r * ldc + NR * q) as *const f32);
+        }
+    }
+    for p in 0..k {
+        let mut bv = [_mm256_setzero_ps(); C];
+        let mut bs = [_mm256_setzero_ps(); C];
+        for q in 0..C {
+            bv[q] = _mm256_loadu_ps(b.add(p * ldb + NR * q) as *const f32);
+            bs[q] = _mm256_permute_ps(bv[q], SWAP_RE_IM);
+        }
+        for r in 0..R {
+            let pair = bcast_pair(a.add(r * lda + p));
+            let ar = _mm256_moveldup_ps(pair);
+            let ai = _mm256_movehdup_ps(pair);
+            for q in 0..C {
+                acc[r][q] = cmac(acc[r][q], bv[q], bs[q], ar, ai);
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        for (q, v) in row.iter().enumerate() {
+            _mm256_storeu_ps(c.add(r * ldc + NR * q) as *mut f32, *v);
+        }
+    }
+}
+
+/// Masked accumulating column-tail tile: [`tile_masked`] with the
+/// accumulators seeded from the live columns of C through `vmaskmov`.
+#[target_feature(enable = "avx2")]
+unsafe fn tile_acc_masked<const R: usize>(
+    a: *const Cf32,
+    lda: usize,
+    b: *const Cf32,
+    ldb: usize,
+    k: usize,
+    c: *mut Cf32,
+    ldc: usize,
+    mask: __m256i,
+) {
+    let mut acc = [_mm256_setzero_ps(); R];
+    for r in 0..R {
+        acc[r] = _mm256_maskload_ps(c.add(r * ldc) as *const f32, mask);
+    }
+    for p in 0..k {
+        let bv = _mm256_maskload_ps(b.add(p * ldb) as *const f32, mask);
+        let bs = _mm256_permute_ps(bv, SWAP_RE_IM);
+        for r in 0..R {
+            let pair = bcast_pair(a.add(r * lda + p));
+            let ar = _mm256_moveldup_ps(pair);
+            let ai = _mm256_movehdup_ps(pair);
+            acc[r] = cmac(acc[r], bv, bs, ar, ai);
+        }
+    }
+    for (r, v) in acc.iter().enumerate() {
+        _mm256_maskstore_ps(c.add(r * ldc) as *mut f32, mask, *v);
+    }
+}
+
 /// AVX2 `C = A * B` for row-major complex operands, bit-identical to
 /// [`crate::gemm::gemm_scalar`].
 ///
@@ -534,6 +611,103 @@ pub(crate) unsafe fn gram_pair_avx2(
     }
     // Mirror the strictly-upper tiles: columns beyond the row's diagonal
     // strip come from the conjugate of the computed lower triangle.
+    for i in 0..k {
+        let covered = ((i / NR) * NR + NR).min(k);
+        for j in covered..k {
+            *gp.add(i * k + j) = (*gp.add(j * k + i)).conj();
+        }
+    }
+}
+
+/// AVX2 accumulating Hermitian Gram product `g += hh * h` where
+/// `hh = h^H` is supplied by the caller: `h` is `rows x cols`, `hh` is
+/// `cols x rows`, `g` is `cols x cols`. This is the per-antenna-cluster
+/// partial-Gram kernel: each cluster's `H_i^H H_i` folds into the running
+/// total with the same tile schedule as [`gram_pair_avx2`], but the
+/// accumulating tiles ([`tile_acc`] / [`tile_acc_masked`]) seed their
+/// registers from the prior contents of `g`, so every element sees
+/// `prior + p0 + p1 + ...` in the scalar reference's sequential order —
+/// bit-identical to [`gram_accumulate_scalar`](crate::gemm::
+/// gram_accumulate_scalar).
+///
+/// Only the lower triangle is accumulated; the strictly-upper tiles are
+/// rebuilt by conjugate mirroring. That is bit-equal to direct upper
+/// accumulation **only when the prior contents of `g` are exactly
+/// Hermitian bitwise** (zero, or the result of previous Gram
+/// accumulations): conjugation distributes exactly over IEEE addition
+/// and over the unfused complex products, so
+/// `conj(prior[j][i] + sum) = prior[i][j] + conj(sum)`. The public
+/// dispatch wrapper documents this precondition.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and slice lengths match
+/// (checked by the public dispatch wrapper).
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn gram_accumulate_avx2(
+    rows: usize,
+    cols: usize,
+    hh: &[Cf32],
+    h: &[Cf32],
+    g: &mut [Cf32],
+) {
+    let ap = hh.as_ptr();
+    let bp = h.as_ptr();
+    let gp = g.as_mut_ptr();
+    let k = cols;
+    // Lower-triangle tiles, same schedule as `gram_pair_avx2`.
+    let mut i0 = 0;
+    while i0 + MR <= k {
+        let arow = ap.add(i0 * rows);
+        let crow = gp.add(i0 * k);
+        let mut j0 = 0;
+        while j0 + 2 * NR <= i0 + NR {
+            tile_acc::<MR, 2>(arow, rows, bp.add(j0), k, rows, crow.add(j0), k);
+            j0 += 2 * NR;
+        }
+        while j0 <= i0 {
+            let w = NR.min(k - j0);
+            if w == NR {
+                tile_acc::<MR, 1>(arow, rows, bp.add(j0), k, rows, crow.add(j0), k);
+            } else {
+                tile_acc_masked::<MR>(
+                    arow,
+                    rows,
+                    bp.add(j0),
+                    k,
+                    rows,
+                    crow.add(j0),
+                    k,
+                    tail_mask(w),
+                );
+            }
+            j0 += NR;
+        }
+        i0 += MR;
+    }
+    for i in i0..k {
+        let arow = ap.add(i * rows);
+        let crow = gp.add(i * k);
+        let mut j0 = 0;
+        while j0 <= i {
+            let w = NR.min(k - j0);
+            if w == NR {
+                tile_acc::<1, 1>(arow, rows, bp.add(j0), k, rows, crow.add(j0), k);
+            } else {
+                tile_acc_masked::<1>(
+                    arow,
+                    rows,
+                    bp.add(j0),
+                    k,
+                    rows,
+                    crow.add(j0),
+                    k,
+                    tail_mask(w),
+                );
+            }
+            j0 += NR;
+        }
+    }
+    // Mirror the strictly-upper tiles from the accumulated lower triangle.
     for i in 0..k {
         let covered = ((i / NR) * NR + NR).min(k);
         for j in covered..k {

@@ -37,14 +37,15 @@ pub use cholesky::{CholScratch, Cholesky, NotPositiveDefinite};
 pub use complex::{Cf32, Cf64};
 pub use gemm::{
     caxpy, caxpy_scalar, caxpy_with_tier, gemm, gemm_fixed, gemm_scalar, gemm_with_tier, gemv,
-    gemv_scalar, gemv_with_tier, gram, gram_pair, gram_pair_with_tier, gram_scalar, gram_with_tier,
-    Gemm, GemmKernel,
+    gemv_scalar, gemv_with_tier, gram, gram_accumulate, gram_accumulate_scalar,
+    gram_accumulate_with_tier, gram_pair, gram_pair_with_tier, gram_reduce, gram_scalar,
+    gram_with_tier, Gemm, GemmKernel,
 };
 pub use inverse::{invert, invert_into, solve, InvError};
 pub use matrix::CMat;
 pub use pinv::{
     cond_estimate, normalize_precoder, normalize_precoder_in_place, pinv, pinv_cholesky,
-    pinv_direct, pinv_into, pinv_svd, PinvMethod, PinvScratch,
+    pinv_direct, pinv_from_gram_slice_into, pinv_into, pinv_svd, PinvMethod, PinvScratch,
 };
 pub use qr::{qr, Qr};
 pub use simd::SimdTier;

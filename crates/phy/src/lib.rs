@@ -36,4 +36,4 @@ pub use detect::Detector;
 pub use frame::{CellConfig, FrameSchedule, LdpcParams, SymbolType};
 pub use modulation::{demodulate_hard, modulate, ModScheme};
 pub use pilots::{zadoff_chu, PilotPlan, PilotScheme};
-pub use zf::{zf_task, ZfBuffer, ZfConfig};
+pub use zf::{zf_task, ClusterPlan, ZfBuffer, ZfConfig};

@@ -36,6 +36,9 @@ cargo run --release -q -p agora-bench --bin fronthaul_parity
 echo "== deployment parity smoke =="
 cargo run --release -q -p agora-bench --bin deployment_parity
 
+echo "== zf cluster parity smoke =="
+cargo run --release -q -p agora-bench --bin zf_cluster_parity
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
