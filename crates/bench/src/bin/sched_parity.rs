@@ -1,0 +1,261 @@
+//! CI smoke: work-stealing scheduler parity.
+//! Deterministic (seeded generators), fast, exit code 1 on any
+//! violation — `scripts/ci.sh` runs it after the test suite as a
+//! release-build cross-check of the scheduler ablation's contract:
+//!
+//! * a threaded `Engine` with `work_stealing` on emits `FrameResult`s
+//!   bit-identical to the same engine with stealing off AND to the
+//!   single-threaded `InlineProcessor`, and the lane counters account
+//!   for every dispatched message;
+//! * a C=4 `Deployment` with stealing on, fed through ONE faulty link,
+//!   still reconciles per-cell loss/frame ledgers exactly against the
+//!   fault injector's ground truth;
+//! * under loss-free faults (dup + reorder), a stealing deployment and
+//!   a shared-queue deployment produce bit-identical results.
+
+use agora_core::deploy::{Deployment, DeploymentConfig};
+use agora_core::{Engine, EngineConfig, FrameResult, InlineProcessor};
+use agora_fronthaul::{
+    FaultConfig, Fronthaul, LossModel, MemFronthaul, MultiCellGenerator, PacketBuf, RruConfig,
+    RruEmulator,
+};
+use agora_phy::CellConfig;
+use agora_queue::TaskType;
+use bytes::Bytes;
+use std::process::exit;
+use std::sync::atomic::AtomicBool;
+
+const CELLS: usize = 4;
+const FRAMES: u32 = 3;
+
+const COMPUTE: [TaskType; 7] = [
+    TaskType::Fft,
+    TaskType::Zf,
+    TaskType::Demod,
+    TaskType::Decode,
+    TaskType::Encode,
+    TaskType::Precode,
+    TaskType::Ifft,
+];
+
+fn check(ok: bool, what: &str) {
+    if ok {
+        println!("OK   {what}");
+    } else {
+        println!("FAIL {what}");
+        exit(1);
+    }
+}
+
+/// Everything except timing milestones (wall-clock, inherently run
+/// dependent) must match bit for bit.
+fn frame_results_equal(a: &FrameResult, b: &FrameResult) -> bool {
+    a.frame == b.frame
+        && a.dropped == b.dropped
+        && a.lost_packets == b.lost_packets
+        && a.decode_ok == b.decode_ok
+        && a.decoded == b.decoded
+}
+
+fn sorted(mut r: Vec<FrameResult>) -> Vec<FrameResult> {
+    r.sort_by_key(|f| f.frame);
+    r
+}
+
+/// Stealing on == stealing off == inline on a single engine, plus the
+/// lane/steal counters behave as documented.
+fn engine_parity() {
+    let cell = CellConfig::tiny_test(2);
+    let mut rru =
+        RruEmulator::new(cell.clone(), RruConfig { snr_db: 28.0, seed: 3, ..Default::default() });
+    let mut packets = Vec::new();
+    for f in 0..FRAMES {
+        let (p, _) = rru.generate_frame(f);
+        packets.extend(p);
+    }
+    let mut cfg = EngineConfig::new(cell, 2);
+    cfg.noise_power = rru.noise_power();
+
+    let stealing = Engine::new(cfg.clone());
+    let with_lanes = sorted(stealing.process(packets.clone(), FRAMES, false));
+    check(with_lanes.len() == FRAMES as usize, "engine: stealing run emits every frame");
+
+    let messages: u64 = COMPUTE.iter().map(|&t| stealing.stats().messages(t)).sum();
+    check(
+        stealing.stats().lane_pushes() + stealing.stats().lane_overflows() == messages,
+        "engine: lane counters account for every dispatched message",
+    );
+
+    let mut mono_cfg = cfg.clone();
+    mono_cfg.ablation.work_stealing = false;
+    let mono = Engine::new(mono_cfg);
+    let shared = sorted(mono.process(packets.clone(), FRAMES, false));
+    check(mono.stats().lane_pushes() == 0, "engine: stealing off never touches a lane");
+    check(mono.stats().steals() == 0, "engine: stealing off never steals");
+    check(
+        with_lanes.len() == shared.len()
+            && with_lanes.iter().zip(&shared).all(|(a, b)| frame_results_equal(a, b)),
+        "engine: stealing on/off bit-identical",
+    );
+
+    let mut inline = InlineProcessor::new(cfg);
+    for f in 0..FRAMES {
+        let per_frame: Vec<Bytes> = packets
+            .iter()
+            .filter(|p| agora_fronthaul::decode(p).unwrap().0.frame == f)
+            .cloned()
+            .collect();
+        let reference = inline.process_frame(f, &per_frame);
+        let t = with_lanes.iter().find(|r| r.frame == f).unwrap();
+        check(
+            t.decoded == reference.decoded && t.decode_ok == reference.decode_ok,
+            &format!("engine: frame {f} bit-identical to inline"),
+        );
+    }
+}
+
+fn rrus(seed_base: u64) -> (CellConfig, Vec<RruEmulator>, Vec<f32>) {
+    let cell = CellConfig::tiny_test(2);
+    let rrus: Vec<RruEmulator> = (0..CELLS)
+        .map(|c| {
+            RruEmulator::new(
+                cell.clone(),
+                RruConfig {
+                    snr_db: 30.0,
+                    seed: seed_base + c as u64,
+                    cell_id: c as u8,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    let noise = rrus.iter().map(|r| r.noise_power()).collect();
+    (cell, rrus, noise)
+}
+
+fn link_for(cell: &CellConfig) -> (MemFronthaul, MemFronthaul) {
+    let per_frame = cell.symbols_per_frame() * cell.num_antennas;
+    MemFronthaul::pair((2 * CELLS * per_frame * FRAMES as usize).next_power_of_two())
+}
+
+fn deployment_for(
+    cell: &CellConfig,
+    noise: &[f32],
+    deadline: Option<u64>,
+    stealing: bool,
+) -> Deployment {
+    let cells = noise
+        .iter()
+        .map(|&n| {
+            let mut cfg = EngineConfig::new(cell.clone(), 1);
+            cfg.noise_power = n;
+            cfg.frame_deadline_ns = deadline;
+            cfg.ablation.work_stealing = stealing;
+            cfg
+        })
+        .collect();
+    Deployment::new(DeploymentConfig::new(cells, CELLS))
+}
+
+/// C=4 with stealing on, over one faulty link: the per-cell
+/// loss/frame ledgers still reconcile exactly.
+fn deployment_fault_ledger() {
+    let (cell, rrus, noise) = rrus(1000);
+    let mut generator = MultiCellGenerator::new(rrus).with_faults(FaultConfig {
+        loss: LossModel::Iid { p: 0.03 },
+        reorder_prob: 0.05,
+        max_delay: 8,
+        duplicate_prob: 0.03,
+        seed: 11,
+    });
+    let (tx, rx) = link_for(&cell);
+    let truths = generator.run(&tx, FRAMES);
+    let fs = generator.stats().clone();
+    check(fs.lost > 0, "faults: 3% loss fired over the run");
+
+    let deployment = deployment_for(&cell, &noise, Some(700_000_000), true);
+    let done = AtomicBool::new(true);
+    let results = deployment.process_fronthaul(&rx, FRAMES, &done);
+    check(
+        results.iter().all(|r| r.len() == FRAMES as usize),
+        "faults: every cell emits every frame under stealing",
+    );
+    let stats = deployment.stats();
+    for c in 0..CELLS {
+        let cid = c as u8;
+        check(
+            stats.cell(c).packets_lost() == fs.per_cell_lost.get(&cid).copied().unwrap_or(0),
+            &format!("faults: cell {c} loss ledger reconciles under stealing"),
+        );
+        for r in &results[c] {
+            let lost_here = fs.per_cell_frame_lost.get(&(cid, r.frame)).copied().unwrap_or(0);
+            check(
+                r.dropped == (lost_here > 0),
+                &format!("faults: cell {c} frame {} drop status matches frame loss", r.frame),
+            );
+            if !r.dropped {
+                let gt = &truths[c][r.frame as usize];
+                let ok = cell.schedule.uplink_indices().into_iter().all(|sym| {
+                    (0..cell.num_users)
+                        .all(|u| r.decode_ok[sym][u] && r.decoded[sym][u] == gt.info_bits[sym][u])
+                });
+                check(ok, &format!("faults: cell {c} frame {} decodes ground truth", r.frame));
+            }
+        }
+    }
+    let roll = stats.rollup();
+    check(roll.packets_lost() == fs.lost, "faults: rolled-up loss equals injected loss");
+    check(
+        roll.frames_completed() + roll.frames_dropped() == (CELLS as u64) * FRAMES as u64,
+        "faults: rollup accounts for every frame",
+    );
+}
+
+/// Loss-free faults (dup + reorder): a stealing deployment and a
+/// shared-queue deployment replaying the same stream are bit-identical.
+fn deployment_stealing_parity() {
+    let (cell, rrus, noise) = rrus(2000);
+    let mut generator = MultiCellGenerator::new(rrus).with_faults(FaultConfig {
+        loss: LossModel::None,
+        reorder_prob: 0.08,
+        max_delay: 8,
+        duplicate_prob: 0.05,
+        seed: 23,
+    });
+    let (tx, rx) = link_for(&cell);
+    let _ = generator.run(&tx, FRAMES);
+
+    let mut stream: Vec<Bytes> = Vec::new();
+    let mut batch = Vec::new();
+    while rx.recv_batch(&mut batch, 64) > 0 {
+        for pkt in batch.drain(..) {
+            stream.push(pkt.into_bytes());
+        }
+    }
+    check(stream.len() as u64 == generator.stats().delivered, "parity: captured whole stream");
+
+    let mut runs = Vec::new();
+    for stealing in [true, false] {
+        let (tx2, rx2) = link_for(&cell);
+        for p in &stream {
+            tx2.send(PacketBuf::Heap(p.clone())).expect("replay link sized for the run");
+        }
+        let deployment = deployment_for(&cell, &noise, None, stealing);
+        let done = AtomicBool::new(true);
+        runs.push(deployment.process_fronthaul(&rx2, FRAMES, &done));
+    }
+    for c in 0..CELLS {
+        check(
+            runs[0][c].len() == runs[1][c].len()
+                && runs[0][c].iter().zip(&runs[1][c]).all(|(a, b)| frame_results_equal(a, b)),
+            &format!("parity: cell {c} stealing on/off bit-identical"),
+        );
+    }
+}
+
+fn main() {
+    engine_parity();
+    deployment_fault_ledger();
+    deployment_stealing_parity();
+    println!("sched parity: all checks passed");
+}

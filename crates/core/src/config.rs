@@ -100,6 +100,14 @@ pub struct Ablation {
     /// `zf_task`; disabled, the monolithic task runs regardless of the
     /// cluster count. Only meaningful for the zero-forcing detector.
     pub clustered_zf: bool,
+    /// §5-style dispatch discipline: per-worker bounded task lanes with
+    /// affinity-aware placement, batched (single-cursor-claim) enqueue
+    /// and dequeue, cross-lane batch stealing, and spin→yield→park
+    /// idling, instead of every worker busy-polling the shared per-type
+    /// queues. Results are bit-identical either way — which worker runs
+    /// a task never changes what it writes — so this toggles scheduling
+    /// overhead only.
+    pub work_stealing: bool,
 }
 
 impl Default for Ablation {
@@ -118,6 +126,7 @@ impl Default for Ablation {
             realtime_process: true,
             quantized_decoder: false,
             clustered_zf: false,
+            work_stealing: true,
         }
     }
 }
@@ -206,6 +215,15 @@ pub struct EngineConfig {
     /// fixed cluster order. Must be between 1 and the cell's antenna
     /// count; 1 degenerates to a single partial plus a copy-reduce.
     pub antenna_clusters: usize,
+    /// Pin the manager, network, and worker threads to distinct CPUs via
+    /// `sched_setaffinity` (best-effort: silently unpinned where the
+    /// syscall is unavailable or refused). Off by default so tests and
+    /// benches on shared machines don't fight the OS scheduler.
+    pub pin_cores: bool,
+    /// Capacity of each worker's task lane (rounded up to a power of
+    /// two). Tasks that don't fit overflow to the shared per-type
+    /// queues, so this bounds per-worker buffering, not correctness.
+    pub lane_capacity: usize,
 }
 
 impl EngineConfig {
@@ -225,6 +243,8 @@ impl EngineConfig {
             frame_deadline_ns: None,
             rx_batch: 32,
             antenna_clusters: 1,
+            pin_cores: false,
+            lane_capacity: 256,
         };
         cfg.clamp_batches();
         cfg
@@ -291,6 +311,9 @@ impl EngineConfig {
         }
         if self.ablation.clustered_zf && self.ablation.detector != DetectorKind::ZeroForcing {
             return Err("clustered ZF requires the zero-forcing detector".into());
+        }
+        if self.lane_capacity == 0 {
+            return Err("lane capacity must be at least 1".into());
         }
         Ok(())
     }
@@ -378,6 +401,17 @@ mod tests {
         cfg.ablation.detector = DetectorKind::Mmse;
         cfg.ablation.clustered_zf = true;
         assert!(cfg.validate().is_err(), "clustered ZF needs zero-forcing");
+    }
+
+    #[test]
+    fn work_stealing_defaults_on_and_lane_capacity_validated() {
+        let mut cfg = EngineConfig::new(CellConfig::tiny_test(2), 2);
+        assert!(cfg.ablation.work_stealing, "work stealing defaults on");
+        assert!(!cfg.pin_cores, "pinning defaults off");
+        assert_eq!(cfg.lane_capacity, 256);
+        cfg.validate().expect("defaults must validate");
+        cfg.lane_capacity = 0;
+        assert!(cfg.validate().is_err(), "zero lane capacity rejected");
     }
 
     #[test]

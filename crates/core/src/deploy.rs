@@ -26,11 +26,14 @@
 
 use crate::alloc::{allocate_weighted, ShareWork};
 use crate::config::EngineConfig;
-use crate::engine::{execute, CellCore, FrameResult, PRIORITY};
+use crate::engine::{
+    execute, has_work, pin_thread, CellCore, FrameResult, PinRole, PRIORITY, WORKER_BATCH,
+};
 use crate::kernels::WorkerScratch;
 use crate::stats::EngineStats;
 use agora_fronthaul::demux::{CellDemux, Route};
 use agora_fronthaul::{Fronthaul, PacketBuf};
+use agora_queue::{IdleAction, IdleBackoff, Msg};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -174,12 +177,22 @@ pub struct DeploymentConfig {
     pub supervisor: SupervisorConfig,
     /// Packets requested per `recv_batch` poll on the shared socket.
     pub rx_batch: usize,
+    /// Pin the pool workers and the demux thread to distinct CPUs
+    /// (best-effort, same map as [`EngineConfig::pin_cores`]; per-cell
+    /// manager threads pin via their own cell's `pin_cores` knob).
+    pub pin_cores: bool,
 }
 
 impl DeploymentConfig {
     /// Default supervisor and batch sizing for the given cells/budget.
     pub fn new(cells: Vec<EngineConfig>, total_workers: usize) -> Self {
-        Self { cells, total_workers, supervisor: SupervisorConfig::default(), rx_batch: 32 }
+        Self {
+            cells,
+            total_workers,
+            supervisor: SupervisorConfig::default(),
+            rx_batch: 32,
+            pin_cores: false,
+        }
     }
 
     /// Sanity checks across the whole deployment.
@@ -277,6 +290,7 @@ pub struct Deployment {
     sup: Mutex<SupervisorState>,
     epoch_frames: u64,
     rx_batch: usize,
+    pin_cores: bool,
     shutdown: Arc<AtomicBool>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -289,7 +303,17 @@ impl Deployment {
     pub fn new(cfg: DeploymentConfig) -> Self {
         cfg.validate().unwrap_or_else(|e| panic!("invalid deployment config: {e}"));
         let total = cfg.total_workers;
-        let cells: Vec<CellCore> = cfg.cells.into_iter().map(|c| CellCore::new(c, total)).collect();
+        // Every cell's lane array is sized to the GLOBAL pool: any worker
+        // may be assigned to any cell, and it drains/steals lanes of its
+        // current cell only, indexed by its global worker id.
+        let cells: Vec<CellCore> = cfg
+            .cells
+            .into_iter()
+            .map(|c| {
+                let lanes = if c.ablation.work_stealing { total } else { 0 };
+                CellCore::new(c, total, lanes)
+            })
+            .collect();
         let supervisor = Supervisor::new(cells.len(), total, cfg.supervisor);
 
         // Initial worker->cell map from the even split.
@@ -306,6 +330,7 @@ impl Deployment {
             total_workers: total,
         };
         let shutdown = Arc::new(AtomicBool::new(false));
+        let pin = cfg.pin_cores;
         let workers = (0..total)
             .map(|wid| {
                 let cells = cells.clone();
@@ -313,7 +338,12 @@ impl Deployment {
                 let shutdown = shutdown.clone();
                 std::thread::Builder::new()
                     .name(format!("agora-pool-{wid}"))
-                    .spawn(move || pool_worker_loop(wid, &cells, &assign, &shutdown))
+                    .spawn(move || {
+                        if pin {
+                            pin_thread(PinRole::Worker(wid));
+                        }
+                        pool_worker_loop(wid, &cells, &assign, &shutdown)
+                    })
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -332,6 +362,7 @@ impl Deployment {
             }),
             epoch_frames: cfg.supervisor.epoch_frames,
             rx_batch: cfg.rx_batch,
+            pin_cores: cfg.pin_cores,
             shutdown,
             workers,
         }
@@ -380,6 +411,9 @@ impl Deployment {
         producer_done: &AtomicBool,
     ) -> Vec<Vec<FrameResult>> {
         let start = Instant::now();
+        if self.pin_cores {
+            pin_thread(PinRole::Net);
+        }
         let net_done = AtomicBool::new(false);
         let link = &self.stats.link;
         let demux = &self.demux;
@@ -479,44 +513,112 @@ impl Deployment {
                 self.assign[wid].store(c, Ordering::Release);
             }
         }
+        // A reassigned worker may be parked on its OLD cell's gate; wake
+        // every gate so it re-reads its assignment promptly instead of
+        // waiting out the park timeout.
+        for core in &self.cells {
+            core.queues.gate.wake_all();
+        }
     }
 }
 
 impl Drop for Deployment {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::Release);
+        for core in &self.cells {
+            core.queues.gate.wake_all();
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
 }
 
-/// Shared-pool worker: polls the queues of whichever cell it is
-/// currently assigned to, in the same priority order as a dedicated
-/// engine worker. Scratch is per-cell (geometries differ between cells).
+/// Shared-pool worker: serves whichever cell it is currently assigned
+/// to, re-reading the assignment (Acquire) every trip so a migration
+/// takes effect at the next poll — any in-hand batch finishes on the old
+/// cell first. Within the assigned cell the schedule mirrors a dedicated
+/// engine worker: own lane batch → shared queues in priority order →
+/// steal from peers' lanes *of the same cell* (strict per-cell buffer
+/// ownership) → spin/yield/park on that cell's gate. Scratch is per-cell
+/// (geometries differ between cells).
 fn pool_worker_loop(wid: usize, cells: &[CellCore], assign: &[AtomicUsize], shutdown: &AtomicBool) {
     let mut scratches: Vec<WorkerScratch> = cells.iter().map(|c| c.kernels.scratch()).collect();
-    'outer: while !shutdown.load(Ordering::Acquire) {
+    let mut batch: Vec<Msg> = Vec::with_capacity(WORKER_BATCH);
+    let mut done: Vec<Msg> = Vec::with_capacity(WORKER_BATCH);
+    let mut backoff = IdleBackoff::new();
+    while !shutdown.load(Ordering::Acquire) {
         let cell = assign[wid].load(Ordering::Acquire);
         let core = &cells[cell];
-        for &t in &PRIORITY {
-            if let Some(msg) = core.queues.queue(t).pop() {
-                let t0 = Instant::now();
-                execute(&core.kernels, &core.window, &mut scratches[cell], &msg);
-                let ns = t0.elapsed().as_nanos() as u64;
-                core.stats.record(wid, msg.task, msg.count as u64, ns);
-                let done = agora_queue::Msg::complete(
-                    msg.task, msg.frame, msg.symbol, msg.base, msg.count, wid as u16,
-                );
-                let mut m = done;
-                while let Err(back) = core.queues.complete.push(m) {
-                    m = back;
-                    std::thread::yield_now();
+        let lanes = &core.queues.lanes;
+        let lanes_on = !lanes.is_empty();
+        batch.clear();
+        if lanes_on {
+            lanes[wid].pop_batch(&mut batch, WORKER_BATCH);
+        }
+        if batch.is_empty() {
+            for &t in &PRIORITY {
+                if let Some(msg) = core.queues.queue(t).pop() {
+                    batch.push(msg);
+                    break;
                 }
-                continue 'outer;
             }
         }
-        std::thread::yield_now();
+        if batch.is_empty() && lanes_on {
+            for off in 1..lanes.len() {
+                let victim = (wid + off) % lanes.len();
+                let n = lanes[victim].steal_batch(&mut batch, WORKER_BATCH);
+                if n > 0 {
+                    core.stats.record_steal(n as u64);
+                    break;
+                }
+            }
+        }
+        if !batch.is_empty() {
+            backoff.reset();
+            done.clear();
+            for msg in &batch {
+                let t0 = Instant::now();
+                execute(&core.kernels, &core.window, &mut scratches[cell], msg);
+                let ns = t0.elapsed().as_nanos() as u64;
+                core.stats.record(wid, msg.task, msg.count as u64, ns);
+                done.push(Msg::complete(
+                    msg.task, msg.frame, msg.symbol, msg.base, msg.count, wid as u16,
+                ));
+            }
+            let mut off = 0;
+            while off < done.len() {
+                let n = core.queues.complete.push_batch(&done[off..]);
+                if n == 0 {
+                    std::thread::yield_now();
+                }
+                off += n;
+            }
+            continue;
+        }
+        if !lanes_on {
+            std::thread::yield_now();
+            continue;
+        }
+        match backoff.next() {
+            IdleAction::Spin => std::hint::spin_loop(),
+            IdleAction::Yield => std::thread::yield_now(),
+            IdleAction::Park => {
+                let seen = core.queues.gate.epoch();
+                // Re-checks ordered after the epoch snapshot: work pushed
+                // (or a reassignment applied — `apply_allocation` wakes
+                // every gate) in between bumps the epoch and the park
+                // falls through.
+                if has_work(&core.queues, &PRIORITY)
+                    || assign[wid].load(Ordering::Acquire) != cell
+                    || shutdown.load(Ordering::Acquire)
+                {
+                    continue;
+                }
+                core.stats.park();
+                core.queues.gate.park(seen, std::time::Duration::from_millis(1));
+            }
+        }
     }
 }
 

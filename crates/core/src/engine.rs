@@ -16,13 +16,24 @@ use crate::state::{FrameState, Milestones, Ready};
 use crate::stats::EngineStats;
 use agora_fronthaul::packet::decode_ref;
 use agora_fronthaul::{Fronthaul, PacketBuf};
-use agora_queue::{MpmcQueue, Msg, TaskType};
+use agora_queue::{IdleAction, IdleBackoff, IdleGate, MpmcQueue, Msg, TaskLane, TaskType};
 use bytes::Bytes;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Messages a worker takes from its lane (or a victim's) per trip: one
+/// cursor claim amortised over up to this many tasks.
+pub(crate) const WORKER_BATCH: usize = 16;
+
+/// Completion messages the manager drains per cursor claim.
+const COMPLETE_BATCH: usize = 64;
+
+/// Parked workers re-poll at least this often (belt-and-braces against
+/// a missed wake; also bounds shutdown latency).
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
 
 /// Task-queue priority order for data-parallel workers: unblock the
 /// widest dependency fans first (ZF gates every data symbol), keep the
@@ -86,19 +97,52 @@ pub(crate) struct TaskQueues {
     pub(crate) tasks: Vec<MpmcQueue<Msg>>,
     pub(crate) complete: MpmcQueue<Msg>,
     pub(crate) rx: MpmcQueue<Msg>,
+    /// Per-worker task lanes (empty when `work_stealing` is off or the
+    /// worker policy is type-restricted). Lane `w` is filled by the
+    /// manager, drained by worker `w`, and stolen from by idle peers.
+    pub(crate) lanes: Vec<TaskLane<Msg>>,
+    /// Park/wake gate for idle workers (only parked on when lanes are
+    /// in use — the shared-queue path keeps the legacy yield spin).
+    pub(crate) gate: IdleGate,
 }
 
 impl TaskQueues {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, num_lanes: usize, lane_capacity: usize) -> Self {
         Self {
             tasks: (0..7).map(|_| MpmcQueue::new(capacity)).collect(),
             complete: MpmcQueue::new(capacity),
             rx: MpmcQueue::new(capacity),
+            lanes: (0..num_lanes).map(|_| TaskLane::new(lane_capacity)).collect(),
+            gate: IdleGate::new(),
         }
     }
 
     pub(crate) fn queue(&self, t: TaskType) -> &MpmcQueue<Msg> {
         &self.tasks[crate::stats::type_index(t)]
+    }
+}
+
+/// Manager-thread scheduling state: the frame/symbol → worker affinity
+/// map for lane placement, reusable staging buffers, and the
+/// round-robin cursor breaking least-loaded ties. Owned by
+/// `manager_loop`, never shared.
+pub(crate) struct ManagerCtx {
+    /// Last worker to execute (or be handed) tasks of a (frame, symbol)
+    /// — its L1/L2 holds that symbol's buffers, so later stages of the
+    /// same symbol go to the same lane. Pruned on frame retirement.
+    affinity: HashMap<(u32, u32), usize>,
+    /// Staging buffer: one Ready item's messages, placed as one batch.
+    stage: Vec<Msg>,
+    /// Reusable drain buffer for `flush_abandoned`.
+    flush_scratch: Vec<Msg>,
+    /// Round-robin cursor for least-loaded tie-breaking, so equal-depth
+    /// lanes don't all collapse onto worker 0.
+    rr: usize,
+}
+
+impl ManagerCtx {
+    pub(crate) fn new() -> Self {
+        Self { affinity: HashMap::new(), stage: Vec::new(), flush_scratch: Vec::new(), rr: 0 }
     }
 }
 
@@ -210,15 +254,20 @@ impl CellCore {
     /// Builds the shared state for one cell. `stats_workers` sizes the
     /// per-worker busy-time table — the engine passes its own pool size,
     /// a deployment the *global* pool size so any worker can record
-    /// against any cell.
-    pub(crate) fn new(mut cfg: EngineConfig, stats_workers: usize) -> Self {
+    /// against any cell. `num_lanes` is the number of per-worker task
+    /// lanes to allocate (0 disables the work-stealing dispatch path and
+    /// keeps the legacy shared-queue-only scheduling).
+    pub(crate) fn new(mut cfg: EngineConfig, stats_workers: usize, num_lanes: usize) -> Self {
         cfg.clamp_batches();
         let frame_window = cfg.frame_window;
+        let lane_capacity = cfg.lane_capacity.max(1);
         let kernels = Arc::new(Kernels::new(cfg));
         let window = Arc::new(FrameWindow::new(kernels.geom, frame_window));
         // Queue capacity: enough for every task message of all in-flight
         // frames (demod dominates: q/8 messages per symbol; the staged
-        // ZF path adds up to ~2 messages per (group, cluster)).
+        // ZF path adds up to ~2 messages per (group, cluster)). Lanes
+        // only ever hold a subset of the same in-flight messages, so the
+        // shared queues can always absorb a full lane flush.
         let g = &kernels.geom;
         let staged_zf = g.clusters * (g.q.div_ceil(g.zf_group) * 2 + 8);
         let cap =
@@ -226,7 +275,7 @@ impl CellCore {
         Self {
             kernels,
             window,
-            queues: Arc::new(TaskQueues::new(cap)),
+            queues: Arc::new(TaskQueues::new(cap, num_lanes, lane_capacity)),
             stats: Arc::new(EngineStats::new(stats_workers)),
             min_frame: Arc::new(AtomicU64::new(0)),
         }
@@ -254,7 +303,15 @@ impl Engine {
     /// Builds an engine with an explicit worker policy.
     pub fn with_policy(cfg: EngineConfig, policy: WorkerPolicy) -> Self {
         let num_workers = cfg.num_workers;
-        let core = CellCore::new(cfg, num_workers);
+        // Lanes carry any task type, so they only make sense when every
+        // worker may execute every type: the pipeline-parallel policy
+        // keeps the per-type shared queues as its only dispatch path.
+        let num_lanes = match &policy {
+            WorkerPolicy::DataParallel if cfg.ablation.work_stealing => num_workers,
+            _ => 0,
+        };
+        let pin = cfg.pin_cores;
+        let core = CellCore::new(cfg, num_workers, num_lanes);
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let workers = (0..num_workers)
@@ -268,6 +325,9 @@ impl Engine {
                 std::thread::Builder::new()
                     .name(format!("agora-worker-{wid}"))
                     .spawn(move || {
+                        if pin {
+                            pin_thread(PinRole::Worker(wid));
+                        }
                         worker_loop(
                             wid,
                             &core.kernels,
@@ -310,6 +370,9 @@ impl Engine {
                 let core = self.core.clone();
                 let net_done = net_done.clone();
                 scope.spawn(move || {
+                    if core.kernels.cfg.pin_cores {
+                        pin_thread(PinRole::Net);
+                    }
                     let g = &core.kernels.geom;
                     let mut ingest = core.ingest_state();
                     let mut pace = paced.then(|| {
@@ -364,6 +427,9 @@ impl Engine {
                 let core = self.core.clone();
                 let net_done = net_done.clone();
                 scope.spawn(move || {
+                    if core.kernels.cfg.pin_cores {
+                        pin_thread(PinRole::Net);
+                    }
                     let stats = core.stats.clone();
                     let mut ingest = core.ingest_state();
                     let mut batch: Vec<PacketBuf> = Vec::with_capacity(rx_batch);
@@ -398,10 +464,44 @@ impl Engine {
 impl Drop for Engine {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::Release);
+        // Parked workers re-check `shutdown` as soon as they're woken
+        // (and at latest after PARK_TIMEOUT).
+        self.core.queues.gate.wake_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
+}
+
+/// Which thread is being pinned; decides its CPU under the fixed map.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PinRole {
+    /// Manager (and deployment demux) threads: CPU 0.
+    Manager,
+    /// Network ingest threads: CPU 1 when available, else CPU 0.
+    Net,
+    /// Worker `wid`: CPUs 2.. round-robin, keeping workers off the
+    /// manager/net CPUs whenever the machine has more than two.
+    Worker(usize),
+}
+
+/// Best-effort pin of the calling thread under the engine's CPU map.
+/// Failure (no pinning support, cpuset restrictions, too few CPUs) is
+/// ignored: pinning is a cache-locality hint, never correctness.
+pub(crate) fn pin_thread(role: PinRole) {
+    let n = agora_queue::affinity::available_cpus();
+    let cpu = match role {
+        PinRole::Manager => 0,
+        PinRole::Net => usize::from(n >= 2),
+        PinRole::Worker(wid) => {
+            if n >= 3 {
+                2 + wid % (n - 2)
+            } else {
+                wid % n
+            }
+        }
+    };
+    let _ = agora_queue::affinity::pin_current_thread(cpu);
 }
 
 impl CellCore {
@@ -411,10 +511,15 @@ impl CellCore {
         num_frames: u32,
         net_done: &AtomicBool,
     ) -> Vec<FrameResult> {
+        if self.kernels.cfg.pin_cores {
+            pin_thread(PinRole::Manager);
+        }
         // Frame abandonment: if the network thread has delivered
         // everything it will ever deliver and a frame is still waiting on
         // packets with no tasks in flight, the fronthaul lost packets —
         // emit the partial result instead of spinning forever.
+        let mut ctx = ManagerCtx::new();
+        let mut cbuf: Vec<Msg> = Vec::with_capacity(COMPLETE_BATCH);
         let mut last_progress = Instant::now();
         let kernels = &self.kernels;
         let g = &kernels.geom;
@@ -479,7 +584,7 @@ impl CellCore {
                     st.milestones.first_packet_ns = now_ns(start);
                     st.milestones.processing_start_ns = now_ns(start);
                     for r in st.initial_work() {
-                        pushed += self.dispatch(frame, r, &batch);
+                        pushed += self.dispatch(&mut ctx, frame, r, &batch);
                     }
                     st
                 });
@@ -502,24 +607,18 @@ impl CellCore {
                             entry.1 += 1;
                         } else {
                             let (b, c) = *entry;
-                            pushed += self.push_task(Msg::task(
-                                TaskType::Fft,
-                                frame,
-                                symbol as u32,
-                                b,
-                                c,
-                            ));
+                            pushed += self.push_task(
+                                &mut ctx,
+                                Msg::task(TaskType::Fft, frame, symbol as u32, b, c),
+                            );
                             *entry = (antenna as u32, 1);
                         }
                         if entry.1 as usize >= batch.fft {
                             let (b, c) = fft_runs.remove(&key).unwrap();
-                            pushed += self.push_task(Msg::task(
-                                TaskType::Fft,
-                                frame,
-                                symbol as u32,
-                                b,
-                                c,
-                            ));
+                            pushed += self.push_task(
+                                &mut ctx,
+                                Msg::task(TaskType::Fft, frame, symbol as u32, b, c),
+                            );
                         }
                     }
                 }
@@ -527,133 +626,149 @@ impl CellCore {
                 // all in — nothing more will extend it.
                 if rx_complete {
                     if let Some((b, c)) = fft_runs.remove(&(frame, symbol)) {
-                        pushed +=
-                            self.push_task(Msg::task(TaskType::Fft, frame, symbol as u32, b, c));
+                        pushed += self.push_task(
+                            &mut ctx,
+                            Msg::task(TaskType::Fft, frame, symbol as u32, b, c),
+                        );
                     }
                 }
                 *inflight.entry(frame).or_insert(0) += pushed;
             }
 
-            // 2. Drain completions.
-            while let Some(msg) = self.queues.complete.pop() {
-                idle = false;
-                last_progress = Instant::now();
-                let frame = msg.frame;
-                if let Some(n) = inflight.get_mut(&frame) {
-                    *n = n.saturating_sub(1);
+            // 2. Drain completions, a whole batch per cursor claim.
+            loop {
+                cbuf.clear();
+                if self.queues.complete.pop_batch(&mut cbuf, COMPLETE_BATCH) == 0 {
+                    break;
                 }
-                if abandoning.contains(&frame) {
-                    // The frame is being torn down: ignore the result and
-                    // finalize once the last in-flight task has drained
-                    // (only then is the slot safe to retire).
-                    if inflight.get(&frame).copied().unwrap_or(0) == 0 {
-                        self.finalize_abandoned(
-                            frame,
-                            &mut states,
-                            &mut results,
-                            &mut completed,
-                            &mut abandoning,
-                            &mut inflight,
-                        );
+                for &msg in cbuf.iter() {
+                    idle = false;
+                    last_progress = Instant::now();
+                    let frame = msg.frame;
+                    if let Some(n) = inflight.get_mut(&frame) {
+                        *n = n.saturating_sub(1);
                     }
-                    continue;
-                }
-                let Some(st) = states.get_mut(&frame) else { continue };
-                let symbol = msg.symbol as usize;
-                let mut pushed = 0usize;
-                let mut ready = Vec::new();
-                let mut ul_done = false;
-                let mut dl_done = false;
-                match msg.task {
-                    TaskType::Fft => {
-                        ready = st.on_fft_done(symbol, msg.count as usize);
-                        if st.pilots_complete() && st.milestones.pilot_done_ns == 0 {
-                            st.milestones.pilot_done_ns = now_ns(start);
+                    // The completing worker's caches now hold this symbol's
+                    // buffers: send the symbol's next stage to its lane.
+                    if !self.queues.lanes.is_empty() && (msg.aux as usize) < self.queues.lanes.len()
+                    {
+                        ctx.affinity.insert((frame, msg.symbol), msg.aux as usize);
+                    }
+                    if abandoning.contains(&frame) {
+                        // The frame is being torn down: ignore the result and
+                        // finalize once the last in-flight task has drained
+                        // (only then is the slot safe to retire).
+                        if inflight.get(&frame).copied().unwrap_or(0) == 0 {
+                            self.finalize_abandoned(
+                                &mut ctx,
+                                frame,
+                                &mut states,
+                                &mut results,
+                                &mut completed,
+                                &mut abandoning,
+                                &mut inflight,
+                            );
                         }
+                        continue;
                     }
-                    TaskType::Zf => {
-                        // Staged path: the echoed `symbol` carries the ZF
-                        // stage — 0 = monolithic task, 1..=C = cluster
-                        // partial, above C = reduce shard (base = group).
-                        let clusters = kernels.zf_clusters();
-                        ready = if !kernels.clustered_zf() {
-                            st.on_zf_done(msg.count as usize)
-                        } else if (1..=clusters).contains(&symbol) {
-                            st.on_zf_partial_done(msg.base as usize, msg.count as usize)
-                        } else {
-                            st.on_zf_reduce_done(msg.base as usize)
-                        };
-                        if st.zf_complete() && st.milestones.zf_done_ns == 0 {
-                            st.milestones.zf_done_ns = now_ns(start);
-                            zf_complete.insert(frame);
-                        }
-                    }
-                    TaskType::Demod => {
-                        ready = st.on_demod_done(symbol, msg.count as usize);
-                    }
-                    TaskType::Decode => {
-                        ul_done = st.on_decode_done(symbol, msg.count as usize);
-                    }
-                    TaskType::Encode => {
-                        ready = st.on_encode_done(symbol, msg.count as usize);
-                        // §3.4.2 early start: the first downlink symbols
-                        // may beam with the previous frame's precoder.
-                        // Safe only while frame-1's slot is unretired
-                        // (its buffers cannot be reused before then).
-                        if ready.is_empty()
-                            && kernels.cfg.stale_precoder
-                            && frame > 0
-                            && st.encode_complete(symbol)
-                            && !st.zf_complete()
-                            && zf_complete.contains(&(frame - 1))
-                            && (frame - 1) as u64 >= self.min_frame.load(Ordering::Relaxed)
-                            && stale_dl_symbols.contains(&symbol)
-                        {
-                            for r in st.precode_with_stale(symbol) {
-                                pushed += self.dispatch_stale(frame, r, &batch);
+                    let Some(st) = states.get_mut(&frame) else { continue };
+                    let symbol = msg.symbol as usize;
+                    let mut pushed = 0usize;
+                    let mut ready = Vec::new();
+                    let mut ul_done = false;
+                    let mut dl_done = false;
+                    match msg.task {
+                        TaskType::Fft => {
+                            ready = st.on_fft_done(symbol, msg.count as usize);
+                            if st.pilots_complete() && st.milestones.pilot_done_ns == 0 {
+                                st.milestones.pilot_done_ns = now_ns(start);
                             }
                         }
+                        TaskType::Zf => {
+                            // Staged path: the echoed `symbol` carries the ZF
+                            // stage — 0 = monolithic task, 1..=C = cluster
+                            // partial, above C = reduce shard (base = group).
+                            let clusters = kernels.zf_clusters();
+                            ready = if !kernels.clustered_zf() {
+                                st.on_zf_done(msg.count as usize)
+                            } else if (1..=clusters).contains(&symbol) {
+                                st.on_zf_partial_done(msg.base as usize, msg.count as usize)
+                            } else {
+                                st.on_zf_reduce_done(msg.base as usize)
+                            };
+                            if st.zf_complete() && st.milestones.zf_done_ns == 0 {
+                                st.milestones.zf_done_ns = now_ns(start);
+                                zf_complete.insert(frame);
+                            }
+                        }
+                        TaskType::Demod => {
+                            ready = st.on_demod_done(symbol, msg.count as usize);
+                        }
+                        TaskType::Decode => {
+                            ul_done = st.on_decode_done(symbol, msg.count as usize);
+                        }
+                        TaskType::Encode => {
+                            ready = st.on_encode_done(symbol, msg.count as usize);
+                            // §3.4.2 early start: the first downlink symbols
+                            // may beam with the previous frame's precoder.
+                            // Safe only while frame-1's slot is unretired
+                            // (its buffers cannot be reused before then).
+                            if ready.is_empty()
+                                && kernels.cfg.stale_precoder
+                                && frame > 0
+                                && st.encode_complete(symbol)
+                                && !st.zf_complete()
+                                && zf_complete.contains(&(frame - 1))
+                                && (frame - 1) as u64 >= self.min_frame.load(Ordering::Relaxed)
+                                && stale_dl_symbols.contains(&symbol)
+                            {
+                                for r in st.precode_with_stale(symbol) {
+                                    pushed += self.dispatch_stale(&mut ctx, frame, r, &batch);
+                                }
+                            }
+                        }
+                        TaskType::Precode => {
+                            ready = st.on_precode_done(symbol, msg.count as usize);
+                        }
+                        TaskType::Ifft => {
+                            dl_done = st.on_ifft_done(symbol, msg.count as usize);
+                        }
+                        _ => {}
                     }
-                    TaskType::Precode => {
-                        ready = st.on_precode_done(symbol, msg.count as usize);
+                    // CSI interpolation runs inline on the manager between
+                    // pilot completion and ZF dispatch (cheap, single pass).
+                    if ready.contains(&Ready::AllZf) {
+                        kernels.interpolate_csi(self.window.slot(frame));
                     }
-                    TaskType::Ifft => {
-                        dl_done = st.on_ifft_done(symbol, msg.count as usize);
+                    for r in ready {
+                        pushed += self.dispatch(&mut ctx, frame, r, &batch);
                     }
-                    _ => {}
-                }
-                // CSI interpolation runs inline on the manager between
-                // pilot completion and ZF dispatch (cheap, single pass).
-                if ready.contains(&Ready::AllZf) {
-                    kernels.interpolate_csi(self.window.slot(frame));
-                }
-                for r in ready {
-                    pushed += self.dispatch(frame, r, &batch);
-                }
-                *inflight.entry(frame).or_insert(0) += pushed;
-                let has_ul = !cell.schedule.uplink_indices().is_empty();
-                let has_dl = !cell.schedule.downlink_indices().is_empty();
-                if ul_done && st.milestones.decode_done_ns == 0 {
-                    st.milestones.decode_done_ns = now_ns(start);
-                }
-                if dl_done && st.milestones.ifft_done_ns == 0 {
-                    st.milestones.ifft_done_ns = now_ns(start);
-                }
-                let complete =
-                    (!has_ul || st.uplink_complete()) && (!has_dl || st.downlink_complete());
-                if complete {
-                    let st = states.remove(&frame).unwrap();
-                    inflight.remove(&frame);
-                    self.stats.frame_completed();
-                    results.push(self.collect_result(&st));
-                    completed.insert(frame as u64);
-                    // Retire contiguously from the bottom so the network
-                    // thread can reuse slots.
-                    let mut min = self.min_frame.load(Ordering::Relaxed);
-                    while completed.contains(&min) {
-                        min += 1;
+                    *inflight.entry(frame).or_insert(0) += pushed;
+                    let has_ul = !cell.schedule.uplink_indices().is_empty();
+                    let has_dl = !cell.schedule.downlink_indices().is_empty();
+                    if ul_done && st.milestones.decode_done_ns == 0 {
+                        st.milestones.decode_done_ns = now_ns(start);
                     }
-                    self.min_frame.store(min, Ordering::Release);
+                    if dl_done && st.milestones.ifft_done_ns == 0 {
+                        st.milestones.ifft_done_ns = now_ns(start);
+                    }
+                    let complete =
+                        (!has_ul || st.uplink_complete()) && (!has_dl || st.downlink_complete());
+                    if complete {
+                        let st = states.remove(&frame).unwrap();
+                        inflight.remove(&frame);
+                        ctx.affinity.retain(|&(f, _), _| f != frame);
+                        self.stats.frame_completed();
+                        results.push(self.collect_result(&st));
+                        completed.insert(frame as u64);
+                        // Retire contiguously from the bottom so the network
+                        // thread can reuse slots.
+                        let mut min = self.min_frame.load(Ordering::Relaxed);
+                        while completed.contains(&min) {
+                            min += 1;
+                        }
+                        self.min_frame.store(min, Ordering::Release);
+                    }
                 }
             }
 
@@ -682,7 +797,7 @@ impl CellCore {
                         }
                         // Remove the abandoned frames' queued tasks so
                         // workers never touch their (soon freed) slots.
-                        self.flush_abandoned(&abandoning, &mut inflight);
+                        self.flush_abandoned(&mut ctx, &abandoning, &mut inflight);
                         let drained: Vec<u32> = abandoning
                             .iter()
                             .copied()
@@ -690,6 +805,7 @@ impl CellCore {
                             .collect();
                         for f in drained {
                             self.finalize_abandoned(
+                                &mut ctx,
                                 f,
                                 &mut states,
                                 &mut results,
@@ -710,7 +826,9 @@ impl CellCore {
                 if net_done.load(Ordering::Acquire)
                     && last_progress.elapsed() > std::time::Duration::from_millis(200)
                     && self.queues.tasks.iter().all(|q| q.is_empty())
+                    && self.queues.lanes.iter().all(|l| l.is_empty())
                 {
+                    ctx.affinity.clear();
                     let stalled: Vec<u32> = states.keys().copied().collect();
                     for frame in stalled {
                         let st = states.remove(&frame).unwrap();
@@ -760,12 +878,21 @@ impl CellCore {
         results
     }
 
-    /// Converts a ready-item into queue messages (applying batching).
-    /// Returns the number of messages pushed so the manager can track
-    /// per-frame in-flight work.
-    fn dispatch(&self, frame: u32, ready: Ready, batch: &crate::config::BatchSizes) -> usize {
+    /// Converts a ready-item into queue messages (applying batching) and
+    /// places them — one lane `push_batch` (single cursor claim) when
+    /// work stealing is on, per-type shared queues otherwise. Returns
+    /// the number of messages pushed so the manager can track per-frame
+    /// in-flight work.
+    fn dispatch(
+        &self,
+        ctx: &mut ManagerCtx,
+        frame: u32,
+        ready: Ready,
+        batch: &crate::config::BatchSizes,
+    ) -> usize {
         let g = &self.kernels.geom;
-        let mut pushed = 0usize;
+        let mut stage = std::mem::take(&mut ctx.stage);
+        stage.clear();
         match ready {
             Ready::Fft { .. } => unreachable!("FFT dispatch handled by the run accumulator"),
             Ready::AllZf => {
@@ -778,13 +905,7 @@ impl CellCore {
                         let mut base = 0u32;
                         while (base as usize) < groups {
                             let count = batch.zf.min(groups - base as usize) as u32;
-                            pushed += self.push_task(Msg::task(
-                                TaskType::Zf,
-                                frame,
-                                cluster + 1,
-                                base,
-                                count,
-                            ));
+                            stage.push(Msg::task(TaskType::Zf, frame, cluster + 1, base, count));
                             base += count;
                         }
                     }
@@ -792,7 +913,7 @@ impl CellCore {
                     let mut base = 0u32;
                     while (base as usize) < groups {
                         let count = batch.zf.min(groups - base as usize) as u32;
-                        pushed += self.push_task(Msg::task(TaskType::Zf, frame, 0, base, count));
+                        stage.push(Msg::task(TaskType::Zf, frame, 0, base, count));
                         base += count;
                     }
                 }
@@ -802,26 +923,14 @@ impl CellCore {
                 // group index.
                 let c = self.kernels.zf_clusters() as u32;
                 for shard in 0..self.kernels.zf_reduce_shards() as u32 {
-                    pushed += self.push_task(Msg::task(
-                        TaskType::Zf,
-                        frame,
-                        c + 1 + shard,
-                        group as u32,
-                        1,
-                    ));
+                    stage.push(Msg::task(TaskType::Zf, frame, c + 1 + shard, group as u32, 1));
                 }
             }
             Ready::DemodSymbol { symbol } => {
                 let mut base = 0u32;
                 while (base as usize) < g.q {
                     let count = batch.demod.min(g.q - base as usize) as u32;
-                    pushed += self.push_task(Msg::task(
-                        TaskType::Demod,
-                        frame,
-                        symbol as u32,
-                        base,
-                        count,
-                    ));
+                    stage.push(Msg::task(TaskType::Demod, frame, symbol as u32, base, count));
                     base += count;
                 }
             }
@@ -829,13 +938,7 @@ impl CellCore {
                 let mut base = 0u32;
                 while (base as usize) < g.k {
                     let count = batch.decode.min(g.k - base as usize) as u32;
-                    pushed += self.push_task(Msg::task(
-                        TaskType::Decode,
-                        frame,
-                        symbol as u32,
-                        base,
-                        count,
-                    ));
+                    stage.push(Msg::task(TaskType::Decode, frame, symbol as u32, base, count));
                     base += count;
                 }
             }
@@ -843,13 +946,7 @@ impl CellCore {
                 let mut base = 0u32;
                 while (base as usize) < g.k {
                     let count = batch.encode.min(g.k - base as usize) as u32;
-                    pushed += self.push_task(Msg::task(
-                        TaskType::Encode,
-                        frame,
-                        symbol as u32,
-                        base,
-                        count,
-                    ));
+                    stage.push(Msg::task(TaskType::Encode, frame, symbol as u32, base, count));
                     base += count;
                 }
             }
@@ -857,13 +954,7 @@ impl CellCore {
                 let mut base = 0u32;
                 while (base as usize) < g.q {
                     let count = batch.precode.min(g.q - base as usize) as u32;
-                    pushed += self.push_task(Msg::task(
-                        TaskType::Precode,
-                        frame,
-                        symbol as u32,
-                        base,
-                        count,
-                    ));
+                    stage.push(Msg::task(TaskType::Precode, frame, symbol as u32, base, count));
                     base += count;
                 }
             }
@@ -871,52 +962,131 @@ impl CellCore {
                 let mut base = 0u32;
                 while (base as usize) < g.m {
                     let count = batch.ifft.min(g.m - base as usize) as u32;
-                    pushed += self.push_task(Msg::task(
-                        TaskType::Ifft,
-                        frame,
-                        symbol as u32,
-                        base,
-                        count,
-                    ));
+                    stage.push(Msg::task(TaskType::Ifft, frame, symbol as u32, base, count));
                     base += count;
                 }
             }
         }
+        let pushed = self.place_batch(ctx, &stage);
+        ctx.stage = stage;
         pushed
     }
 
     /// Dispatches a stale-precoder precode ready-item: identical to
     /// [`Self::dispatch`] but messages carry `aux = 1`, telling workers
     /// to read the precoder from the previous frame's buffers.
-    fn dispatch_stale(&self, frame: u32, ready: Ready, batch: &crate::config::BatchSizes) -> usize {
+    fn dispatch_stale(
+        &self,
+        ctx: &mut ManagerCtx,
+        frame: u32,
+        ready: Ready,
+        batch: &crate::config::BatchSizes,
+    ) -> usize {
         let g = &self.kernels.geom;
         if let Ready::PrecodeSymbol { symbol } = ready {
-            let mut pushed = 0usize;
+            let mut stage = std::mem::take(&mut ctx.stage);
+            stage.clear();
             let mut base = 0u32;
             while (base as usize) < g.q {
                 let count = batch.precode.min(g.q - base as usize) as u32;
                 let mut msg = Msg::task(TaskType::Precode, frame, symbol as u32, base, count);
                 msg.aux = 1;
-                pushed += self.push_task(msg);
+                stage.push(msg);
                 base += count;
             }
+            let pushed = self.place_batch(ctx, &stage);
+            ctx.stage = stage;
             pushed
         } else {
-            self.dispatch(frame, ready, batch)
+            self.dispatch(ctx, frame, ready, batch)
         }
     }
 
-    fn push_task(&self, msg: Msg) -> usize {
+    /// Places one task message (the single-message path of
+    /// [`Self::place_batch`]).
+    fn push_task(&self, ctx: &mut ManagerCtx, msg: Msg) -> usize {
         if msg.count == 0 {
             return 0;
         }
+        self.place_batch(ctx, &[msg])
+    }
+
+    /// Places a staged batch of task messages. With lanes: pick the
+    /// affinity lane for the batch's (frame, symbol) — the worker whose
+    /// caches last held those buffers — falling back to the least-loaded
+    /// lane; enqueue the whole batch with one cursor claim; overflow any
+    /// tail to the shared per-type queues; wake parked workers once.
+    /// Imbalance from affinity clustering is corrected by stealing, not
+    /// by the manager. Without lanes: per-type shared queues, as before.
+    fn place_batch(&self, ctx: &mut ManagerCtx, msgs: &[Msg]) -> usize {
+        if msgs.is_empty() {
+            return 0;
+        }
+        let lanes = &self.queues.lanes;
+        if lanes.is_empty() {
+            for &m in msgs {
+                self.push_shared(m);
+            }
+            return msgs.len();
+        }
+        let key = (msgs[0].frame, msgs[0].symbol);
+        let lane_id = match ctx.affinity.get(&key) {
+            Some(&w) if w < lanes.len() => w,
+            _ => {
+                // Least-loaded fallback, round-robin start so equal
+                // depths spread instead of piling onto worker 0.
+                let start = ctx.rr;
+                ctx.rr = (ctx.rr + 1) % lanes.len();
+                let mut best = start;
+                let mut best_len = lanes[start].len();
+                for off in 1..lanes.len() {
+                    let i = (start + off) % lanes.len();
+                    let l = lanes[i].len();
+                    if l < best_len {
+                        best = i;
+                        best_len = l;
+                    }
+                }
+                best
+            }
+        };
+        let lane = &lanes[lane_id];
+        let depth = lane.len();
+        let fit = lane.push_batch(msgs);
+        if fit > 0 {
+            self.stats.record_lane_push(fit as u64, depth);
+        }
+        if fit < msgs.len() {
+            self.stats.add_lane_overflows((msgs.len() - fit) as u64);
+            for &m in &msgs[fit..] {
+                self.push_shared(m);
+            }
+        }
+        for &m in msgs {
+            ctx.affinity.insert((m.frame, m.symbol), lane_id);
+        }
+        if self.queues.gate.wake_all() {
+            self.stats.wake();
+        }
+        msgs.len()
+    }
+
+    /// Pushes one message into its shared per-type queue, counting retry
+    /// spins (queue-full backpressure) instead of silently yielding.
+    /// Cannot livelock: queue capacity covers every in-flight message of
+    /// the whole window, and workers keep draining while we spin.
+    fn push_shared(&self, msg: Msg) {
         let q = self.queues.queue(msg.task);
         let mut m = msg;
+        let mut retries = 0u64;
         while let Err(back) = q.push(m) {
             m = back;
+            retries += 1;
             std::thread::yield_now();
         }
-        1
+        if retries > 0 {
+            self.stats.add_push_retries(msg.task, retries);
+        }
     }
 
     /// Removes every queued task belonging to an abandoning frame,
@@ -925,37 +1095,55 @@ impl CellCore {
     /// frame's slot stays valid until its count reaches zero, so workers
     /// never observe a freed buffer. The manager is the only task-queue
     /// producer, so pop-all / re-push cannot chase its own tail.
+    /// Survivors drain into the reusable `ctx.flush_scratch` (no fresh
+    /// allocation per abandonment); lane survivors are re-pushed to the
+    /// shared queues, which are sized to absorb every in-flight message.
     fn flush_abandoned(
         &self,
+        ctx: &mut ManagerCtx,
         abandoning: &std::collections::HashSet<u32>,
         inflight: &mut HashMap<u32, usize>,
     ) {
+        let scratch = &mut ctx.flush_scratch;
         for q in &self.queues.tasks {
-            let mut keep: Vec<Msg> = Vec::new();
-            while let Some(msg) = q.pop() {
+            scratch.clear();
+            while q.pop_batch(scratch, COMPLETE_BATCH) > 0 {}
+            for &msg in scratch.iter() {
                 if abandoning.contains(&msg.frame) {
                     if let Some(n) = inflight.get_mut(&msg.frame) {
                         *n = n.saturating_sub(1);
                     }
                 } else {
-                    keep.push(msg);
+                    self.push_shared(msg);
                 }
             }
-            for msg in keep {
-                let mut m = msg;
-                while let Err(back) = q.push(m) {
-                    m = back;
-                    std::thread::yield_now();
+        }
+        for lane in &self.queues.lanes {
+            scratch.clear();
+            while lane.pop_batch(scratch, COMPLETE_BATCH) > 0 {}
+            for &msg in scratch.iter() {
+                if abandoning.contains(&msg.frame) {
+                    if let Some(n) = inflight.get_mut(&msg.frame) {
+                        *n = n.saturating_sub(1);
+                    }
+                } else {
+                    self.push_shared(msg);
                 }
             }
+        }
+        scratch.clear();
+        if !self.queues.lanes.is_empty() && self.queues.gate.wake_all() {
+            self.stats.wake();
         }
     }
 
     /// Emits the dropped result for an abandoned frame and retires its
     /// slot. Must only be called once the frame's in-flight count is
     /// zero.
+    #[allow(clippy::too_many_arguments)]
     fn finalize_abandoned(
         &self,
+        ctx: &mut ManagerCtx,
         frame: u32,
         states: &mut HashMap<u32, FrameState>,
         results: &mut Vec<FrameResult>,
@@ -963,6 +1151,7 @@ impl CellCore {
         abandoning: &mut std::collections::HashSet<u32>,
         inflight: &mut HashMap<u32, usize>,
     ) {
+        ctx.affinity.retain(|&(f, _), _| f != frame);
         abandoning.remove(&frame);
         inflight.remove(&frame);
         let Some(st) = states.remove(&frame) else { return };
@@ -1010,6 +1199,14 @@ impl CellCore {
     }
 }
 
+/// True if any queue this worker may serve holds work. The final check
+/// before parking: taken *after* the gate epoch snapshot, so a push
+/// racing with the park bumps the epoch and the park returns at once.
+pub(crate) fn has_work(queues: &TaskQueues, my_types: &[TaskType]) -> bool {
+    queues.lanes.iter().any(|l| !l.is_empty())
+        || my_types.iter().any(|&t| !queues.queue(t).is_empty())
+}
+
 pub(crate) fn worker_loop(
     wid: usize,
     kernels: &Kernels,
@@ -1020,24 +1217,79 @@ pub(crate) fn worker_loop(
     my_types: &[TaskType],
 ) {
     let mut scratch = kernels.scratch();
-    'outer: while !shutdown.load(Ordering::Acquire) {
-        for &t in my_types {
-            if let Some(msg) = queues.queue(t).pop() {
-                let t0 = Instant::now();
-                execute(kernels, window, &mut scratch, &msg);
-                let ns = t0.elapsed().as_nanos() as u64;
-                stats.record(wid, msg.task, msg.count as u64, ns);
-                let done =
-                    Msg::complete(msg.task, msg.frame, msg.symbol, msg.base, msg.count, wid as u16);
-                let mut m = done;
-                while let Err(back) = queues.complete.push(m) {
-                    m = back;
-                    std::thread::yield_now();
+    let lanes_on = !queues.lanes.is_empty();
+    let mut batch: Vec<Msg> = Vec::with_capacity(WORKER_BATCH);
+    let mut done: Vec<Msg> = Vec::with_capacity(WORKER_BATCH);
+    let mut backoff = IdleBackoff::new();
+    while !shutdown.load(Ordering::Acquire) {
+        batch.clear();
+        // 1. Own lane: a batch per cursor claim.
+        if lanes_on {
+            queues.lanes[wid].pop_batch(&mut batch, WORKER_BATCH);
+        }
+        // 2. Shared per-type queues in priority order (overflow traffic
+        //    and the non-stealing configurations).
+        if batch.is_empty() {
+            for &t in my_types {
+                if let Some(msg) = queues.queue(t).pop() {
+                    batch.push(msg);
+                    break;
                 }
-                continue 'outer;
             }
         }
-        std::thread::yield_now();
+        // 3. Steal: scan peers' lanes from our right-hand neighbour,
+        //    taking half a victim's backlog in one claim.
+        if batch.is_empty() && lanes_on {
+            for off in 1..queues.lanes.len() {
+                let victim = (wid + off) % queues.lanes.len();
+                let n = queues.lanes[victim].steal_batch(&mut batch, WORKER_BATCH);
+                if n > 0 {
+                    stats.record_steal(n as u64);
+                    break;
+                }
+            }
+        }
+        if !batch.is_empty() {
+            backoff.reset();
+            done.clear();
+            for msg in &batch {
+                let t0 = Instant::now();
+                execute(kernels, window, &mut scratch, msg);
+                let ns = t0.elapsed().as_nanos() as u64;
+                stats.record(wid, msg.task, msg.count as u64, ns);
+                done.push(Msg::complete(
+                    msg.task, msg.frame, msg.symbol, msg.base, msg.count, wid as u16,
+                ));
+            }
+            // Completion pushes amortised: one claim per batch.
+            let mut off = 0;
+            while off < done.len() {
+                let n = queues.complete.push_batch(&done[off..]);
+                if n == 0 {
+                    std::thread::yield_now();
+                }
+                off += n;
+            }
+            continue;
+        }
+        // 4. Idle: spin → yield → park (legacy unconditional yield when
+        //    lanes are off, preserving the shared-queue baseline).
+        if !lanes_on {
+            std::thread::yield_now();
+            continue;
+        }
+        match backoff.next() {
+            IdleAction::Spin => std::hint::spin_loop(),
+            IdleAction::Yield => std::thread::yield_now(),
+            IdleAction::Park => {
+                let seen = queues.gate.epoch();
+                if has_work(queues, my_types) || shutdown.load(Ordering::Acquire) {
+                    continue;
+                }
+                stats.park();
+                queues.gate.park(seen, PARK_TIMEOUT);
+            }
+        }
     }
 }
 

@@ -65,6 +65,22 @@ pub struct EngineStats {
     link_tx_errors: AtomicU64,
     /// Socket-level receive errors reported by the fronthaul link.
     link_rx_errors: AtomicU64,
+    /// `push_task` retry spins per task type (shared queue was full).
+    push_retries: [AtomicU64; NUM_TASK_TYPES],
+    /// Task messages placed directly into a worker's lane.
+    lane_pushes: AtomicU64,
+    /// Task messages that overflowed a full lane to the shared queues.
+    lane_overflows: AtomicU64,
+    /// Deepest lane backlog observed at placement time.
+    lane_depth_max: AtomicU64,
+    /// Task messages a worker took from another worker's lane.
+    steals: AtomicU64,
+    /// Steal operations (batches), regardless of size.
+    steal_batches: AtomicU64,
+    /// Times a worker parked on the idle gate.
+    parks: AtomicU64,
+    /// Wake signals that found at least one parked worker.
+    wakes: AtomicU64,
 }
 
 impl EngineStats {
@@ -225,6 +241,85 @@ impl EngineStats {
         }
     }
 
+    /// Records `n` retry spins while pushing a type-`t` task into a full
+    /// shared queue (backpressure that used to be a silent yield loop).
+    pub fn add_push_retries(&self, t: TaskType, n: u64) {
+        self.push_retries[type_index(t)].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Retry spins recorded for one task type.
+    pub fn push_retries(&self, t: TaskType) -> u64 {
+        self.push_retries[type_index(t)].load(Ordering::Relaxed)
+    }
+
+    /// Retry spins summed over all task types.
+    pub fn total_push_retries(&self) -> u64 {
+        self.push_retries.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Records `n` tasks placed into a worker lane whose backlog was
+    /// `depth` before the push.
+    pub fn record_lane_push(&self, n: u64, depth: usize) {
+        self.lane_pushes.fetch_add(n, Ordering::Relaxed);
+        self.lane_depth_max.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Records `n` tasks that overflowed a full lane to the shared queues.
+    pub fn add_lane_overflows(&self, n: u64) {
+        self.lane_overflows.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one steal of `n` tasks from another worker's lane.
+    pub fn record_steal(&self, n: u64) {
+        self.steals.fetch_add(n, Ordering::Relaxed);
+        self.steal_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one park on the idle gate.
+    pub fn park(&self) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one wake that found parked workers.
+    pub fn wake(&self) {
+        self.wakes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tasks placed directly into worker lanes.
+    pub fn lane_pushes(&self) -> u64 {
+        self.lane_pushes.load(Ordering::Relaxed)
+    }
+
+    /// Tasks that overflowed full lanes to the shared queues.
+    pub fn lane_overflows(&self) -> u64 {
+        self.lane_overflows.load(Ordering::Relaxed)
+    }
+
+    /// Deepest lane backlog observed at placement time.
+    pub fn lane_depth_max(&self) -> u64 {
+        self.lane_depth_max.load(Ordering::Relaxed)
+    }
+
+    /// Tasks taken from other workers' lanes.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Steal operations (batches).
+    pub fn steal_batches(&self) -> u64 {
+        self.steal_batches.load(Ordering::Relaxed)
+    }
+
+    /// Parks on the idle gate.
+    pub fn parks(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+
+    /// Wakes that found parked workers.
+    pub fn wakes(&self) -> u64 {
+        self.wakes.load(Ordering::Relaxed)
+    }
+
     /// Publishes the fronthaul link's cumulative socket error counters.
     pub fn set_link_errors(&self, tx: u64, rx: u64) {
         self.link_tx_errors.store(tx, Ordering::Relaxed);
@@ -265,6 +360,17 @@ impl EngineStats {
         let (tx, rx) = other.link_errors();
         self.link_tx_errors.fetch_add(tx, Ordering::Relaxed);
         self.link_rx_errors.fetch_add(rx, Ordering::Relaxed);
+        for i in 0..NUM_TASK_TYPES {
+            self.push_retries[i]
+                .fetch_add(other.push_retries[i].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.lane_pushes.fetch_add(other.lane_pushes(), Ordering::Relaxed);
+        self.lane_overflows.fetch_add(other.lane_overflows(), Ordering::Relaxed);
+        self.lane_depth_max.fetch_max(other.lane_depth_max(), Ordering::Relaxed);
+        self.steals.fetch_add(other.steals(), Ordering::Relaxed);
+        self.steal_batches.fetch_add(other.steal_batches(), Ordering::Relaxed);
+        self.parks.fetch_add(other.parks(), Ordering::Relaxed);
+        self.wakes.fetch_add(other.wakes(), Ordering::Relaxed);
     }
 
     /// One-paragraph human-readable summary: frame ledger, packet
@@ -293,6 +399,28 @@ impl EngineStats {
         let (tx_e, rx_e) = self.link_errors();
         if tx_e + rx_e > 0 {
             out.push_str(&format!("link errors: {tx_e} tx, {rx_e} rx\n"));
+        }
+        if self.lane_pushes() + self.lane_overflows() + self.steals() + self.parks() > 0 {
+            out.push_str(&format!(
+                "sched: {} lane pushes (max depth {}), {} overflows, {} stolen in {} steals, {} parks, {} wakes\n",
+                self.lane_pushes(),
+                self.lane_depth_max(),
+                self.lane_overflows(),
+                self.steals(),
+                self.steal_batches(),
+                self.parks(),
+                self.wakes(),
+            ));
+        }
+        let retries = self.total_push_retries();
+        if retries > 0 {
+            let parts: Vec<String> = (0..NUM_TASK_TYPES)
+                .filter_map(|i| {
+                    let n = self.push_retries[i].load(Ordering::Relaxed);
+                    (n > 0).then(|| format!("{} {}", TYPE_NAMES[i], n))
+                })
+                .collect();
+            out.push_str(&format!("queue-full retries: {retries} ({})\n", parts.join(", ")));
         }
         let mut blocks: Vec<(usize, u64)> = (0..NUM_TASK_TYPES)
             .map(|i| (i, self.busy_ns[i].load(Ordering::Relaxed)))
@@ -440,6 +568,40 @@ mod tests {
         let decode_at = text.find("Decode").unwrap();
         let fft_at = text.find("FFT").unwrap();
         assert!(decode_at < fft_at, "blocks sorted by busy time:\n{text}");
+    }
+
+    #[test]
+    fn sched_counters_record_merge_and_surface() {
+        let a = EngineStats::new(1);
+        a.add_push_retries(TaskType::Decode, 7);
+        a.record_lane_push(4, 9);
+        a.add_lane_overflows(2);
+        a.record_steal(3);
+        a.park();
+        a.wake();
+        let b = EngineStats::new(1);
+        b.add_push_retries(TaskType::Decode, 1);
+        b.add_push_retries(TaskType::Fft, 2);
+        b.record_lane_push(6, 5);
+        b.record_steal(1);
+        b.park();
+
+        let total = EngineStats::new(1);
+        total.merge(&a);
+        total.merge(&b);
+        assert_eq!(total.push_retries(TaskType::Decode), 8);
+        assert_eq!(total.total_push_retries(), 10);
+        assert_eq!(total.lane_pushes(), 10);
+        assert_eq!(total.lane_overflows(), 2);
+        assert_eq!(total.lane_depth_max(), 9);
+        assert_eq!(total.steals(), 4);
+        assert_eq!(total.steal_batches(), 2);
+        assert_eq!(total.parks(), 2);
+        assert_eq!(total.wakes(), 1);
+        let text = total.summary();
+        assert!(text.contains("10 lane pushes"), "{text}");
+        assert!(text.contains("queue-full retries: 10"), "{text}");
+        assert!(text.contains("Decode 8"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Core pinning via `sched_setaffinity`, with a portable no-op fallback.
+//!
+//! Agora dedicates one pinned thread per core (§5); unpinned threads
+//! let the OS migrate workers across cores and wreck the cache-resident
+//! frame buffers. Pinning is best-effort everywhere: on non-Linux
+//! targets, or when the syscall fails (cgroup cpuset restrictions,
+//! single-core machines), callers simply run unpinned.
+//!
+//! Hand-declared FFI — no libc crate — following the same pattern as
+//! the transport crate's `sys.rs`.
+
+/// Number of CPUs visible to this process (always ≥ 1).
+pub fn available_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Pins the calling thread to `cpu`. Returns `true` on success, `false`
+/// when pinning is unsupported or refused (the caller keeps running
+/// unpinned — this is a performance hint, never a correctness
+/// requirement).
+pub fn pin_current_thread(cpu: usize) -> bool {
+    imp::pin_current_thread(cpu)
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    /// 1024-bit CPU set, matching the kernel's default `cpu_set_t` size.
+    const CPU_SET_WORDS: usize = 16;
+    const CPU_SET_BYTES: usize = CPU_SET_WORDS * 8;
+
+    extern "C" {
+        // int sched_setaffinity(pid_t pid, size_t cpusetsize, const cpu_set_t *mask);
+        // pid 0 means the calling thread.
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+
+    pub fn pin_current_thread(cpu: usize) -> bool {
+        if cpu >= CPU_SET_WORDS * 64 {
+            return false;
+        }
+        let mut mask = [0u64; CPU_SET_WORDS];
+        mask[cpu / 64] = 1u64 << (cpu % 64);
+        // SAFETY: `mask` is a valid, initialized CPU_SET_BYTES-byte
+        // buffer that outlives the call; pid 0 targets only the calling
+        // thread, so no other thread's affinity is touched.
+        let rc = unsafe { sched_setaffinity(0, CPU_SET_BYTES, mask.as_ptr()) };
+        rc == 0
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    pub fn pin_current_thread(_cpu: usize) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn available_cpus_is_positive() {
+        assert!(available_cpus() >= 1);
+    }
+
+    #[test]
+    fn pin_to_out_of_range_cpu_fails_gracefully() {
+        // CPU ids past the mask width (or not present) must report
+        // failure, not panic or abort.
+        assert!(!pin_current_thread(100_000));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pin_to_cpu0_succeeds_on_linux() {
+        // CPU 0 exists on every machine; a cgroup cpuset could exclude
+        // it in exotic setups, so tolerate (but don't expect) failure
+        // only if *no* visible CPU accepts the pin.
+        let ok = (0..available_cpus()).any(pin_current_thread);
+        assert!(ok, "pinning to every visible CPU failed");
+    }
+}

@@ -39,6 +39,9 @@ cargo run --release -q -p agora-bench --bin deployment_parity
 echo "== zf cluster parity smoke =="
 cargo run --release -q -p agora-bench --bin zf_cluster_parity
 
+echo "== sched parity smoke =="
+cargo run --release -q -p agora-bench --bin sched_parity
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 

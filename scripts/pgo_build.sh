@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Profile-guided-optimisation build (the paper's Table 4 lists PGO as
+# one of Agora's ablations; the C++ original trains on a frame loop).
+#
+#   scripts/pgo_build.sh [out-dir]
+#
+# 1. builds the workspace with -Cprofile-generate,
+# 2. trains on the scheduler bench's threaded 64x16 frame loop
+#    (`sched --pgo-workload`) plus the queue-op microbench itself,
+# 3. merges the raw profiles with llvm-profdata (searched on PATH, then
+#    inside `rustc --print sysroot`),
+# 4. rebuilds with -Cprofile-use.
+#
+# If llvm-profdata is unavailable the script says so and leaves the
+# plain release build in place (exit 0): the container image does not
+# always ship the llvm-tools component, and a missing profiler must not
+# fail CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-target/pgo}"
+PROF_DIR="$(pwd)/$OUT/profiles"
+mkdir -p "$PROF_DIR"
+
+find_llvm_profdata() {
+    if command -v llvm-profdata >/dev/null 2>&1; then
+        command -v llvm-profdata
+        return 0
+    fi
+    local sysroot
+    sysroot="$(rustc --print sysroot)"
+    find "$sysroot" -name llvm-profdata -type f 2>/dev/null | head -n1
+}
+
+LLVM_PROFDATA="$(find_llvm_profdata || true)"
+if [ -z "${LLVM_PROFDATA}" ]; then
+    echo "pgo: llvm-profdata not found (PATH or rustc sysroot); keeping the plain release build"
+    cargo build --release -p agora-bench --bin sched
+    exit 0
+fi
+echo "pgo: using ${LLVM_PROFDATA}"
+
+echo "== instrumented build =="
+RUSTFLAGS="-Cprofile-generate=${PROF_DIR}" \
+    cargo build --release -p agora-bench --bin sched --target-dir "$OUT/gen"
+
+echo "== training run (threaded 64x16 frame loop + queue microbench) =="
+"$OUT/gen/release/sched" --pgo-workload
+# The queue-op paths are the optimisation target; train them too, but
+# tolerate a gate miss during training (the instrumented binary is slow).
+"$OUT/gen/release/sched" || true
+
+echo "== merging profiles =="
+# A PATH llvm-profdata can be older than rustc's LLVM and reject the
+# profraw format; that is an environment limitation, not a CI failure.
+if ! "${LLVM_PROFDATA}" merge -o "$PROF_DIR/merged.profdata" "$PROF_DIR"/*.profraw; then
+    echo "pgo: ${LLVM_PROFDATA} cannot read rustc's profile format" \
+         "(needs the llvm-tools rustup component); keeping the plain release build"
+    cargo build --release -p agora-bench --bin sched
+    exit 0
+fi
+
+echo "== optimised rebuild =="
+RUSTFLAGS="-Cprofile-use=${PROF_DIR}/merged.profdata" \
+    cargo build --release -p agora-bench --bin sched --target-dir "$OUT/use"
+
+echo "pgo: optimised binary at $OUT/use/release/sched"
+echo "pgo: compare against the plain release build with:"
+echo "         cargo build --release -p agora-bench --bin sched"
+echo "         ./target/release/sched && $OUT/use/release/sched"

@@ -1,0 +1,169 @@
+//! Work-stealing scheduler equivalence and counter sanity.
+//!
+//! The scheduler ablation (`Ablation::work_stealing`) only changes
+//! *where* task messages queue and *which* worker executes them — every
+//! kernel writes disjoint buffer regions determined solely by the
+//! message coordinates, so `FrameResult`s must be bit-identical with
+//! stealing on, stealing off, and the single-threaded inline reference,
+//! for any worker count and batch-size mix.
+
+use agora_core::{Engine, EngineConfig, FrameResult, InlineProcessor};
+use agora_fronthaul::{RruConfig, RruEmulator};
+use agora_phy::CellConfig;
+use agora_queue::TaskType;
+use proptest::prelude::*;
+
+const FRAMES: u32 = 2;
+
+fn generate(cell: &CellConfig, seed: u64) -> (Vec<bytes::Bytes>, f32) {
+    let mut rru =
+        RruEmulator::new(cell.clone(), RruConfig { snr_db: 28.0, seed, ..Default::default() });
+    let mut packets = Vec::new();
+    for f in 0..FRAMES {
+        let (p, _) = rru.generate_frame(f);
+        packets.extend(p);
+    }
+    (packets, rru.noise_power())
+}
+
+fn results_equal(a: &[FrameResult], b: &[FrameResult]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.frame == y.frame
+                && x.dropped == y.dropped
+                && x.decode_ok == y.decode_ok
+                && x.decoded == y.decoded
+        })
+}
+
+fn sorted(mut r: Vec<FrameResult>) -> Vec<FrameResult> {
+    r.sort_by_key(|f| f.frame);
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Stealing on == stealing off == inline, bit-identical, across
+    /// random worker counts and batch-size mixes.
+    #[test]
+    fn scheduling_is_result_invariant(
+        workers in 1usize..5,
+        seed in 0u64..1024,
+        fft_batch in 1usize..4,
+        demod_batch in 16usize..128,
+        decode_batch in 1usize..3,
+    ) {
+        let cell = CellConfig::tiny_test(2);
+        let (packets, noise) = generate(&cell, seed);
+        let mut cfg = EngineConfig::new(cell, workers);
+        cfg.noise_power = noise;
+        cfg.batch.fft = fft_batch;
+        cfg.batch.demod = demod_batch;
+        cfg.batch.decode = decode_batch;
+
+        let mut stealing = cfg.clone();
+        stealing.ablation.work_stealing = true;
+        let with_lanes = sorted(Engine::new(stealing).process(packets.clone(), FRAMES, false));
+
+        let mut monolithic = cfg.clone();
+        monolithic.ablation.work_stealing = false;
+        let shared = sorted(Engine::new(monolithic).process(packets.clone(), FRAMES, false));
+
+        prop_assert!(
+            results_equal(&with_lanes, &shared),
+            "stealing on vs off differ (workers={workers} seed={seed})"
+        );
+
+        let mut inline = InlineProcessor::new(cfg);
+        for f in 0..FRAMES {
+            let per_frame: Vec<bytes::Bytes> = packets
+                .iter()
+                .filter(|p| agora_fronthaul::decode(p).unwrap().0.frame == f)
+                .cloned()
+                .collect();
+            let reference = inline.process_frame(f, &per_frame);
+            let t = with_lanes.iter().find(|r| r.frame == f).unwrap();
+            prop_assert_eq!(
+                &t.decoded, &reference.decoded,
+                "frame {} differs from inline (workers={} seed={})", f, workers, seed
+            );
+        }
+    }
+}
+
+/// With stealing on, every compute message goes through a lane first:
+/// lane_pushes + lane_overflows must equal the total message count, and
+/// an engine left idle must park its workers.
+#[test]
+fn sched_counters_account_for_every_message() {
+    let cell = CellConfig::tiny_test(2);
+    let mut rru =
+        RruEmulator::new(cell.clone(), RruConfig { snr_db: 28.0, seed: 7, ..Default::default() });
+    let halves: Vec<Vec<bytes::Bytes>> = (0..2u32)
+        .map(|half| {
+            let mut packets = Vec::new();
+            for f in (2 * half)..(2 * half + FRAMES) {
+                let (p, _) = rru.generate_frame(f);
+                packets.extend(p);
+            }
+            packets
+        })
+        .collect();
+    let mut cfg = EngineConfig::new(cell, 2);
+    cfg.noise_power = rru.noise_power();
+    let engine = Engine::new(cfg);
+    let results = engine.process(halves[0].clone(), FRAMES, false);
+    assert_eq!(results.len(), FRAMES as usize);
+
+    // Workers have nothing to do now: the idle ladder must reach Park.
+    // The second batch's dispatch then has to wake them.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let results = engine.process(halves[1].clone(), FRAMES, false);
+    assert_eq!(results.len(), FRAMES as usize);
+
+    let stats = engine.stats();
+    let compute = [
+        TaskType::Fft,
+        TaskType::Zf,
+        TaskType::Demod,
+        TaskType::Decode,
+        TaskType::Encode,
+        TaskType::Precode,
+        TaskType::Ifft,
+    ];
+    let messages: u64 = compute.iter().map(|&t| stats.messages(t)).sum();
+    assert!(messages > 0);
+    assert_eq!(
+        stats.lane_pushes() + stats.lane_overflows(),
+        messages,
+        "every dispatched message must hit a lane or be counted as overflow"
+    );
+    assert!(stats.lane_depth_max() > 0);
+    assert!(stats.parks() > 0, "idle workers must park, not spin");
+    assert!(stats.wakes() > 0, "dispatch must wake parked workers");
+}
+
+/// Tiny lanes force the overflow-to-shared-queue fallback; results must
+/// still be correct and the overflow counter must fire.
+#[test]
+fn lane_overflow_falls_back_to_shared_queues() {
+    let cell = CellConfig::tiny_test(2);
+    let (packets, noise) = generate(&cell, 13);
+    let mut cfg = EngineConfig::new(cell, 2);
+    cfg.noise_power = noise;
+    cfg.lane_capacity = 2;
+
+    let overflowing = Engine::new(cfg.clone());
+    let got = sorted(overflowing.process(packets.clone(), FRAMES, false));
+    assert!(
+        overflowing.stats().lane_overflows() > 0,
+        "capacity-2 lanes must overflow to the shared queues"
+    );
+
+    let mut roomy_cfg = cfg;
+    roomy_cfg.lane_capacity = 256;
+    let roomy = Engine::new(roomy_cfg);
+    let want = sorted(roomy.process(packets, FRAMES, false));
+    assert!(results_equal(&got, &want), "overflow path changed decoded results");
+}
